@@ -1,0 +1,238 @@
+//! The Hungarian algorithm (shortest-augmenting-path formulation).
+
+use crate::CostMatrix;
+use std::fmt;
+
+/// The result of an assignment solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// `assignment[row] = column` matched to that row.
+    pub assignment: Vec<usize>,
+    /// Sum of the costs of the matched pairs.
+    pub total_cost: f64,
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "assignment of {} rows, total cost {:.3}",
+            self.assignment.len(),
+            self.total_cost
+        )
+    }
+}
+
+/// Solves the minimum-cost assignment problem exactly.
+///
+/// Uses the `O(n²·m)` shortest-augmenting-path formulation with row and
+/// column potentials (the "Hungarian algorithm" as commonly implemented
+/// for dense matrices). Handles rectangular instances with
+/// `rows <= cols`; every row is matched to a distinct column.
+///
+/// The paper uses this to compute (a) the minimum moving distance of
+/// the VOR/Minimax explosion phase and (b) the optimal-movement
+/// baselines of Figure 11.
+///
+/// # Panics
+///
+/// Panics if the matrix has more rows than columns.
+///
+/// # Examples
+///
+/// ```
+/// use msn_assign::{hungarian, CostMatrix};
+///
+/// let m = CostMatrix::from_rows(vec![
+///     vec![4.0, 1.0, 3.0],
+///     vec![2.0, 0.0, 5.0],
+///     vec![3.0, 2.0, 2.0],
+/// ]);
+/// let sol = hungarian(&m);
+/// assert_eq!(sol.total_cost, 5.0); // 1 + 2 + 2
+/// ```
+pub fn hungarian(costs: &CostMatrix) -> Assignment {
+    let n = costs.rows();
+    let m = costs.cols();
+    assert!(n <= m, "hungarian requires rows <= cols; transpose the problem");
+
+    // 1-indexed potentials and matching, per the classic formulation:
+    // u[i] for rows, v[j] for columns, way[j] = previous column on the
+    // augmenting path, p[j] = row matched to column j (0 = none).
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; m + 1];
+    let mut p = vec![0usize; m + 1];
+    let mut way = vec![0usize; m + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if used[j] {
+                    continue;
+                }
+                let cur = costs.get(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the path back to the virtual column 0.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![usize::MAX; n];
+    for j in 1..=m {
+        if p[j] != 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    debug_assert!(assignment.iter().all(|&c| c != usize::MAX));
+    let total_cost = costs.assignment_cost(&assignment);
+    Assignment {
+        assignment,
+        total_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive minimum over all permutations, for cross-checking.
+    fn brute_force(costs: &CostMatrix) -> f64 {
+        fn rec(costs: &CostMatrix, row: usize, used: &mut Vec<bool>, acc: f64, best: &mut f64) {
+            if row == costs.rows() {
+                *best = best.min(acc);
+                return;
+            }
+            if acc >= *best {
+                return;
+            }
+            for c in 0..costs.cols() {
+                if !used[c] {
+                    used[c] = true;
+                    rec(costs, row + 1, used, acc + costs.get(row, c), best);
+                    used[c] = false;
+                }
+            }
+        }
+        let mut best = f64::INFINITY;
+        rec(costs, 0, &mut vec![false; costs.cols()], 0.0, &mut best);
+        best
+    }
+
+    #[test]
+    fn one_by_one() {
+        let m = CostMatrix::from_rows(vec![vec![7.0]]);
+        let sol = hungarian(&m);
+        assert_eq!(sol.assignment, vec![0]);
+        assert_eq!(sol.total_cost, 7.0);
+    }
+
+    #[test]
+    fn identity_is_optimal_for_diagonal_matrix() {
+        let m = CostMatrix::from_fn(4, 4, |r, c| if r == c { 0.0 } else { 10.0 });
+        let sol = hungarian(&m);
+        assert_eq!(sol.assignment, vec![0, 1, 2, 3]);
+        assert_eq!(sol.total_cost, 0.0);
+    }
+
+    #[test]
+    fn classic_3x3() {
+        let m = CostMatrix::from_rows(vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ]);
+        let sol = hungarian(&m);
+        assert_eq!(sol.total_cost, 5.0);
+        assert_eq!(sol.total_cost, brute_force(&m));
+    }
+
+    #[test]
+    fn rectangular_chooses_best_columns() {
+        let m = CostMatrix::from_rows(vec![
+            vec![10.0, 10.0, 1.0, 10.0],
+            vec![10.0, 2.0, 10.0, 10.0],
+        ]);
+        let sol = hungarian(&m);
+        assert_eq!(sol.assignment, vec![2, 1]);
+        assert_eq!(sol.total_cost, 3.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_pseudorandom_instances() {
+        for seed in 0..30u64 {
+            // xorshift-style deterministic costs
+            let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 1000) as f64 / 10.0
+            };
+            let n = 2 + (seed % 5) as usize; // 2..=6
+            let m_cols = n + (seed % 3) as usize;
+            let m = CostMatrix::from_fn(n, m_cols, |_, _| next());
+            let sol = hungarian(&m);
+            let bf = brute_force(&m);
+            assert!(
+                (sol.total_cost - bf).abs() < 1e-9,
+                "seed {seed}: hungarian {} != brute force {bf}",
+                sol.total_cost
+            );
+            // assignment is a valid injection
+            let mut seen = vec![false; m_cols];
+            for &c in &sol.assignment {
+                assert!(!seen[c], "column used twice");
+                seen[c] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn all_equal_costs_any_permutation_is_fine() {
+        let m = CostMatrix::from_fn(5, 5, |_, _| 3.0);
+        let sol = hungarian(&m);
+        assert_eq!(sol.total_cost, 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows <= cols")]
+    fn more_rows_than_cols_panics() {
+        let m = CostMatrix::from_rows(vec![vec![1.0], vec![2.0]]);
+        hungarian(&m);
+    }
+}

@@ -1,0 +1,55 @@
+//! Property-based tests for assignment solvers.
+
+use msn_assign::{greedy_assignment, hungarian, CostMatrix};
+use msn_geom::Point;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn hungarian_not_worse_than_greedy(
+        rows in prop::collection::vec(prop::collection::vec(0.0..100.0f64, 6), 1..6)
+    ) {
+        let cols = rows[0].len();
+        prop_assume!(rows.len() <= cols);
+        let m = CostMatrix::from_rows(rows);
+        let h = hungarian(&m);
+        let g = greedy_assignment(&m);
+        prop_assert!(h.total_cost <= g.total_cost + 1e-9);
+    }
+
+    #[test]
+    fn hungarian_not_worse_than_identity_permutation(
+        vals in prop::collection::vec(0.0..100.0f64, 16)
+    ) {
+        let m = CostMatrix::from_fn(4, 4, |r, c| vals[r * 4 + c]);
+        let h = hungarian(&m);
+        let identity: Vec<usize> = (0..4).collect();
+        prop_assert!(h.total_cost <= m.assignment_cost(&identity) + 1e-9);
+        // and not worse than the reversal either
+        let rev: Vec<usize> = (0..4).rev().collect();
+        prop_assert!(h.total_cost <= m.assignment_cost(&rev) + 1e-9);
+    }
+
+    #[test]
+    fn assignment_is_injective(
+        vals in prop::collection::vec(0.0..50.0f64, 30)
+    ) {
+        let m = CostMatrix::from_fn(5, 6, |r, c| vals[r * 6 + c]);
+        let h = hungarian(&m);
+        let mut seen = [false; 6];
+        for &c in &h.assignment {
+            prop_assert!(!seen[c]);
+            seen[c] = true;
+        }
+    }
+
+    #[test]
+    fn euclidean_self_assignment_is_zero(
+        xs in prop::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 1..10)
+    ) {
+        let pts: Vec<Point> = xs.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let m = CostMatrix::euclidean(&pts, &pts);
+        let h = hungarian(&m);
+        prop_assert!(h.total_cost <= 1e-9, "matching a set to itself costs nothing");
+    }
+}

@@ -1,0 +1,25 @@
+//! `cargo bench` entry point that regenerates every figure and table
+//! at reduced (quick-profile) scale, printing the same rows/series the
+//! paper reports. Use the `src/bin` binaries for full-scale runs.
+
+fn main() {
+    // Respect the libtest-style --bench flag cargo passes.
+    let profile = msn_bench::Profile::quick();
+    for (name, f) in [
+        ("fig3", msn_bench::fig3::run as fn(&msn_bench::Profile) -> String),
+        ("fig8", msn_bench::fig8::run),
+        ("fig9", msn_bench::fig9::run),
+        ("fig10", msn_bench::fig10::run),
+        ("fig11", msn_bench::fig11::run),
+        ("fig12", msn_bench::fig12::run),
+        ("fig13", msn_bench::fig13::run),
+        ("table1", msn_bench::table1::run),
+        ("ablation", msn_bench::ablation::run),
+        ("uniform_init", msn_bench::uniform_init::run),
+    ] {
+        let start = std::time::Instant::now();
+        let report = f(&profile);
+        println!("=== {name} (quick profile, {:.1}s) ===", start.elapsed().as_secs_f64());
+        println!("{report}");
+    }
+}

@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks of the computational kernels every
+//! experiment leans on: Voronoi cell construction, Hungarian matching,
+//! minimum enclosing circles, coverage rasters, BUG2 navigation and
+//! disk-graph construction.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use msn_assign::{hungarian, CostMatrix};
+use msn_field::{CoverageGrid, Field};
+use msn_geom::{min_enclosing_circle, Point, Rect};
+use msn_nav::{Hand, Navigator};
+use msn_net::DiskGraph;
+use msn_voronoi::VoronoiDiagram;
+use std::hint::black_box;
+
+fn sites(n: usize) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            let a = i as f64;
+            Point::new(
+                500.0 + 480.0 * (a * 0.7321).sin(),
+                500.0 + 480.0 * (a * 1.1173).cos(),
+            )
+        })
+        .collect()
+}
+
+fn bench_voronoi(c: &mut Criterion) {
+    let pts = sites(240);
+    let bounds = Rect::new(0.0, 0.0, 1000.0, 1000.0);
+    c.bench_function("voronoi_diagram_240_sites", |b| {
+        b.iter(|| VoronoiDiagram::compute(black_box(&pts), bounds))
+    });
+}
+
+fn bench_hungarian(c: &mut Criterion) {
+    let src = sites(240);
+    let dst: Vec<Point> = sites(240).into_iter().map(|p| Point::new(p.y, p.x)).collect();
+    c.bench_function("hungarian_240x240_euclidean", |b| {
+        b.iter_batched(
+            || CostMatrix::euclidean(&src, &dst),
+            |m| hungarian(black_box(&m)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_mec(c: &mut Criterion) {
+    let pts = sites(200);
+    c.bench_function("min_enclosing_circle_200_points", |b| {
+        b.iter(|| min_enclosing_circle(black_box(&pts)))
+    });
+}
+
+fn bench_coverage(c: &mut Criterion) {
+    let field = Field::open(1000.0, 1000.0);
+    let grid = CoverageGrid::new(&field, 2.5);
+    let pts = sites(240);
+    c.bench_function("coverage_grid_240_sensors_rs40", |b| {
+        b.iter(|| grid.coverage(black_box(&pts), 40.0))
+    });
+}
+
+fn bench_bug2(c: &mut Criterion) {
+    let field = Field::with_obstacles(
+        1000.0,
+        1000.0,
+        vec![
+            Rect::new(300.0, 200.0, 400.0, 800.0).to_polygon(),
+            Rect::new(600.0, 100.0, 700.0, 600.0).to_polygon(),
+        ],
+    );
+    c.bench_function("bug2_full_path_two_obstacles", |b| {
+        b.iter(|| {
+            let mut nav = Navigator::new(
+                &field,
+                Point::new(50.0, 500.0),
+                Point::new(950.0, 500.0),
+                Hand::Right,
+            );
+            while !nav.is_done() && !nav.is_stuck() {
+                nav.advance(10.0);
+            }
+            black_box(nav.traveled())
+        })
+    });
+}
+
+fn bench_diskgraph(c: &mut Criterion) {
+    let pts = sites(240);
+    c.bench_function("disk_graph_build_240_rc60", |b| {
+        b.iter(|| DiskGraph::build(black_box(&pts), 60.0))
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_voronoi,
+    bench_hungarian,
+    bench_mec,
+    bench_coverage,
+    bench_bug2,
+    bench_diskgraph
+);
+criterion_main!(kernels);

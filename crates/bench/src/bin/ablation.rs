@@ -1,0 +1,9 @@
+//! Regenerates the paper's ablation at full scale.
+fn main() {
+    let profile = msn_bench::Profile::full();
+    let report = msn_bench::ablation::run(&profile);
+    print!("{report}");
+    if let Some(path) = msn_bench::save_report("ablation", &report) {
+        eprintln!("saved to {}", path.display());
+    }
+}

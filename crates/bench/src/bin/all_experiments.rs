@@ -1,0 +1,22 @@
+//! Runs every figure and table of the paper's evaluation at full
+//! scale, printing each report in order. Expect ~15-25 minutes.
+fn main() {
+    let profile = msn_bench::Profile::full();
+    for (name, f) in [
+        ("fig3", msn_bench::fig3::run as fn(&msn_bench::Profile) -> String),
+        ("fig8", msn_bench::fig8::run),
+        ("fig9", msn_bench::fig9::run),
+        ("fig10", msn_bench::fig10::run),
+        ("fig11", msn_bench::fig11::run),
+        ("fig12", msn_bench::fig12::run),
+        ("fig13", msn_bench::fig13::run),
+        ("table1", msn_bench::table1::run),
+        ("ablation", msn_bench::ablation::run),
+        ("uniform_init", msn_bench::uniform_init::run),
+    ] {
+        eprintln!(">>> running {name}...");
+        let report = f(&profile);
+        println!("{report}");
+        msn_bench::save_report(name, &report);
+    }
+}

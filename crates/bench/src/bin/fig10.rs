@@ -1,0 +1,9 @@
+//! Regenerates the paper's fig10 at full scale.
+fn main() {
+    let profile = msn_bench::Profile::full();
+    let report = msn_bench::fig10::run(&profile);
+    print!("{report}");
+    if let Some(path) = msn_bench::save_report("fig10", &report) {
+        eprintln!("saved to {}", path.display());
+    }
+}

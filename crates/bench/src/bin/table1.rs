@@ -1,0 +1,9 @@
+//! Regenerates the paper's table1 at full scale.
+fn main() {
+    let profile = msn_bench::Profile::full();
+    let report = msn_bench::table1::run(&profile);
+    print!("{report}");
+    if let Some(path) = msn_bench::save_report("table1", &report) {
+        eprintln!("saved to {}", path.display());
+    }
+}

@@ -1,0 +1,8 @@
+//! Runs the uniform-vs-clustered initial distribution comparison
+//! (extension) at full scale.
+fn main() {
+    let profile = msn_bench::Profile::full();
+    let report = msn_bench::uniform_init::run(&profile);
+    print!("{report}");
+    msn_bench::save_report("uniform_init", &report);
+}

@@ -1,0 +1,51 @@
+//! Figure 10: coverage of FLOOR, VOR and Minimax for rs = 60 m and
+//! rc/rs from 0.8 to 4, with the paper's `Disconn.` and
+//! `Incorrect VD` annotations.
+//!
+//! Findings to reproduce in shape: VOR/Minimax lose connectivity for
+//! `rc/rs ≤ 2` and compute incorrect Voronoi cells until `rc/rs`
+//! reaches ≈3–4; Minimax collapses entirely (a few percent coverage)
+//! below `rc/rs = 1`; with large `rc/rs` both can edge past FLOOR
+//! because they ignore connectivity.
+
+use crate::{clustered_initial, pct, Profile};
+use msn_deploy::{floor, vd};
+use msn_field::paper_field;
+use msn_metrics::Table;
+
+/// The rc/rs ratios swept (rs is fixed at 60 m).
+pub const RATIOS: [f64; 7] = [0.8, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0];
+
+/// Runs Figure 10 and formats the report.
+pub fn run(profile: &Profile) -> String {
+    let mut out =
+        String::from("Figure 10 — coverage of FLOOR, VOR and Minimax vs rc/rs (rs = 60 m)\n\n");
+    let field = paper_field();
+    let rs = 60.0;
+    let mut table = Table::new(vec!["rc/rs", "FLOOR", "VOR", "flags", "Minimax", "flags"]);
+    for ratio in RATIOS {
+        let rc = rs * ratio;
+        let initial = clustered_initial(&field, profile.n_base, profile.seed);
+        let cfg = profile.cfg(rc, rs);
+        let fl = floor::run(&field, &initial, &floor::FloorParams::default(), &cfg);
+        let vor = vd::run(&field, &initial, vd::VdVariant::Vor, &vd::VdParams::default(), &cfg);
+        let mm = vd::run(
+            &field,
+            &initial,
+            vd::VdVariant::Minimax,
+            &vd::VdParams::default(),
+            &cfg,
+        );
+        table.row(vec![
+            format!("{ratio:.1}"),
+            pct(fl.coverage),
+            pct(vor.coverage),
+            vor.flags.join("+"),
+            pct(mm.coverage),
+            mm.flags.join("+"),
+        ]);
+    }
+    out.push_str(&table.to_string());
+    out.push('\n');
+    out
+}

@@ -1,0 +1,67 @@
+//! Figure 11: average moving distance of six schemes.
+//!
+//! The six series: CPVF, FLOOR, VOR, Minimax, and the two
+//! Hungarian-matching lower bounds — the minimum movement to reach the
+//! OPT strip pattern ("OPT(pattern)") and to reach FLOOR's *own* final
+//! layout ("OPT(FLOOR)").
+//!
+//! Findings to reproduce in shape: VOR/Minimax pay a large explosion
+//! cost; CPVF more than doubles FLOOR's distance through oscillation;
+//! FLOOR lands between the two optima — below the cost of the strict
+//! OPT pattern but 15–40 % above the optimum for its own layout.
+
+use crate::{clustered_initial, Profile};
+use msn_assign::{hungarian, CostMatrix};
+use msn_deploy::{cpvf, floor, opt, vd};
+use msn_field::paper_field;
+use msn_metrics::Table;
+
+/// Runs Figure 11 and formats the report.
+pub fn run(profile: &Profile) -> String {
+    let mut out = String::from(
+        "Figure 11 — average moving distance (m), rc = 60 m, rs = 40 m\n\n",
+    );
+    let field = paper_field();
+    let (rc, rs) = (60.0, 40.0);
+    let mut table = Table::new(vec![
+        "n",
+        "CPVF",
+        "FLOOR",
+        "VOR",
+        "Minimax",
+        "OPT(pattern)",
+        "OPT(FLOOR)",
+    ]);
+    for &n in &profile.n_sweep {
+        let initial = clustered_initial(&field, n, profile.seed);
+        let cfg = profile.cfg(rc, rs);
+        let r_cpvf = cpvf::run(&field, &initial, &cpvf::CpvfParams::default(), &cfg);
+        let r_floor = floor::run(&field, &initial, &floor::FloorParams::default(), &cfg);
+        let r_vor = vd::run(&field, &initial, vd::VdVariant::Vor, &vd::VdParams::default(), &cfg);
+        let r_mm = vd::run(
+            &field,
+            &initial,
+            vd::VdVariant::Minimax,
+            &vd::VdParams::default(),
+            &cfg,
+        );
+        let r_opt = opt::run(&field, &initial, &opt::OptParams::default(), &cfg);
+        // Hungarian optimum for reaching FLOOR's own layout.
+        let floor_lb = {
+            let costs = CostMatrix::euclidean(&initial, &r_floor.positions);
+            hungarian(&costs).total_cost / n as f64
+        };
+        table.row(vec![
+            n.to_string(),
+            format!("{:.0}", r_cpvf.avg_move),
+            format!("{:.0}", r_floor.avg_move),
+            format!("{:.0}", r_vor.avg_move),
+            format!("{:.0}", r_mm.avg_move),
+            format!("{:.0}", r_opt.avg_move),
+            format!("{:.0}", floor_lb),
+        ]);
+    }
+    out.push_str(&table.to_string());
+    out.push('\n');
+    out
+}

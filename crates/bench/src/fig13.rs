@@ -1,0 +1,111 @@
+//! Figure 13: CDFs of coverage and average moving distance for CPVF
+//! vs FLOOR over repeated runs with 1–4 random rectangular obstacles.
+//!
+//! Findings to reproduce in shape: FLOOR's mean coverage exceeds
+//! CPVF's by 20+ percentage points, at less than half the mean moving
+//! distance.
+
+use crate::{clustered_initial, pct, Profile};
+use msn_deploy::{cpvf, floor};
+use msn_field::{random_obstacle_field, RandomObstacleParams};
+use msn_metrics::{Cdf, Table};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// One scheme's samples across the random-obstacle runs.
+#[derive(Debug, Clone)]
+pub struct SchemeSamples {
+    /// Scheme name.
+    pub name: &'static str,
+    /// Final coverage per run.
+    pub coverage: Vec<f64>,
+    /// Average moving distance per run.
+    pub avg_move: Vec<f64>,
+}
+
+/// Executes the experiment, returning raw samples for both schemes.
+pub fn samples(profile: &Profile) -> (SchemeSamples, SchemeSamples) {
+    let mut c = SchemeSamples {
+        name: "CPVF",
+        coverage: Vec::new(),
+        avg_move: Vec::new(),
+    };
+    let mut f = SchemeSamples {
+        name: "FLOOR",
+        coverage: Vec::new(),
+        avg_move: Vec::new(),
+    };
+    let params = RandomObstacleParams::default();
+    for run_idx in 0..profile.fig13_runs {
+        let seed = profile.seed + run_idx as u64;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let field = random_obstacle_field(&params, &mut rng);
+        let initial = clustered_initial(&field, profile.n_base, seed);
+        let cfg = profile.cfg(60.0, 40.0).with_seed(seed);
+        let rc = cpvf::run(&field, &initial, &cpvf::CpvfParams::default(), &cfg);
+        c.coverage.push(rc.coverage);
+        c.avg_move.push(rc.avg_move);
+        let rf = floor::run(&field, &initial, &floor::FloorParams::default(), &cfg);
+        f.coverage.push(rf.coverage);
+        f.avg_move.push(rf.avg_move);
+    }
+    (c, f)
+}
+
+/// Runs Figure 13 and formats the CDF report.
+pub fn run(profile: &Profile) -> String {
+    let (c, f) = samples(profile);
+    let mut out = format!(
+        "Figure 13 — CDFs over {} random-obstacle runs (1-4 rectangles)\n\n",
+        profile.fig13_runs
+    );
+
+    let mut summary = Table::new(vec![
+        "scheme",
+        "mean cov",
+        "median cov",
+        "mean move (m)",
+        "median move (m)",
+    ]);
+    for s in [&c, &f] {
+        let cov = Cdf::from_samples(s.coverage.clone()).expect("runs > 0");
+        let mv = Cdf::from_samples(s.avg_move.clone()).expect("runs > 0");
+        summary.row(vec![
+            s.name.to_string(),
+            pct(cov.mean()),
+            pct(cov.median()),
+            format!("{:.0}", mv.mean()),
+            format!("{:.0}", mv.median()),
+        ]);
+    }
+    out.push_str(&summary.to_string());
+    out.push_str("\n\n(a) CDF of coverage\n");
+    out.push_str(&cdf_table(
+        &Cdf::from_samples(c.coverage.clone()).expect("non-empty"),
+        &Cdf::from_samples(f.coverage.clone()).expect("non-empty"),
+        true,
+    ));
+    out.push_str("\n(b) CDF of average moving distance\n");
+    out.push_str(&cdf_table(
+        &Cdf::from_samples(c.avg_move).expect("non-empty"),
+        &Cdf::from_samples(f.avg_move).expect("non-empty"),
+        false,
+    ));
+    out
+}
+
+fn cdf_table(cpvf: &Cdf, floor: &Cdf, as_pct: bool) -> String {
+    let lo = cpvf.min().min(floor.min());
+    let hi = cpvf.max().max(floor.max());
+    let mut table = Table::new(vec!["x", "F_CPVF(x)", "F_FLOOR(x)"]);
+    for i in 0..=10 {
+        let x = lo + (hi - lo) * i as f64 / 10.0;
+        let label = if as_pct { pct(x) } else { format!("{x:.0}") };
+        table.row(vec![
+            label,
+            format!("{:.2}", cpvf.fraction_below(x)),
+            format!("{:.2}", floor.fraction_below(x)),
+        ]);
+    }
+    format!("{table}\n")
+}

@@ -1,0 +1,48 @@
+//! Figure 3: CPVF layouts and coverage in three typical settings.
+//!
+//! (a) rc = 60 m, rs = 40 m, obstacle-free — paper: 74.5 % coverage;
+//! (b) rc = 30 m, rs = 40 m, obstacle-free — paper: 26.4 %;
+//! (c) rc = 60 m, rs = 40 m, two obstacles — paper: 37.1 %.
+
+use crate::{clustered_initial, pct, Profile};
+use msn_deploy::cpvf::{self, CpvfParams};
+use msn_field::{ascii_layout, paper_field, two_obstacle_field, AsciiOptions, Field};
+use msn_metrics::Table;
+
+/// The three scenarios shared by Figures 3 and 8.
+pub fn scenarios() -> Vec<(&'static str, f64, f64, Field)> {
+    vec![
+        ("(a) rc=60 rs=40 open", 60.0, 40.0, paper_field()),
+        ("(b) rc=30 rs=40 open", 30.0, 40.0, paper_field()),
+        ("(c) rc=60 rs=40 two-obstacle", 60.0, 40.0, two_obstacle_field()),
+    ]
+}
+
+/// Paper-reported coverages for Figure 3's three panels.
+pub const PAPER: [f64; 3] = [0.745, 0.264, 0.371];
+
+/// Runs Figure 3 and formats the report.
+pub fn run(profile: &Profile) -> String {
+    let mut out = String::from("Figure 3 — CPVF sensor layouts and coverage\n");
+    let mut table = Table::new(vec!["scenario", "coverage", "paper", "avg move (m)", "connected"]);
+    for (i, (name, rc, rs, field)) in scenarios().into_iter().enumerate() {
+        let initial = clustered_initial(&field, profile.n_base, profile.seed);
+        let cfg = profile.cfg(rc, rs);
+        let r = cpvf::run(&field, &initial, &CpvfParams::default(), &cfg);
+        table.row(vec![
+            name.to_string(),
+            pct(r.coverage),
+            pct(PAPER[i]),
+            format!("{:.0}", r.avg_move),
+            r.connected.to_string(),
+        ]);
+        if profile.layouts {
+            out.push_str(&format!("\n{name}: coverage {}\n", pct(r.coverage)));
+            out.push_str(&ascii_layout(&field, &r.positions, rs, &AsciiOptions::default()));
+            out.push('\n');
+        }
+    }
+    out.push_str(&table.to_string());
+    out.push('\n');
+    out
+}

@@ -1,0 +1,37 @@
+//! Figure 9: coverage of CPVF, FLOOR and OPT for varying numbers of
+//! sensors and three (rc, rs) combinations.
+//!
+//! The paper's findings this experiment should reproduce in shape:
+//! FLOOR beats CPVF everywhere, with the largest margin at small
+//! `rc/rs` (e.g. rc = 20, rs = 60: CPVF ≈ 20 % vs FLOOR ≈ 46 % at 240
+//! sensors); FLOOR approaches OPT as `rc` and `n` grow (within ~4 % at
+//! rc = rs = 60 and n ≥ 200).
+
+use crate::{clustered_initial, pct, Profile};
+use msn_deploy::{run_scheme, SchemeKind};
+use msn_field::paper_field;
+use msn_metrics::Table;
+
+/// The (rc, rs) combinations the paper's Figure 9 sweeps.
+pub const COMBOS: [(f64, f64); 3] = [(20.0, 60.0), (40.0, 60.0), (60.0, 60.0)];
+
+/// Runs Figure 9 and formats the report.
+pub fn run(profile: &Profile) -> String {
+    let mut out = String::from("Figure 9 — coverage of CPVF, FLOOR and OPT vs sensor count\n");
+    let field = paper_field();
+    for (rc, rs) in COMBOS {
+        let mut table = Table::new(vec!["n", "CPVF", "FLOOR", "OPT"]);
+        for &n in &profile.n_sweep {
+            let initial = clustered_initial(&field, n, profile.seed);
+            let cfg = profile.cfg(rc, rs);
+            let mut cells = vec![n.to_string()];
+            for kind in [SchemeKind::Cpvf, SchemeKind::Floor, SchemeKind::Opt] {
+                let r = run_scheme(kind, &field, &initial, &cfg);
+                cells.push(pct(r.coverage));
+            }
+            table.row(cells);
+        }
+        out.push_str(&format!("\nrc = {rc} m, rs = {rs} m\n{table}\n"));
+    }
+    out
+}

@@ -1,0 +1,158 @@
+//! Experiment harness regenerating every table and figure of the
+//! paper's evaluation (§4.3, §5.6 and §6).
+//!
+//! Each `figN`/`table1` module exposes a `run(&Profile) -> String`
+//! that executes the experiment and returns the formatted report; the
+//! binaries in `src/bin/` run the full-scale versions and the
+//! `benches/experiments.rs` bench target runs reduced
+//! [`Profile::quick`] versions so `cargo bench` regenerates every
+//! series.
+
+#![forbid(unsafe_code)]
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig3;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod uniform_init;
+
+use msn_field::{scatter_clustered, Field};
+use msn_geom::{Point, Rect};
+use msn_sim::SimConfig;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Experiment scale: `full` replicates the paper's parameters; `quick`
+/// shrinks sensor counts, durations and repetitions so the whole
+/// evaluation fits in a `cargo bench` run.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Sensor count used where the paper uses 240.
+    pub n_base: usize,
+    /// Sweep of sensor counts for Figures 9 and 11.
+    pub n_sweep: Vec<usize>,
+    /// Simulated duration (paper: 750 s).
+    pub duration: f64,
+    /// Coverage raster cell (m).
+    pub coverage_cell: f64,
+    /// Repetitions for the random-obstacle CDFs (paper: 300).
+    pub fig13_runs: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Print ASCII layout snapshots in fig3/fig8 reports.
+    pub layouts: bool,
+}
+
+impl Profile {
+    /// The paper's full-scale parameters.
+    pub fn full() -> Self {
+        Profile {
+            n_base: 240,
+            n_sweep: vec![120, 160, 200, 240, 280],
+            duration: 750.0,
+            coverage_cell: 2.5,
+            fig13_runs: 300,
+            seed: 42,
+            layouts: true,
+        }
+    }
+
+    /// Reduced-scale profile for `cargo bench`.
+    pub fn quick() -> Self {
+        Profile {
+            n_base: 120,
+            n_sweep: vec![80, 120],
+            duration: 300.0,
+            coverage_cell: 5.0,
+            fig13_runs: 12,
+            seed: 42,
+            layouts: false,
+        }
+    }
+
+    /// Simulation config at this profile's scale.
+    pub fn cfg(&self, rc: f64, rs: f64) -> SimConfig {
+        SimConfig::paper(rc, rs)
+            .with_duration(self.duration)
+            .with_coverage_cell(self.coverage_cell)
+            .with_seed(self.seed)
+    }
+}
+
+/// The paper's clustered initial distribution: sensors uniformly random
+/// in the lower-left quarter of the field (§6: `[0, 500]²` of the 1 km
+/// field), scaled to the field at hand.
+pub fn clustered_initial(field: &Field, n: usize, seed: u64) -> Vec<Point> {
+    let b = field.bounds();
+    let sub = Rect::new(
+        b.min.x,
+        b.min.y,
+        b.min.x + b.width() / 2.0,
+        b.min.y + b.height() / 2.0,
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    scatter_clustered(field, sub, n, &mut rng)
+}
+
+/// Formats a coverage fraction as the paper prints them.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Saves an experiment report under `results/<name>.txt` (creating the
+/// directory if needed) and returns the path. Errors are reported, not
+/// fatal — the report was already printed.
+pub fn save_report(name: &str, contents: &str) -> Option<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {dir:?}: {e}");
+        return None;
+    }
+    let path = dir.join(format!("{name}.txt"));
+    match std::fs::write(&path, contents) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("warning: cannot write {path:?}: {e}");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msn_field::paper_field;
+
+    #[test]
+    fn profiles_are_sane() {
+        let full = Profile::full();
+        assert_eq!(full.n_base, 240);
+        assert_eq!(full.duration, 750.0);
+        let quick = Profile::quick();
+        assert!(quick.n_base < full.n_base);
+        assert!(quick.fig13_runs < full.fig13_runs);
+        let cfg = quick.cfg(60.0, 40.0);
+        assert_eq!(cfg.rc, 60.0);
+        assert_eq!(cfg.duration, 300.0);
+    }
+
+    #[test]
+    fn clustered_initial_is_in_lower_left_quarter() {
+        let field = paper_field();
+        let pts = clustered_initial(&field, 50, 1);
+        assert_eq!(pts.len(), 50);
+        for p in &pts {
+            assert!(p.x <= 500.0 && p.y <= 500.0);
+        }
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.788), "78.8%");
+    }
+}

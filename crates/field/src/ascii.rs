@@ -1,0 +1,170 @@
+//! ASCII rendering of sensor layouts.
+//!
+//! The paper's Figures 3 and 8 show sensor layouts graphically; in a
+//! terminal-only reproduction we render them as character rasters so
+//! that the example binaries and figure harnesses can show *where*
+//! sensors ended up, not just a coverage number.
+
+use crate::{CoverageGrid, Field};
+use msn_geom::Point;
+
+/// Options for [`ascii_layout`].
+#[derive(Debug, Clone)]
+pub struct AsciiOptions {
+    /// Output width in characters.
+    pub width: usize,
+    /// Output height in characters (terminal cells are ~2:1, so half
+    /// the width looks square).
+    pub height: usize,
+    /// Character for obstacle cells.
+    pub obstacle: char,
+    /// Character for covered free cells.
+    pub covered: char,
+    /// Character for uncovered free cells.
+    pub uncovered: char,
+    /// Character for cells containing a sensor.
+    pub sensor: char,
+    /// Character for the base-station cell.
+    pub base: char,
+}
+
+impl Default for AsciiOptions {
+    fn default() -> Self {
+        AsciiOptions {
+            width: 72,
+            height: 36,
+            obstacle: '#',
+            covered: ':',
+            uncovered: ' ',
+            sensor: 'o',
+            base: 'B',
+        }
+    }
+}
+
+/// Renders the field, sensing coverage and sensor positions as an
+/// ASCII raster (top row = top of the field).
+///
+/// # Examples
+///
+/// ```
+/// use msn_field::{ascii_layout, AsciiOptions, Field};
+/// use msn_geom::Point;
+///
+/// let field = Field::open(100.0, 100.0);
+/// let art = ascii_layout(&field, &[Point::new(50.0, 50.0)], 30.0, &AsciiOptions::default());
+/// assert!(art.contains('o'));
+/// assert!(art.starts_with('+'));
+/// ```
+pub fn ascii_layout(field: &Field, sensors: &[Point], rs: f64, opts: &AsciiOptions) -> String {
+    let b = field.bounds();
+    let cw = b.width() / opts.width as f64;
+    let ch = b.height() / opts.height as f64;
+    // Coverage on a matching grid resolution (at least as fine as 2 m).
+    let grid = CoverageGrid::new(field, cw.min(ch).max(1.0));
+    let mask = grid.covered_mask(sensors, rs);
+
+    let mut rows: Vec<Vec<char>> = Vec::with_capacity(opts.height);
+    for row in 0..opts.height {
+        let mut line = Vec::with_capacity(opts.width);
+        for col in 0..opts.width {
+            let p = Point::new(
+                b.min.x + (col as f64 + 0.5) * cw,
+                b.max.y - (row as f64 + 0.5) * ch,
+            );
+            let c = if !field.is_free(p) {
+                opts.obstacle
+            } else {
+                // covered?
+                let gx = ((p.x - b.min.x) / grid.cell_size()) as usize;
+                let gy = ((p.y - b.min.y) / grid.cell_size()) as usize;
+                let covered = gx < grid.nx() && gy < grid.ny() && mask[gy * grid.nx() + gx];
+                if covered {
+                    opts.covered
+                } else {
+                    opts.uncovered
+                }
+            };
+            line.push(c);
+        }
+        rows.push(line);
+    }
+    // Overlay sensors and base station.
+    let mut plot = |p: Point, c: char| {
+        if !b.contains(p) {
+            return;
+        }
+        let col = (((p.x - b.min.x) / cw) as usize).min(opts.width - 1);
+        let row_from_bottom = (((p.y - b.min.y) / ch) as usize).min(opts.height - 1);
+        let row = opts.height - 1 - row_from_bottom;
+        rows[row][col] = c;
+    };
+    for s in sensors {
+        plot(*s, opts.sensor);
+    }
+    plot(Point::ORIGIN, opts.base);
+
+    let horiz: String = std::iter::repeat_n('-', opts.width).collect();
+    let mut out = String::with_capacity((opts.width + 3) * (opts.height + 2));
+    out.push('+');
+    out.push_str(&horiz);
+    out.push_str("+\n");
+    for line in rows {
+        out.push('|');
+        out.extend(line);
+        out.push_str("|\n");
+    }
+    out.push('+');
+    out.push_str(&horiz);
+    out.push('+');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msn_geom::Rect;
+
+    #[test]
+    fn renders_expected_dimensions() {
+        let f = Field::open(100.0, 100.0);
+        let opts = AsciiOptions {
+            width: 20,
+            height: 10,
+            ..AsciiOptions::default()
+        };
+        let art = ascii_layout(&f, &[], 10.0, &opts);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 12); // 10 rows + 2 border lines
+        assert!(lines.iter().all(|l| l.chars().count() == 22));
+    }
+
+    #[test]
+    fn base_station_at_bottom_left() {
+        let f = Field::open(100.0, 100.0);
+        let opts = AsciiOptions {
+            width: 20,
+            height: 10,
+            ..AsciiOptions::default()
+        };
+        let art = ascii_layout(&f, &[], 10.0, &opts);
+        let lines: Vec<&str> = art.lines().collect();
+        // last content row, first column inside the border
+        let bottom = lines[lines.len() - 2];
+        assert_eq!(bottom.chars().nth(1), Some('B'));
+    }
+
+    #[test]
+    fn obstacles_and_sensors_visible() {
+        let f = Field::with_obstacles(
+            100.0,
+            100.0,
+            vec![Rect::new(40.0, 40.0, 60.0, 60.0).to_polygon()],
+        );
+        let sensors = [Point::new(80.0, 80.0)];
+        let art = ascii_layout(&f, &sensors, 15.0, &AsciiOptions::default());
+        assert!(art.contains('#'), "obstacle rendered");
+        assert!(art.contains('o'), "sensor rendered");
+        assert!(art.contains(':'), "coverage rendered");
+    }
+}

@@ -1,0 +1,112 @@
+//! Initial sensor distributions (§6 of the paper).
+
+use crate::Field;
+use msn_geom::{Point, Rect};
+use rand::Rng;
+
+/// Samples `n` sensor positions uniformly at random in the free space
+/// of `sub` (a sub-rectangle of the field) — the paper's *clustered*
+/// initial distribution uses `sub = [0, 500]²` inside the 1 km field.
+///
+/// Uses rejection sampling against obstacles; gives up and panics if
+/// the acceptance rate collapses (sub-area essentially fully blocked).
+///
+/// # Panics
+///
+/// Panics if `sub` has no free space (after 10 000·n rejected draws).
+///
+/// # Examples
+///
+/// ```
+/// use msn_field::{scatter_clustered, Field};
+/// use msn_geom::Rect;
+/// use rand::SeedableRng;
+///
+/// let field = Field::open(1000.0, 1000.0);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+/// let pts = scatter_clustered(&field, Rect::new(0.0, 0.0, 500.0, 500.0), 240, &mut rng);
+/// assert_eq!(pts.len(), 240);
+/// assert!(pts.iter().all(|p| p.x <= 500.0 && p.y <= 500.0));
+/// ```
+pub fn scatter_clustered<R: Rng>(field: &Field, sub: Rect, n: usize, rng: &mut R) -> Vec<Point> {
+    let mut out = Vec::with_capacity(n);
+    let mut attempts = 0usize;
+    let max_attempts = 10_000 * n.max(1);
+    while out.len() < n {
+        assert!(
+            attempts < max_attempts,
+            "could not sample free points in {sub}: area blocked by obstacles?"
+        );
+        attempts += 1;
+        let p = Point::new(
+            rng.gen_range(sub.min.x..=sub.max.x),
+            rng.gen_range(sub.min.y..=sub.max.y),
+        );
+        if field.is_free(p) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Samples `n` positions uniformly at random over the whole field's
+/// free space — the paper's alternative *uniform* initial distribution
+/// and the target layout of the VOR/Minimax "explosion" phase.
+///
+/// # Panics
+///
+/// Panics if the field has no free space (after 10 000·n rejected
+/// draws).
+pub fn scatter_uniform<R: Rng>(field: &Field, n: usize, rng: &mut R) -> Vec<Point> {
+    scatter_clustered(field, field.bounds(), n, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clustered_points_stay_in_sub_area_and_free() {
+        let f = crate::two_obstacle_field();
+        let sub = Rect::new(0.0, 0.0, 500.0, 500.0);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let pts = scatter_clustered(&f, sub, 200, &mut rng);
+        assert_eq!(pts.len(), 200);
+        for p in &pts {
+            assert!(sub.contains(*p));
+            assert!(f.is_free(*p));
+        }
+    }
+
+    #[test]
+    fn uniform_points_spread_over_field() {
+        let f = Field::open(1000.0, 1000.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let pts = scatter_uniform(&f, 500, &mut rng);
+        let right_half = pts.iter().filter(|p| p.x > 500.0).count();
+        // statistically impossible to be outside this wide band
+        assert!(right_half > 150 && right_half < 350, "got {right_half}");
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let f = Field::open(100.0, 100.0);
+        let a = scatter_uniform(&f, 10, &mut SmallRng::seed_from_u64(9));
+        let b = scatter_uniform(&f, 10, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "blocked")]
+    fn fully_blocked_sub_area_panics() {
+        let f = Field::with_obstacles(
+            100.0,
+            100.0,
+            vec![Rect::new(-1.0, -1.0, 51.0, 51.0).to_polygon()],
+        );
+        let mut rng = SmallRng::seed_from_u64(3);
+        let _ = scatter_clustered(&f, Rect::new(0.0, 0.0, 50.0, 50.0), 1, &mut rng);
+    }
+}

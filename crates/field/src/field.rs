@@ -1,0 +1,284 @@
+//! The sensing field.
+
+use msn_geom::{Point, Polygon, Rect, Segment, EPS};
+use std::fmt;
+
+/// A rectangular sensing field with polygonal obstacles.
+///
+/// The field spans `[0, width] × [0, height]` with the base station's
+/// reference point at the origin, matching the paper's convention. Any
+/// number of obstacles (simple polygons) may be present; deployment
+/// schemes require the *free space* (field minus obstacles) to be
+/// connected, which [`crate::free_space_connected`] verifies.
+///
+/// # Examples
+///
+/// ```
+/// use msn_field::Field;
+/// use msn_geom::{Point, Rect};
+///
+/// let field = Field::with_obstacles(
+///     100.0,
+///     100.0,
+///     vec![Rect::new(40.0, 40.0, 60.0, 60.0).to_polygon()],
+/// );
+/// assert!(field.is_free(Point::new(10.0, 10.0)));
+/// assert!(!field.is_free(Point::new(50.0, 50.0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Field {
+    bounds: Rect,
+    obstacles: Vec<Polygon>,
+}
+
+/// Identifies which wall a motion sweep hit first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hit {
+    /// The field's outer boundary; payload is the boundary edge index
+    /// in the CCW rectangle polygon (0 = bottom, 1 = right, 2 = top,
+    /// 3 = left).
+    Boundary(usize),
+    /// An obstacle; payload is `(obstacle index, edge index)`.
+    Obstacle(usize, usize),
+}
+
+impl Field {
+    /// An obstacle-free `width × height` field anchored at the origin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not strictly positive.
+    pub fn open(width: f64, height: f64) -> Self {
+        assert!(width > 0.0 && height > 0.0, "field dimensions must be positive");
+        Field {
+            bounds: Rect::new(0.0, 0.0, width, height),
+            obstacles: Vec::new(),
+        }
+    }
+
+    /// A field with the given obstacles.
+    ///
+    /// Obstacles may touch or overlap each other; callers that need a
+    /// connected free space should verify with
+    /// [`crate::free_space_connected`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not strictly positive.
+    pub fn with_obstacles(width: f64, height: f64, obstacles: Vec<Polygon>) -> Self {
+        let mut f = Field::open(width, height);
+        f.obstacles = obstacles;
+        f
+    }
+
+    /// The outer boundary rectangle.
+    #[inline]
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// The obstacle polygons.
+    #[inline]
+    pub fn obstacles(&self) -> &[Polygon] {
+        &self.obstacles
+    }
+
+    /// Adds an obstacle after construction.
+    pub fn push_obstacle(&mut self, obstacle: Polygon) {
+        self.obstacles.push(obstacle);
+    }
+
+    /// Returns `true` if `p` is inside the field and outside every
+    /// obstacle (obstacle boundaries count as blocked).
+    pub fn is_free(&self, p: Point) -> bool {
+        self.bounds.contains(p) && !self.obstacles.iter().any(|o| o.contains(p))
+    }
+
+    /// Returns `true` if `p` is inside the field bounds (free or not).
+    #[inline]
+    pub fn in_bounds(&self, p: Point) -> bool {
+        self.bounds.contains(p)
+    }
+
+    /// Returns `true` if the straight move along `seg` stays in free
+    /// space (endpoints included).
+    pub fn segment_free(&self, seg: &Segment) -> bool {
+        if !self.bounds.contains(seg.a) || !self.bounds.contains(seg.b) {
+            return false;
+        }
+        !self.obstacles.iter().any(|o| o.intersects_segment(seg))
+    }
+
+    /// Sweeps along `seg` and reports the first obstruction, if any.
+    ///
+    /// Returns the parameter `t ∈ [0, 1]` of the first contact and what
+    /// was hit. A sweep starting exactly on a boundary (t ≈ 0 hits) is
+    /// ignored so that a sensor standing against a wall can slide away
+    /// from it; callers moving *along* walls use the boundary-following
+    /// machinery in `msn-nav` instead.
+    pub fn first_hit(&self, seg: &Segment) -> Option<(f64, Hit)> {
+        let mut best: Option<(f64, Hit)> = None;
+        let start_tol = 1e-7 / seg.length().max(EPS);
+        let mut consider = |t: f64, hit: Hit| {
+            if t <= start_tol {
+                return;
+            }
+            if best.is_none_or(|(bt, _)| t < bt) {
+                best = Some((t, hit));
+            }
+        };
+        // Outer boundary: hitting it from inside.
+        let boundary = self.bounds.to_polygon();
+        for (i, edge) in boundary.edges().enumerate() {
+            if let Some(t) = seg.first_hit(&edge) {
+                // Only count as a hit if we are actually leaving: the
+                // segment continues beyond the wall.
+                let just_after = seg.at((t + 10.0 * start_tol).min(1.0));
+                let leaving = !self.bounds.contains_strict(just_after) && t < 1.0 - start_tol;
+                if leaving || !self.bounds.contains(seg.b) {
+                    consider(t, Hit::Boundary(i));
+                }
+            }
+        }
+        for (oi, obstacle) in self.obstacles.iter().enumerate() {
+            if let Some((t, ei)) = obstacle.first_boundary_hit(seg) {
+                consider(t, Hit::Obstacle(oi, ei));
+            }
+        }
+        best
+    }
+
+    /// Fraction of `n × n` sample points of the bounding box that are
+    /// free — a quick estimate of the free-area ratio.
+    pub fn free_fraction_estimate(&self, n: usize) -> f64 {
+        assert!(n > 0);
+        let mut free = 0usize;
+        for i in 0..n {
+            for j in 0..n {
+                let p = Point::new(
+                    self.bounds.min.x + (i as f64 + 0.5) / n as f64 * self.bounds.width(),
+                    self.bounds.min.y + (j as f64 + 0.5) / n as f64 * self.bounds.height(),
+                );
+                if self.is_free(p) {
+                    free += 1;
+                }
+            }
+        }
+        free as f64 / (n * n) as f64
+    }
+
+    /// Distance from `p` to the nearest obstacle boundary
+    /// (`f64::INFINITY` when the field has no obstacles).
+    pub fn nearest_obstacle_dist(&self, p: Point) -> f64 {
+        self.obstacles
+            .iter()
+            .map(|o| o.dist_to_point(p))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The closest point of obstacle boundaries to `p`, if any obstacle
+    /// exists.
+    pub fn nearest_obstacle_point(&self, p: Point) -> Option<Point> {
+        self.obstacles
+            .iter()
+            .map(|o| o.closest_boundary_point(p))
+            .min_by(|a, b| p.dist_sq(*a).partial_cmp(&p.dist_sq(*b)).expect("finite"))
+    }
+
+    /// Clamps `p` into the field bounds.
+    pub fn clamp(&self, p: Point) -> Point {
+        self.bounds.clamp_point(p)
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "field {}x{} with {} obstacle(s)",
+            self.bounds.width(),
+            self.bounds.height(),
+            self.obstacles.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blocked_field() -> Field {
+        Field::with_obstacles(
+            100.0,
+            100.0,
+            vec![Rect::new(40.0, 0.0, 60.0, 80.0).to_polygon()],
+        )
+    }
+
+    #[test]
+    fn free_space_queries() {
+        let f = blocked_field();
+        assert!(f.is_free(Point::new(10.0, 10.0)));
+        assert!(!f.is_free(Point::new(50.0, 40.0)));
+        assert!(!f.is_free(Point::new(-1.0, 10.0)), "outside bounds is not free");
+        assert!(f.in_bounds(Point::new(50.0, 40.0)), "obstacle interior is still in bounds");
+    }
+
+    #[test]
+    fn segment_freedom() {
+        let f = blocked_field();
+        let clear = Segment::new(Point::new(10.0, 90.0), Point::new(90.0, 90.0));
+        assert!(f.segment_free(&clear));
+        let blocked = Segment::new(Point::new(10.0, 40.0), Point::new(90.0, 40.0));
+        assert!(!f.segment_free(&blocked));
+        let exits = Segment::new(Point::new(90.0, 90.0), Point::new(110.0, 90.0));
+        assert!(!f.segment_free(&exits));
+    }
+
+    #[test]
+    fn first_hit_finds_obstacle_edge() {
+        let f = blocked_field();
+        let seg = Segment::new(Point::new(10.0, 40.0), Point::new(90.0, 40.0));
+        let (t, hit) = f.first_hit(&seg).unwrap();
+        assert!((t - 30.0 / 80.0).abs() < 1e-9, "hits the wall at x=40");
+        match hit {
+            Hit::Obstacle(0, _) => {}
+            other => panic!("expected obstacle hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn first_hit_finds_outer_boundary() {
+        let f = Field::open(100.0, 100.0);
+        let seg = Segment::new(Point::new(50.0, 50.0), Point::new(50.0, 150.0));
+        let (t, hit) = f.first_hit(&seg).unwrap();
+        assert!((t - 0.5).abs() < 1e-9);
+        assert_eq!(hit, Hit::Boundary(2), "top edge of the CCW boundary");
+    }
+
+    #[test]
+    fn first_hit_ignores_start_on_wall() {
+        let f = blocked_field();
+        // start exactly on the obstacle's left wall, moving away
+        let seg = Segment::new(Point::new(40.0, 40.0), Point::new(10.0, 40.0));
+        assert!(f.first_hit(&seg).is_none());
+    }
+
+    #[test]
+    fn free_fraction() {
+        let f = blocked_field(); // obstacle is 20x80 = 1600 of 10000
+        let frac = f.free_fraction_estimate(100);
+        assert!((frac - 0.84).abs() < 0.01, "got {frac}");
+    }
+
+    #[test]
+    fn obstacle_distance() {
+        let f = blocked_field();
+        assert!((f.nearest_obstacle_dist(Point::new(30.0, 40.0)) - 10.0).abs() < 1e-9);
+        assert_eq!(f.nearest_obstacle_dist(Point::new(50.0, 40.0)), 0.0);
+        let np = f.nearest_obstacle_point(Point::new(30.0, 40.0)).unwrap();
+        assert!(np.approx_eq(Point::new(40.0, 40.0)));
+        assert_eq!(Field::open(10.0, 10.0).nearest_obstacle_dist(Point::ORIGIN), f64::INFINITY);
+        assert!(Field::open(10.0, 10.0).nearest_obstacle_point(Point::ORIGIN).is_none());
+    }
+}

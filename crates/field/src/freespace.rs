@@ -1,0 +1,133 @@
+//! Free-space connectivity checks.
+
+use crate::Field;
+use std::collections::VecDeque;
+
+/// Returns `true` if the field's free space is connected when sampled
+/// on a grid with cells of side `cell` meters (4-connectivity flood
+/// fill).
+///
+/// The paper requires "any two points in the non-obstacle areas of the
+/// field can be connected by a continuous path" (§3.1); the
+/// random-obstacle workload of §6.4 rejects obstacle sets that violate
+/// this. A `cell` around half the narrowest corridor you care about is
+/// a good choice (the evaluation uses 10 m for 1 km fields, whose
+/// narrowest designed exit is 30 m).
+///
+/// Returns `true` for a field with no free cells at all (vacuously
+/// connected).
+///
+/// # Panics
+///
+/// Panics if `cell` is not strictly positive.
+pub fn free_space_connected(field: &Field, cell: f64) -> bool {
+    assert!(cell > 0.0, "cell size must be positive");
+    let b = field.bounds();
+    let nx = (b.width() / cell).ceil() as usize;
+    let ny = (b.height() / cell).ceil() as usize;
+    let center = |ix: usize, iy: usize| {
+        msn_geom::Point::new(
+            b.min.x + (ix as f64 + 0.5) * cell,
+            b.min.y + (iy as f64 + 0.5) * cell,
+        )
+    };
+    let mut free = vec![false; nx * ny];
+    let mut first = None;
+    let mut free_total = 0usize;
+    for iy in 0..ny {
+        for ix in 0..nx {
+            if field.is_free(center(ix, iy)) {
+                free[iy * nx + ix] = true;
+                free_total += 1;
+                if first.is_none() {
+                    first = Some((ix, iy));
+                }
+            }
+        }
+    }
+    let Some(start) = first else {
+        return true;
+    };
+    let mut seen = vec![false; nx * ny];
+    let mut queue = VecDeque::new();
+    seen[start.1 * nx + start.0] = true;
+    queue.push_back(start);
+    let mut reached = 0usize;
+    while let Some((ix, iy)) = queue.pop_front() {
+        reached += 1;
+        let mut push = |jx: usize, jy: usize| {
+            let idx = jy * nx + jx;
+            if free[idx] && !seen[idx] {
+                seen[idx] = true;
+                queue.push_back((jx, jy));
+            }
+        };
+        if ix > 0 {
+            push(ix - 1, iy);
+        }
+        if ix + 1 < nx {
+            push(ix + 1, iy);
+        }
+        if iy > 0 {
+            push(ix, iy - 1);
+        }
+        if iy + 1 < ny {
+            push(ix, iy + 1);
+        }
+    }
+    reached == free_total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msn_geom::Rect;
+
+    #[test]
+    fn open_field_is_connected() {
+        assert!(free_space_connected(&Field::open(100.0, 100.0), 5.0));
+    }
+
+    #[test]
+    fn full_wall_partitions() {
+        let f = Field::with_obstacles(
+            100.0,
+            100.0,
+            vec![Rect::new(45.0, 0.0, 55.0, 100.0).to_polygon()],
+        );
+        assert!(!free_space_connected(&f, 5.0));
+    }
+
+    #[test]
+    fn wall_with_gap_stays_connected() {
+        let f = Field::with_obstacles(
+            100.0,
+            100.0,
+            vec![Rect::new(45.0, 0.0, 55.0, 80.0).to_polygon()],
+        );
+        assert!(free_space_connected(&f, 5.0));
+    }
+
+    #[test]
+    fn two_walls_forming_a_seal_partition() {
+        let f = Field::with_obstacles(
+            100.0,
+            100.0,
+            vec![
+                Rect::new(45.0, 0.0, 55.0, 60.0).to_polygon(),
+                Rect::new(40.0, 55.0, 60.0, 100.0).to_polygon(),
+            ],
+        );
+        assert!(!free_space_connected(&f, 2.5));
+    }
+
+    #[test]
+    fn fully_blocked_field_is_vacuously_connected() {
+        let f = Field::with_obstacles(
+            10.0,
+            10.0,
+            vec![Rect::new(-1.0, -1.0, 11.0, 11.0).to_polygon()],
+        );
+        assert!(free_space_connected(&f, 2.0));
+    }
+}

@@ -1,0 +1,137 @@
+//! The random-obstacle workload of §6.4.
+
+use crate::{free_space_connected, Field};
+use msn_geom::{Point, Rect};
+use rand::Rng;
+
+/// Parameters for [`random_obstacle_field`].
+///
+/// Defaults follow §6.4: between 1 and 4 rectangular obstacles of
+/// random size, possibly overlapping, never partitioning the field,
+/// inside a 1 km × 1 km field.
+#[derive(Debug, Clone)]
+pub struct RandomObstacleParams {
+    /// Field width (m).
+    pub width: f64,
+    /// Field height (m).
+    pub height: f64,
+    /// Inclusive range of the number of obstacles.
+    pub count: (usize, usize),
+    /// Inclusive range of obstacle side lengths (m).
+    pub side: (f64, f64),
+    /// Protected radius around the base station at the origin that
+    /// obstacles must not invade (keeps the reference point reachable).
+    pub base_clearance: f64,
+    /// Grid cell used for the connectivity check (m).
+    pub connectivity_cell: f64,
+}
+
+impl Default for RandomObstacleParams {
+    fn default() -> Self {
+        RandomObstacleParams {
+            width: 1000.0,
+            height: 1000.0,
+            count: (1, 4),
+            side: (80.0, 400.0),
+            base_clearance: 60.0,
+            connectivity_cell: 10.0,
+        }
+    }
+}
+
+/// Generates a field with 1–4 random rectangular obstacles that do not
+/// partition the free space (rejection-sampled), as in §6.4.
+///
+/// Obstacles may overlap one another, producing compound rectilinear
+/// shapes. The whole *set* is rejected and redrawn if it disconnects
+/// the field or swallows the base-station corner.
+///
+/// # Panics
+///
+/// Panics if no valid obstacle set is found after 1 000 redraws
+/// (parameters that leave no room for connectivity).
+///
+/// # Examples
+///
+/// ```
+/// use msn_field::{free_space_connected, random_obstacle_field, RandomObstacleParams};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+/// let field = random_obstacle_field(&RandomObstacleParams::default(), &mut rng);
+/// assert!(free_space_connected(&field, 10.0));
+/// ```
+pub fn random_obstacle_field<R: Rng>(params: &RandomObstacleParams, rng: &mut R) -> Field {
+    assert!(params.count.0 >= 1 && params.count.0 <= params.count.1);
+    assert!(params.side.0 > 0.0 && params.side.0 <= params.side.1);
+    for _ in 0..1000 {
+        let k = rng.gen_range(params.count.0..=params.count.1);
+        let mut obstacles = Vec::with_capacity(k);
+        for _ in 0..k {
+            let w = rng.gen_range(params.side.0..=params.side.1);
+            let h = rng.gen_range(params.side.0..=params.side.1);
+            let x = rng.gen_range(0.0..=(params.width - w).max(0.0));
+            let y = rng.gen_range(0.0..=(params.height - h).max(0.0));
+            obstacles.push(Rect::new(x, y, x + w, y + h));
+        }
+        // Keep the base-station corner clear.
+        let base = Point::ORIGIN;
+        if obstacles
+            .iter()
+            .any(|r| r.dist_to_point(base) < params.base_clearance)
+        {
+            continue;
+        }
+        let field = Field::with_obstacles(
+            params.width,
+            params.height,
+            obstacles.iter().map(Rect::to_polygon).collect(),
+        );
+        if free_space_connected(&field, params.connectivity_cell) {
+            return field;
+        }
+    }
+    panic!("no connected obstacle layout found after 1000 attempts");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_fields_are_valid() {
+        let params = RandomObstacleParams::default();
+        for seed in 0..20 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let f = random_obstacle_field(&params, &mut rng);
+            let n = f.obstacles().len();
+            assert!((1..=4).contains(&n), "got {n} obstacles");
+            assert!(free_space_connected(&f, params.connectivity_cell));
+            assert!(f.is_free(Point::new(1.0, 1.0)), "base corner must stay free");
+        }
+    }
+
+    #[test]
+    fn respects_count_range() {
+        let params = RandomObstacleParams {
+            count: (3, 3),
+            ..RandomObstacleParams::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(5);
+        let f = random_obstacle_field(&params, &mut rng);
+        assert_eq!(f.obstacles().len(), 3);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let params = RandomObstacleParams::default();
+        let f1 = random_obstacle_field(&params, &mut SmallRng::seed_from_u64(77));
+        let f2 = random_obstacle_field(&params, &mut SmallRng::seed_from_u64(77));
+        assert_eq!(f1.obstacles().len(), f2.obstacles().len());
+        for (a, b) in f1.obstacles().iter().zip(f2.obstacles()) {
+            assert_eq!(a.vertices(), b.vertices());
+        }
+    }
+}

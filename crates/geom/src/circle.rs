@@ -1,0 +1,304 @@
+//! Circles and disks.
+
+use crate::{approx_zero, clamp, Line, Point, Segment, EPS};
+use std::fmt;
+
+/// A circle (and the closed disk it bounds).
+///
+/// Models both sensing disks (radius `rs`) and communication disks
+/// (radius `rc`) of a sensor.
+///
+/// # Examples
+///
+/// ```
+/// use msn_geom::{Circle, Point};
+/// let c = Circle::new(Point::new(0.0, 0.0), 2.0);
+/// assert!(c.contains(Point::new(1.0, 1.0)));
+/// assert!(!c.contains(Point::new(2.0, 2.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Circle {
+    /// Center of the circle.
+    pub center: Point,
+    /// Radius (m), non-negative.
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Creates a circle.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `radius` is negative or non-finite.
+    #[inline]
+    pub fn new(center: Point, radius: f64) -> Self {
+        debug_assert!(radius >= 0.0 && radius.is_finite(), "invalid radius");
+        Circle { center, radius }
+    }
+
+    /// Area of the disk.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.radius * self.radius
+    }
+
+    /// Returns `true` if `p` lies in the closed disk (with [`EPS`] slack).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.center.dist_sq(p) <= (self.radius + EPS) * (self.radius + EPS)
+    }
+
+    /// Returns `true` if the two closed disks overlap.
+    #[inline]
+    pub fn intersects(&self, other: &Circle) -> bool {
+        self.center.dist(other.center) <= self.radius + other.radius + EPS
+    }
+
+    /// The point on the circle closest to `p` (undefined direction when
+    /// `p` is the center; returns the point straight above the center).
+    pub fn closest_boundary_point(&self, p: Point) -> Point {
+        match (p - self.center).normalized() {
+            Some(dir) => self.center + dir * self.radius,
+            None => self.center + Point::new(0.0, self.radius),
+        }
+    }
+
+    /// The chord of `seg` inside the closed disk, if any.
+    ///
+    /// Returns the sub-segment of `seg` whose points all lie in the disk.
+    /// Returns `None` when `seg` misses the disk entirely. A tangent
+    /// touch returns a degenerate (zero-length) segment.
+    pub fn clip_segment(&self, seg: Segment) -> Option<Segment> {
+        let d = seg.delta();
+        let len_sq = d.norm_sq();
+        if approx_zero(len_sq) {
+            return self.contains(seg.a).then_some(seg);
+        }
+        // |a + t d − c|² = r² as a quadratic in t.
+        let f = seg.a - self.center;
+        let a = len_sq;
+        let b = 2.0 * f.dot(d);
+        let c = f.norm_sq() - self.radius * self.radius;
+        let disc = b * b - 4.0 * a * c;
+        if disc < 0.0 {
+            return None;
+        }
+        let sqrt_disc = disc.sqrt();
+        let t0 = (-b - sqrt_disc) / (2.0 * a);
+        let t1 = (-b + sqrt_disc) / (2.0 * a);
+        let lo = t0.max(0.0);
+        let hi = t1.min(1.0);
+        if lo > hi + EPS {
+            return None;
+        }
+        let lo = clamp(lo, 0.0, 1.0);
+        let hi = clamp(hi, 0.0, 1.0);
+        Some(Segment::new(seg.at(lo), seg.at(hi)))
+    }
+
+    /// Intersection points of the circle *boundary* with a segment,
+    /// ordered by increasing parameter along the segment (0, 1 or 2
+    /// points).
+    pub fn intersect_segment(&self, seg: &Segment) -> Vec<Point> {
+        let d = seg.delta();
+        let len_sq = d.norm_sq();
+        if approx_zero(len_sq) {
+            return Vec::new();
+        }
+        let f = seg.a - self.center;
+        let a = len_sq;
+        let b = 2.0 * f.dot(d);
+        let c = f.norm_sq() - self.radius * self.radius;
+        let disc = b * b - 4.0 * a * c;
+        if disc < 0.0 {
+            return Vec::new();
+        }
+        let sqrt_disc = disc.sqrt();
+        let mut out = Vec::new();
+        for t in [(-b - sqrt_disc) / (2.0 * a), (-b + sqrt_disc) / (2.0 * a)] {
+            if (-1e-12..=1.0 + 1e-12).contains(&t) {
+                let p = seg.at(clamp(t, 0.0, 1.0));
+                if out.last().is_none_or(|q: &Point| !q.approx_eq(p)) {
+                    out.push(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// Intersection points of the circle boundary with an infinite line.
+    pub fn intersect_line(&self, line: &Line) -> Vec<Point> {
+        let proj = line.project(self.center);
+        let h_sq = self.radius * self.radius - self.center.dist_sq(proj);
+        if h_sq < -EPS {
+            return Vec::new();
+        }
+        if h_sq <= EPS {
+            return vec![proj];
+        }
+        let h = h_sq.sqrt();
+        let dir = line.dir.normalized().expect("line has non-zero direction");
+        vec![proj - dir * h, proj + dir * h]
+    }
+
+    /// Intersection points of two circle boundaries (0, 1 or 2 points).
+    ///
+    /// Concentric or identical circles return no points.
+    pub fn intersect_circle(&self, other: &Circle) -> Vec<Point> {
+        let d = self.center.dist(other.center);
+        if approx_zero(d) {
+            return Vec::new();
+        }
+        if d > self.radius + other.radius + EPS
+            || d < (self.radius - other.radius).abs() - EPS
+        {
+            return Vec::new();
+        }
+        // Distance from self.center to the radical line.
+        let a = (self.radius * self.radius - other.radius * other.radius + d * d) / (2.0 * d);
+        let h_sq = self.radius * self.radius - a * a;
+        let dir = (other.center - self.center) / d;
+        let mid = self.center + dir * a;
+        if h_sq <= EPS {
+            return vec![mid];
+        }
+        let h = h_sq.sqrt();
+        let off = dir.perp() * h;
+        vec![mid + off, mid - off]
+    }
+
+    /// Area of the intersection (lens) of two disks.
+    ///
+    /// Used to predict sensing overlap between neighboring sensors.
+    pub fn lens_area(&self, other: &Circle) -> f64 {
+        let d = self.center.dist(other.center);
+        let (r1, r2) = (self.radius, other.radius);
+        if d >= r1 + r2 {
+            return 0.0;
+        }
+        if d <= (r1 - r2).abs() {
+            let r = r1.min(r2);
+            return std::f64::consts::PI * r * r;
+        }
+        let alpha = 2.0 * ((d * d + r1 * r1 - r2 * r2) / (2.0 * d * r1)).clamp(-1.0, 1.0).acos();
+        let beta = 2.0 * ((d * d + r2 * r2 - r1 * r1) / (2.0 * d * r2)).clamp(-1.0, 1.0).acos();
+        0.5 * r1 * r1 * (alpha - alpha.sin()) + 0.5 * r2 * r2 * (beta - beta.sin())
+    }
+}
+
+impl fmt::Display for Circle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "circle({} r={:.3})", self.center, self.radius)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn unit() -> Circle {
+        Circle::new(Point::ORIGIN, 1.0)
+    }
+
+    #[test]
+    fn containment() {
+        let c = unit();
+        assert!(c.contains(Point::ORIGIN));
+        assert!(c.contains(Point::new(1.0, 0.0))); // boundary included
+        assert!(!c.contains(Point::new(1.001, 0.0)));
+        assert!((c.area() - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disk_overlap() {
+        let a = unit();
+        let b = Circle::new(Point::new(1.5, 0.0), 1.0);
+        assert!(a.intersects(&b));
+        let far = Circle::new(Point::new(3.0, 0.0), 1.0);
+        assert!(!a.intersects(&far) || a.center.dist(far.center) <= 2.0 + EPS);
+    }
+
+    #[test]
+    fn clip_segment_chord() {
+        let c = Circle::new(Point::ORIGIN, 5.0);
+        let s = Segment::new(Point::new(-10.0, 3.0), Point::new(10.0, 3.0));
+        let chord = c.clip_segment(s).unwrap();
+        assert!((chord.length() - 8.0).abs() < 1e-9);
+        assert!(chord.a.x < chord.b.x, "chord preserves segment direction");
+        // miss entirely
+        let miss = Segment::new(Point::new(-10.0, 6.0), Point::new(10.0, 6.0));
+        assert_eq!(c.clip_segment(miss), None);
+        // fully inside
+        let inside = Segment::new(Point::new(-1.0, 0.0), Point::new(1.0, 0.0));
+        assert_eq!(c.clip_segment(inside), Some(inside));
+    }
+
+    #[test]
+    fn boundary_segment_intersections() {
+        let c = Circle::new(Point::ORIGIN, 5.0);
+        let s = Segment::new(Point::new(-10.0, 0.0), Point::new(10.0, 0.0));
+        let pts = c.intersect_segment(&s);
+        assert_eq!(pts.len(), 2);
+        assert!(pts[0].approx_eq(Point::new(-5.0, 0.0)));
+        assert!(pts[1].approx_eq(Point::new(5.0, 0.0)));
+        // one endpoint inside: a single crossing
+        let s2 = Segment::new(Point::ORIGIN, Point::new(10.0, 0.0));
+        assert_eq!(c.intersect_segment(&s2).len(), 1);
+    }
+
+    #[test]
+    fn line_intersections() {
+        let c = Circle::new(Point::new(0.0, 0.0), 5.0);
+        let pts = c.intersect_line(&Line::horizontal(3.0));
+        assert_eq!(pts.len(), 2);
+        assert!((pts[0].x + 4.0).abs() < 1e-9 && (pts[1].x - 4.0).abs() < 1e-9);
+        assert_eq!(c.intersect_line(&Line::horizontal(5.0)).len(), 1);
+        assert!(c.intersect_line(&Line::horizontal(6.0)).is_empty());
+    }
+
+    #[test]
+    fn circle_circle_intersections() {
+        let a = Circle::new(Point::new(0.0, 0.0), 5.0);
+        let b = Circle::new(Point::new(8.0, 0.0), 5.0);
+        let pts = a.intersect_circle(&b);
+        assert_eq!(pts.len(), 2);
+        for p in &pts {
+            assert!((p.dist(a.center) - 5.0).abs() < 1e-9);
+            assert!((p.dist(b.center) - 5.0).abs() < 1e-9);
+        }
+        // tangent
+        let t = Circle::new(Point::new(10.0, 0.0), 5.0);
+        assert_eq!(a.intersect_circle(&t).len(), 1);
+        // disjoint and concentric
+        assert!(a.intersect_circle(&Circle::new(Point::new(20.0, 0.0), 5.0)).is_empty());
+        assert!(a.intersect_circle(&Circle::new(Point::ORIGIN, 3.0)).is_empty());
+    }
+
+    #[test]
+    fn lens_area_limits() {
+        let a = unit();
+        // identical circles: full disk
+        assert!((a.lens_area(&a) - PI).abs() < 1e-12);
+        // disjoint: zero
+        let far = Circle::new(Point::new(5.0, 0.0), 1.0);
+        assert_eq!(a.lens_area(&far), 0.0);
+        // half-overlap sanity: monotone in distance
+        let near = Circle::new(Point::new(0.5, 0.0), 1.0);
+        let mid = Circle::new(Point::new(1.0, 0.0), 1.0);
+        assert!(a.lens_area(&near) > a.lens_area(&mid));
+        // containment: area of smaller disk
+        let small = Circle::new(Point::new(0.2, 0.0), 0.3);
+        assert!((a.lens_area(&small) - small.area()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closest_boundary_point_directions() {
+        let c = Circle::new(Point::new(1.0, 1.0), 2.0);
+        let p = c.closest_boundary_point(Point::new(10.0, 1.0));
+        assert!(p.approx_eq(Point::new(3.0, 1.0)));
+        // degenerate: from the center
+        let q = c.closest_boundary_point(c.center);
+        assert!((q.dist(c.center) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,182 @@
+//! Half-planes and convex clipping.
+
+use crate::{approx_zero, Point, Vec2, EPS};
+use std::fmt;
+
+/// A closed half-plane `{ x : n · (x − p) ≤ 0 }`.
+///
+/// `n` is the *outward* normal: points on the side `n` points toward are
+/// cut away by [`HalfPlane::clip`]. The bisector half-plane used for
+/// Voronoi cells keeps everything at least as close to one site as to
+/// another; see [`HalfPlane::bisector`].
+///
+/// # Examples
+///
+/// ```
+/// use msn_geom::{HalfPlane, Point};
+/// let left = HalfPlane::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0));
+/// assert!(left.contains(Point::new(-1.0, 5.0)));
+/// assert!(!left.contains(Point::new(1.0, 5.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HalfPlane {
+    /// A point on the boundary line.
+    pub point: Point,
+    /// Outward normal (non-zero; need not be unit length).
+    pub normal: Vec2,
+}
+
+impl HalfPlane {
+    /// Half-plane through `point` with outward normal `normal`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `normal` is (near-)zero.
+    #[inline]
+    pub fn new(point: Point, normal: Vec2) -> Self {
+        debug_assert!(!approx_zero(normal.norm()), "half-plane normal must be non-zero");
+        HalfPlane { point, normal }
+    }
+
+    /// The half-plane of points at least as close to `site` as to
+    /// `other` — one Voronoi constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the two sites coincide.
+    pub fn bisector(site: Point, other: Point) -> Self {
+        HalfPlane::new(site.midpoint(other), other - site)
+    }
+
+    /// Signed distance-like value: negative inside, positive outside
+    /// (scaled by `|normal|`).
+    #[inline]
+    pub fn value(&self, p: Point) -> f64 {
+        self.normal.dot(p - self.point)
+    }
+
+    /// Returns `true` if `p` is in the closed half-plane.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.value(p) <= EPS * self.normal.norm().max(1.0)
+    }
+
+    /// Clips a convex polygon (vertex list, CCW) against the half-plane.
+    ///
+    /// Returns the surviving polygon vertices (possibly empty). The
+    /// input need not be closed; the output is CCW if the input was.
+    pub fn clip(&self, polygon: &[Point]) -> Vec<Point> {
+        let n = polygon.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let tol = EPS * self.normal.norm().max(1.0);
+        let mut out = Vec::with_capacity(n + 1);
+        for i in 0..n {
+            let cur = polygon[i];
+            let nxt = polygon[(i + 1) % n];
+            let vc = self.value(cur);
+            let vn = self.value(nxt);
+            let cur_in = vc <= tol;
+            let nxt_in = vn <= tol;
+            if cur_in {
+                out.push(cur);
+            }
+            if cur_in != nxt_in {
+                // Edge crosses the boundary; interpolate.
+                let t = vc / (vc - vn);
+                let crossing = cur.lerp(nxt, t);
+                // Avoid duplicating a vertex that already sits on the line.
+                if out.last().is_none_or(|q: &Point| !q.approx_eq(crossing)) {
+                    out.push(crossing);
+                }
+            }
+        }
+        // Remove a duplicated wrap-around vertex, if any.
+        if out.len() >= 2 && out[0].approx_eq(*out.last().expect("non-empty")) {
+            out.pop();
+        }
+        if out.len() < 3 {
+            out.clear();
+        }
+        out
+    }
+}
+
+impl fmt::Display for HalfPlane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "halfplane(through {} normal {})", self.point, self.normal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rect;
+
+    fn unit_square() -> Vec<Point> {
+        Rect::new(0.0, 0.0, 1.0, 1.0).to_polygon().vertices().to_vec()
+    }
+
+    #[test]
+    fn containment_sides() {
+        let hp = HalfPlane::new(Point::new(0.0, 0.0), Point::new(0.0, 1.0));
+        assert!(hp.contains(Point::new(3.0, -1.0)));
+        assert!(hp.contains(Point::new(3.0, 0.0))); // boundary
+        assert!(!hp.contains(Point::new(3.0, 1.0)));
+    }
+
+    #[test]
+    fn bisector_is_equidistant() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(4.0, 0.0);
+        let hp = HalfPlane::bisector(a, b);
+        assert!(hp.contains(a));
+        assert!(!hp.contains(b));
+        assert!(hp.contains(Point::new(2.0, 7.0))); // on the bisector line
+    }
+
+    #[test]
+    fn clip_keeps_inside_half() {
+        let hp = HalfPlane::new(Point::new(0.5, 0.0), Point::new(1.0, 0.0)); // keep x <= 0.5
+        let clipped = hp.clip(&unit_square());
+        assert_eq!(clipped.len(), 4);
+        for p in &clipped {
+            assert!(p.x <= 0.5 + 1e-9);
+        }
+        let area: f64 = {
+            let poly = crate::Polygon::new(clipped);
+            poly.area()
+        };
+        assert!((area - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clip_through_corner_produces_triangle() {
+        // keep x + y <= 1: cuts the unit square into a triangle
+        let hp = HalfPlane::new(Point::new(1.0, 0.0), Point::new(1.0, 1.0));
+        let clipped = hp.clip(&unit_square());
+        let poly = crate::Polygon::new(clipped);
+        assert!((poly.area() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clip_everything_away() {
+        let hp = HalfPlane::new(Point::new(-1.0, 0.0), Point::new(1.0, 0.0)); // keep x <= -1
+        assert!(hp.clip(&unit_square()).is_empty());
+    }
+
+    #[test]
+    fn clip_nothing_away() {
+        let hp = HalfPlane::new(Point::new(5.0, 0.0), Point::new(1.0, 0.0)); // keep x <= 5
+        let clipped = hp.clip(&unit_square());
+        assert_eq!(clipped.len(), 4);
+    }
+
+    #[test]
+    fn clip_preserves_ccw() {
+        let hp = HalfPlane::new(Point::new(0.5, 0.0), Point::new(1.0, 0.0));
+        let clipped = crate::Polygon::new(hp.clip(&unit_square()));
+        assert!(clipped.area() > 0.0);
+    }
+}

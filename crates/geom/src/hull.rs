@@ -1,0 +1,133 @@
+//! Convex hulls.
+
+use crate::Point;
+
+/// Computes the convex hull of a point set (Andrew's monotone chain,
+/// `O(n log n)`).
+///
+/// Returns the hull vertices in counter-clockwise order without
+/// repetition. Collinear points on hull edges are dropped. Degenerate
+/// inputs return what is available: the empty set, a single point, or
+/// the two extreme points of a collinear set.
+///
+/// # Examples
+///
+/// ```
+/// use msn_geom::{convex_hull, Point};
+/// let pts = vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(2.0, 0.0),
+///     Point::new(1.0, 1.0), // interior
+///     Point::new(2.0, 2.0),
+///     Point::new(0.0, 2.0),
+/// ];
+/// let hull = convex_hull(&pts);
+/// assert_eq!(hull.len(), 4);
+/// ```
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .expect("finite coordinates")
+            .then(a.y.partial_cmp(&b.y).expect("finite coordinates"))
+    });
+    pts.dedup_by(|a, b| a.approx_eq(*b));
+    let n = pts.len();
+    if n <= 2 {
+        return pts;
+    }
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2 {
+            let q = hull[hull.len() - 1];
+            let r = hull[hull.len() - 2];
+            if (q - r).cross(p - r) <= crate::EPS {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len {
+            let q = hull[hull.len() - 1];
+            let r = hull[hull.len() - 2];
+            if (q - r).cross(p - r) <= crate::EPS {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push(p);
+    }
+    hull.pop(); // last point repeats the first
+    hull
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Polygon;
+
+    #[test]
+    fn square_with_interior_points() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+            Point::new(2.0, 2.0),
+            Point::new(1.0, 3.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        let poly = Polygon::new(hull);
+        assert_eq!(poly.area(), 16.0);
+    }
+
+    #[test]
+    fn collinear_points_collapse() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+            Point::new(3.0, 3.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 2);
+        assert_eq!(hull[0], Point::new(0.0, 0.0));
+        assert_eq!(hull[1], Point::new(3.0, 3.0));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[Point::new(1.0, 1.0)]).len(), 1);
+        let dup = vec![Point::new(1.0, 1.0); 5];
+        assert_eq!(convex_hull(&dup).len(), 1);
+    }
+
+    #[test]
+    fn hull_is_ccw_and_contains_all_points() {
+        let pts: Vec<Point> = (0..50)
+            .map(|i| {
+                let a = i as f64 * 0.7;
+                Point::new(a.sin() * (i as f64 % 7.0), a.cos() * (i as f64 % 5.0))
+            })
+            .collect();
+        let hull = convex_hull(&pts);
+        assert!(hull.len() >= 3);
+        let poly = Polygon::new(hull);
+        assert!(poly.area() > 0.0);
+        for p in &pts {
+            assert!(
+                poly.contains(*p) || poly.boundary_dist(*p) < 1e-6,
+                "hull must contain every input point, missing {p}"
+            );
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Infinite lines.
+
+use crate::{approx_zero, Point, Segment, Vec2};
+use std::fmt;
+
+/// An infinite line through [`Line::origin`] with direction
+/// [`Line::dir`] (not necessarily unit length).
+///
+/// # Examples
+///
+/// ```
+/// use msn_geom::{Line, Point};
+/// let diag = Line::through(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+/// assert!(diag.project(Point::new(2.0, 0.0)).approx_eq(Point::new(1.0, 1.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Line {
+    /// A point on the line.
+    pub origin: Point,
+    /// Direction of the line (any non-zero vector).
+    pub dir: Vec2,
+}
+
+impl Line {
+    /// Line through `origin` with direction `dir`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `dir` is (near-)zero.
+    #[inline]
+    pub fn new(origin: Point, dir: Vec2) -> Self {
+        debug_assert!(!approx_zero(dir.norm()), "line direction must be non-zero");
+        Line { origin, dir }
+    }
+
+    /// Line through two distinct points.
+    #[inline]
+    pub fn through(a: Point, b: Point) -> Self {
+        Line::new(a, b - a)
+    }
+
+    /// Horizontal line `y = c`.
+    #[inline]
+    pub fn horizontal(c: f64) -> Self {
+        Line::new(Point::new(0.0, c), Point::new(1.0, 0.0))
+    }
+
+    /// Vertical line `x = c`.
+    #[inline]
+    pub fn vertical(c: f64) -> Self {
+        Line::new(Point::new(c, 0.0), Point::new(0.0, 1.0))
+    }
+
+    /// Signed perpendicular offset of `p`: positive on the left of `dir`.
+    ///
+    /// The magnitude equals the perpendicular distance scaled by
+    /// `|dir|`; use [`Line::dist_to_point`] for the metric distance.
+    #[inline]
+    pub fn side(&self, p: Point) -> f64 {
+        self.dir.cross(p - self.origin)
+    }
+
+    /// Perpendicular distance from `p` to the line.
+    pub fn dist_to_point(&self, p: Point) -> f64 {
+        self.side(p).abs() / self.dir.norm()
+    }
+
+    /// Orthogonal projection of `p` onto the line.
+    pub fn project(&self, p: Point) -> Point {
+        let t = (p - self.origin).dot(self.dir) / self.dir.norm_sq();
+        self.origin + self.dir * t
+    }
+
+    /// Intersection with another line, unless (near-)parallel.
+    pub fn intersect(&self, other: &Line) -> Option<Point> {
+        let denom = self.dir.cross(other.dir);
+        if approx_zero(denom) {
+            return None;
+        }
+        let t = (other.origin - self.origin).cross(other.dir) / denom;
+        Some(self.origin + self.dir * t)
+    }
+
+    /// Intersection with a segment, if the crossing point lies on the
+    /// segment.
+    pub fn intersect_segment(&self, seg: &Segment) -> Option<Point> {
+        let denom = self.dir.cross(seg.delta());
+        if approx_zero(denom) {
+            // Parallel; report the segment start if it lies on the line.
+            return (self.dist_to_point(seg.a) <= crate::EPS).then_some(seg.a);
+        }
+        let u = (seg.a - self.origin).cross(self.dir) / denom;
+        let tol = 1e-12;
+        if (-tol..=1.0 + tol).contains(&u) {
+            Some(seg.at(crate::clamp(u, 0.0, 1.0)))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Line {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line({} dir {})", self.origin, self.dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn side_signs() {
+        let l = Line::horizontal(0.0);
+        assert!(l.side(Point::new(0.0, 1.0)) > 0.0);
+        assert!(l.side(Point::new(0.0, -1.0)) < 0.0);
+        assert!(approx_zero(l.side(Point::new(5.0, 0.0))));
+    }
+
+    #[test]
+    fn distance_and_projection() {
+        let l = Line::through(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        assert_eq!(l.dist_to_point(Point::new(3.0, 4.0)), 4.0);
+        assert_eq!(l.project(Point::new(3.0, 4.0)), Point::new(3.0, 0.0));
+    }
+
+    #[test]
+    fn line_line_intersection() {
+        let h = Line::horizontal(2.0);
+        let v = Line::vertical(3.0);
+        assert!(h.intersect(&v).unwrap().approx_eq(Point::new(3.0, 2.0)));
+        let h2 = Line::horizontal(5.0);
+        assert_eq!(h.intersect(&h2), None);
+    }
+
+    #[test]
+    fn line_segment_intersection() {
+        let l = Line::horizontal(0.0);
+        let cross = Segment::new(Point::new(1.0, -1.0), Point::new(1.0, 1.0));
+        assert!(l.intersect_segment(&cross).unwrap().approx_eq(Point::new(1.0, 0.0)));
+        let miss = Segment::new(Point::new(1.0, 1.0), Point::new(1.0, 2.0));
+        assert_eq!(l.intersect_segment(&miss), None);
+        // parallel on the line
+        let on = Segment::new(Point::new(0.0, 0.0), Point::new(2.0, 0.0));
+        assert_eq!(l.intersect_segment(&on), Some(on.a));
+    }
+}

@@ -1,0 +1,177 @@
+//! Minimum enclosing circles (Welzl's algorithm).
+
+use crate::{approx_zero, Circle, Point, EPS};
+
+/// Computes the minimum enclosing circle of a point set.
+///
+/// Implements Welzl's move-to-front algorithm, which runs in expected
+/// `O(n)` time on shuffled input; this deterministic variant iterates
+/// in the given order, which is `O(n³)` in the worst case but fast for
+/// the few-hundred-point sets used here (Voronoi cell vertices for the
+/// Minimax scheme).
+///
+/// Returns a zero-radius circle at the single point for singleton input,
+/// and `None` for empty input.
+///
+/// # Examples
+///
+/// ```
+/// use msn_geom::{min_enclosing_circle, Point};
+/// let pts = [
+///     Point::new(0.0, 0.0),
+///     Point::new(2.0, 0.0),
+///     Point::new(1.0, 1.0),
+/// ];
+/// let mec = min_enclosing_circle(&pts).expect("non-empty input");
+/// assert!((mec.center.dist(Point::new(1.0, 0.0))) < 1e-9);
+/// assert!((mec.radius - 1.0).abs() < 1e-9);
+/// ```
+pub fn min_enclosing_circle(points: &[Point]) -> Option<Circle> {
+    if points.is_empty() {
+        return None;
+    }
+    let mut circle = Circle::new(points[0], 0.0);
+    for (i, &p) in points.iter().enumerate() {
+        if in_circle(&circle, p) {
+            continue;
+        }
+        // p must be on the boundary of the MEC of points[..=i].
+        circle = Circle::new(p, 0.0);
+        for (j, &q) in points[..i].iter().enumerate() {
+            if in_circle(&circle, q) {
+                continue;
+            }
+            // p and q on the boundary.
+            circle = circle_from_two(p, q);
+            for &r in &points[..j] {
+                if !in_circle(&circle, r) {
+                    circle = circle_from_three(p, q, r);
+                }
+            }
+        }
+    }
+    Some(circle)
+}
+
+fn in_circle(c: &Circle, p: Point) -> bool {
+    c.center.dist(p) <= c.radius + 1e-7
+}
+
+fn circle_from_two(a: Point, b: Point) -> Circle {
+    Circle::new(a.midpoint(b), a.dist(b) / 2.0)
+}
+
+fn circle_from_three(a: Point, b: Point, c: Point) -> Circle {
+    // Circumcircle; falls back to the best two-point circle for
+    // (near-)collinear triples.
+    let ab = b - a;
+    let ac = c - a;
+    let d = 2.0 * ab.cross(ac);
+    if approx_zero(d) {
+        let c1 = circle_from_two(a, b);
+        let c2 = circle_from_two(a, c);
+        let c3 = circle_from_two(b, c);
+        let mut best = c1;
+        for cand in [c2, c3] {
+            if cand.radius > best.radius {
+                best = cand;
+            }
+        }
+        return best;
+    }
+    let ab_sq = ab.norm_sq();
+    let ac_sq = ac.norm_sq();
+    let ux = (ac.y * ab_sq - ab.y * ac_sq) / d;
+    let uy = (ab.x * ac_sq - ac.x * ab_sq) / d;
+    let center = a + Point::new(ux, uy);
+    Circle::new(center, center.dist(a).max(EPS))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contains_all(c: &Circle, pts: &[Point]) -> bool {
+        pts.iter().all(|p| c.center.dist(*p) <= c.radius + 1e-6)
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(min_enclosing_circle(&[]).is_none());
+        let c = min_enclosing_circle(&[Point::new(2.0, 3.0)]).unwrap();
+        assert_eq!(c.center, Point::new(2.0, 3.0));
+        assert_eq!(c.radius, 0.0);
+    }
+
+    #[test]
+    fn two_points_diametral() {
+        let c = min_enclosing_circle(&[Point::new(0.0, 0.0), Point::new(4.0, 0.0)]).unwrap();
+        assert!(c.center.approx_eq(Point::new(2.0, 0.0)));
+        assert!((c.radius - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn obtuse_triangle_uses_longest_side() {
+        // Very flat triangle: MEC is the diametral circle of the long side.
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(5.0, 0.1),
+        ];
+        let c = min_enclosing_circle(&pts).unwrap();
+        assert!((c.radius - 5.0).abs() < 1e-3);
+        assert!(contains_all(&c, &pts));
+    }
+
+    #[test]
+    fn acute_triangle_uses_circumcircle() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(1.0, 2.0),
+        ];
+        let c = min_enclosing_circle(&pts).unwrap();
+        assert!(contains_all(&c, &pts));
+        // all three on the boundary
+        for p in &pts {
+            assert!((c.center.dist(*p) - c.radius).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn square_mec_is_circumscribed() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ];
+        let c = min_enclosing_circle(&pts).unwrap();
+        assert!(c.center.approx_eq(Point::new(1.0, 1.0)));
+        assert!((c.radius - 2f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collinear_points() {
+        let pts: Vec<Point> = (0..10).map(|i| Point::new(i as f64, i as f64)).collect();
+        let c = min_enclosing_circle(&pts).unwrap();
+        assert!(contains_all(&c, &pts));
+        assert!((c.radius - 9.0 * 2f64.sqrt() / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mec_radius_not_larger_than_any_candidate() {
+        // MEC radius must be <= radius of circle centered at centroid.
+        let pts: Vec<Point> = (0..40)
+            .map(|i| {
+                let a = i as f64;
+                Point::new((a * 1.3).sin() * 10.0, (a * 0.7).cos() * 6.0)
+            })
+            .collect();
+        let mec = min_enclosing_circle(&pts).unwrap();
+        assert!(contains_all(&mec, &pts));
+        let centroid = pts.iter().fold(Point::ORIGIN, |s, p| s + *p) / pts.len() as f64;
+        let centroid_r = pts.iter().map(|p| p.dist(centroid)).fold(0.0, f64::max);
+        assert!(mec.radius <= centroid_r + 1e-6);
+    }
+}

@@ -1,0 +1,121 @@
+//! Polygon offsetting (Minkowski-style inflation).
+
+use msn_geom::{Line, Polygon};
+
+/// Inflates a polygon outward by `delta` meters.
+///
+/// Each edge is pushed `delta` along its outward normal and adjacent
+/// offset edges are re-intersected; a vertex whose adjacent edges are
+/// near-parallel falls back to shifting along the averaged normal.
+/// Exact for convex polygons; a good approximation for mildly concave
+/// ones when `delta` is small relative to edge lengths (our clearances
+/// are ≤ 1 m on obstacles tens of meters across).
+///
+/// # Panics
+///
+/// Panics if `delta` is negative.
+///
+/// # Examples
+///
+/// ```
+/// use msn_geom::{Point, Rect};
+/// use msn_nav::offset_polygon;
+///
+/// let grown = offset_polygon(&Rect::new(0.0, 0.0, 10.0, 10.0).to_polygon(), 1.0);
+/// assert!((grown.area() - 144.0).abs() < 1e-9);
+/// ```
+pub fn offset_polygon(poly: &Polygon, delta: f64) -> Polygon {
+    assert!(delta >= 0.0, "offset must be non-negative");
+    if delta == 0.0 {
+        return poly.clone();
+    }
+    let n = poly.len();
+    let verts = poly.vertices();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let prev = verts[(i + n - 1) % n];
+        let cur = verts[i];
+        let next = verts[(i + 1) % n];
+        // CCW polygon: outward normal of edge (a -> b) is (b-a).perp()
+        // rotated -90°, i.e. -(b-a).perp().
+        let n1 = match (cur - prev).normalized() {
+            Some(d) => -d.perp(),
+            None => continue, // duplicate vertex; skip
+        };
+        let n2 = match (next - cur).normalized() {
+            Some(d) => -d.perp(),
+            None => continue,
+        };
+        let l1 = Line::new(prev + n1 * delta, cur - prev);
+        let l2 = Line::new(cur + n2 * delta, next - cur);
+        let p = match l1.intersect(&l2) {
+            Some(p) if p.dist(cur) <= 16.0 * delta => p,
+            // Near-parallel edges (or a spike): average the normals.
+            _ => {
+                let avg = (n1 + n2).normalized().unwrap_or(n1);
+                cur + avg * delta
+            }
+        };
+        out.push(p);
+    }
+    Polygon::new(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msn_geom::{Point, Rect};
+
+    #[test]
+    fn square_inflates_to_bigger_square() {
+        let sq = Rect::new(0.0, 0.0, 10.0, 10.0).to_polygon();
+        let big = offset_polygon(&sq, 2.0);
+        assert_eq!(big.len(), 4);
+        assert!((big.area() - 196.0).abs() < 1e-9);
+        let bb = big.bounding_box();
+        assert!(bb.min.approx_eq(Point::new(-2.0, -2.0)));
+        assert!(bb.max.approx_eq(Point::new(12.0, 12.0)));
+    }
+
+    #[test]
+    fn zero_offset_is_identity() {
+        let sq = Rect::new(1.0, 1.0, 4.0, 5.0).to_polygon();
+        let same = offset_polygon(&sq, 0.0);
+        assert_eq!(same.vertices(), sq.vertices());
+    }
+
+    #[test]
+    fn triangle_offset_contains_original() {
+        let tri = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(20.0, 0.0),
+            Point::new(10.0, 15.0),
+        ]);
+        let grown = offset_polygon(&tri, 1.0);
+        for v in tri.vertices() {
+            assert!(grown.contains(*v), "inflated polygon must contain original vertices");
+        }
+        assert!(grown.area() > tri.area());
+    }
+
+    #[test]
+    fn l_shape_offset_is_reasonable() {
+        let l = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(30.0, 0.0),
+            Point::new(30.0, 10.0),
+            Point::new(10.0, 10.0),
+            Point::new(10.0, 30.0),
+            Point::new(0.0, 30.0),
+        ]);
+        let grown = offset_polygon(&l, 0.5);
+        // contains the original boundary
+        for v in l.vertices() {
+            assert!(grown.contains(*v));
+        }
+        // reflex corner handled: area grows by roughly perimeter * delta
+        let growth = grown.area() - l.area();
+        let approx = l.perimeter() * 0.5;
+        assert!((growth - approx).abs() < 5.0, "growth {growth} vs {approx}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for BUG2 navigation.
+
+use msn_field::Field;
+use msn_geom::{Point, Rect};
+use msn_nav::{Hand, Navigator};
+use proptest::prelude::*;
+
+fn single_obstacle_field(ox: f64, oy: f64, w: f64, h: f64) -> Field {
+    Field::with_obstacles(
+        1000.0,
+        1000.0,
+        vec![Rect::new(ox, oy, ox + w, oy + h).to_polygon()],
+    )
+}
+
+fn drive(nav: &mut Navigator, step: f64, max_steps: usize) -> bool {
+    for _ in 0..max_steps {
+        if nav.is_done() || nav.is_stuck() {
+            break;
+        }
+        nav.advance(step);
+    }
+    nav.is_done()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// BUG2 always reaches a reachable target around a single convex
+    /// obstacle, with both hand rules.
+    #[test]
+    fn reaches_target_around_convex_obstacle(
+        ox in 200.0..600.0f64, oy in 200.0..600.0f64,
+        w in 50.0..300.0f64, h in 50.0..300.0f64,
+        sx in 0.0..150.0f64, sy in 0.0..1000.0f64,
+        tx in 850.0..1000.0f64, ty in 0.0..1000.0f64,
+        hand in prop::bool::ANY,
+    ) {
+        let field = single_obstacle_field(ox, oy, w, h);
+        let start = Point::new(sx, sy);
+        let target = Point::new(tx, ty);
+        prop_assume!(field.is_free(start) && field.is_free(target));
+        prop_assume!(field.nearest_obstacle_dist(start) > 1.0);
+        prop_assume!(field.nearest_obstacle_dist(target) > 1.0);
+        let hand = if hand { Hand::Right } else { Hand::Left };
+        let mut nav = Navigator::new(&field, start, target, hand);
+        prop_assert!(drive(&mut nav, 5.0, 4000), "must reach target, state {nav}");
+        prop_assert!(nav.pos().dist(target) < 1e-6);
+    }
+
+    /// The BUG2 bound for a single convex obstacle: path length at most
+    /// the straight distance plus 1.5x the (inflated) perimeter, with
+    /// slack for discretization.
+    #[test]
+    fn path_length_respects_bug2_bound(
+        ox in 300.0..500.0f64, oy in 300.0..500.0f64,
+        w in 80.0..250.0f64, h in 80.0..250.0f64,
+        sy in 100.0..900.0f64, ty in 100.0..900.0f64,
+    ) {
+        let field = single_obstacle_field(ox, oy, w, h);
+        let start = Point::new(20.0, sy);
+        let target = Point::new(980.0, ty);
+        let mut nav = Navigator::new(&field, start, target, Hand::Right);
+        prop_assert!(drive(&mut nav, 5.0, 4000));
+        let d = start.dist(target);
+        let perimeter = 2.0 * (w + h) + 8.0; // inflated ring
+        prop_assert!(
+            nav.traveled() <= d + 1.5 * perimeter + 20.0,
+            "traveled {} exceeds BUG2 bound (D={d}, l={perimeter})",
+            nav.traveled()
+        );
+    }
+
+    /// Positions along the way stay in free space (clearance from
+    /// obstacle interiors) and inside the field.
+    #[test]
+    fn path_stays_in_free_space(
+        ox in 250.0..550.0f64, oy in 250.0..550.0f64,
+        sy in 50.0..950.0f64, ty in 50.0..950.0f64,
+    ) {
+        let field = single_obstacle_field(ox, oy, 200.0, 200.0);
+        let start = Point::new(10.0, sy);
+        let target = Point::new(990.0, ty);
+        let mut nav = Navigator::new(&field, start, target, Hand::Right);
+        for _ in 0..4000 {
+            if nav.is_done() || nav.is_stuck() {
+                break;
+            }
+            let p = nav.advance(3.0);
+            prop_assert!(field.in_bounds(p));
+            prop_assert!(
+                field.nearest_obstacle_dist(p) > 0.2,
+                "position {p} intrudes into the obstacle"
+            );
+        }
+        prop_assert!(nav.is_done());
+    }
+
+    /// Open-field navigation is exactly the straight line.
+    #[test]
+    fn open_field_is_straight(
+        sx in 0.0..1000.0f64, sy in 0.0..1000.0f64,
+        tx in 0.0..1000.0f64, ty in 0.0..1000.0f64,
+    ) {
+        let field = Field::open(1000.0, 1000.0);
+        let start = Point::new(sx, sy);
+        let target = Point::new(tx, ty);
+        let mut nav = Navigator::new(&field, start, target, Hand::Left);
+        prop_assert!(drive(&mut nav, 7.0, 1000));
+        prop_assert!((nav.traveled() - start.dist(target)).abs() < 1e-6);
+    }
+
+    /// Budgets are respected: each advance() call walks at most the
+    /// requested distance.
+    #[test]
+    fn advance_budget_never_exceeded(
+        sy in 100.0..900.0f64, ty in 100.0..900.0f64, step in 0.1..20.0f64,
+    ) {
+        let field = single_obstacle_field(400.0, 400.0, 200.0, 200.0);
+        let mut nav = Navigator::new(
+            &field,
+            Point::new(10.0, sy),
+            Point::new(990.0, ty),
+            Hand::Right,
+        );
+        for _ in 0..200 {
+            let before = nav.traveled();
+            nav.advance(step);
+            prop_assert!(nav.traveled() - before <= step + 1e-9);
+        }
+    }
+}

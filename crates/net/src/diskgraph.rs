@@ -1,0 +1,241 @@
+//! Unit-disk communication graphs.
+
+use crate::SpatialGrid;
+use msn_geom::Point;
+use std::collections::VecDeque;
+
+/// The `rc`-disk graph over sensor positions: an undirected graph with
+/// an edge between every pair of sensors at distance ≤ `rc`.
+///
+/// The base station at a fixed point participates implicitly: sensors
+/// within `rc` of it are the flood seeds of
+/// [`DiskGraph::flood_from_base`].
+///
+/// # Examples
+///
+/// ```
+/// use msn_geom::Point;
+/// use msn_net::DiskGraph;
+///
+/// let pts = vec![Point::new(5.0, 0.0), Point::new(12.0, 0.0), Point::new(40.0, 0.0)];
+/// let g = DiskGraph::build(&pts, 10.0);
+/// let connected = g.flood_from_base(&pts, Point::new(0.0, 0.0), 10.0);
+/// assert_eq!(connected, vec![true, true, false]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiskGraph {
+    rc: f64,
+    adj: Vec<Vec<usize>>,
+}
+
+impl DiskGraph {
+    /// Builds the disk graph for communication range `rc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rc` is not strictly positive.
+    pub fn build(points: &[Point], rc: f64) -> Self {
+        assert!(rc > 0.0, "communication range must be positive");
+        let grid = SpatialGrid::build(points, rc.max(1.0));
+        let adj = (0..points.len())
+            .map(|i| grid.neighbors(points, i, rc))
+            .collect();
+        DiskGraph { rc, adj }
+    }
+
+    /// The communication range the graph was built with.
+    #[inline]
+    pub fn rc(&self) -> f64 {
+        self.rc
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Returns `true` for a graph over zero points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Neighbors of node `i` (distance ≤ rc, excluding `i`).
+    #[inline]
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.adj[i]
+    }
+
+    /// BFS from an arbitrary seed set; returns a reached mask.
+    pub fn reach_from<I: IntoIterator<Item = usize>>(&self, seeds: I) -> Vec<bool> {
+        let mut seen = vec![false; self.adj.len()];
+        let mut queue = VecDeque::new();
+        for s in seeds {
+            if !seen[s] {
+                seen[s] = true;
+                queue.push_back(s);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Models the §4.1 connectivity flood: sensors within `rc` of the
+    /// base station start the flood; the returned mask marks every
+    /// sensor that (transitively) received it, i.e. the *connected*
+    /// sensors.
+    pub fn flood_from_base(&self, points: &[Point], base: Point, rc: f64) -> Vec<bool> {
+        let seeds: Vec<usize> = (0..points.len())
+            .filter(|&i| points[i].dist(base) <= rc + 1e-9)
+            .collect();
+        self.reach_from(seeds)
+    }
+
+    /// Returns `true` if every sensor is connected (multi-hop) to the
+    /// base station.
+    pub fn all_connected_to_base(&self, points: &[Point], base: Point, rc: f64) -> bool {
+        self.flood_from_base(points, base, rc).iter().all(|&c| c)
+    }
+
+    /// Labels connected components; returns `labels[i]` in
+    /// `0..component_count`, and the count.
+    pub fn components(&self) -> (Vec<usize>, usize) {
+        let n = self.adj.len();
+        let mut labels = vec![usize::MAX; n];
+        let mut next = 0;
+        for start in 0..n {
+            if labels[start] != usize::MAX {
+                continue;
+            }
+            let mut queue = VecDeque::new();
+            labels[start] = next;
+            queue.push_back(start);
+            while let Some(u) = queue.pop_front() {
+                for &v in &self.adj[u] {
+                    if labels[v] == usize::MAX {
+                        labels[v] = next;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            next += 1;
+        }
+        (labels, next)
+    }
+
+    /// BFS hop distances from `from` (usize::MAX = unreachable).
+    pub fn hop_distances(&self, from: usize) -> Vec<usize> {
+        let n = self.adj.len();
+        let mut dist = vec![usize::MAX; n];
+        let mut queue = VecDeque::new();
+        dist[from] = 0;
+        queue.push_back(from);
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adj[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Nodes within `hops` tree-of-BFS hops of `i` (excluding `i`) —
+    /// the "2-hop neighbor list" of §5.3.
+    pub fn k_hop_neighbors(&self, i: usize, hops: usize) -> Vec<usize> {
+        let mut seen = vec![false; self.adj.len()];
+        let mut out = Vec::new();
+        let mut frontier = vec![i];
+        seen[i] = true;
+        for _ in 0..hops {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &v in &self.adj[u] {
+                    if !seen[v] {
+                        seen[v] = true;
+                        out.push(v);
+                        next.push(v);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize, spacing: f64) -> Vec<Point> {
+        (0..n).map(|i| Point::new(i as f64 * spacing, 0.0)).collect()
+    }
+
+    #[test]
+    fn chain_connectivity() {
+        let pts = chain(5, 8.0);
+        let g = DiskGraph::build(&pts, 10.0);
+        assert!(g.all_connected_to_base(&pts, Point::ORIGIN, 10.0));
+        assert_eq!(g.neighbors(2), &[1, 3]);
+        assert!(!g.is_empty());
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.rc(), 10.0);
+    }
+
+    #[test]
+    fn broken_chain_partitions() {
+        let mut pts = chain(3, 8.0);
+        pts.push(Point::new(100.0, 0.0));
+        let g = DiskGraph::build(&pts, 10.0);
+        let mask = g.flood_from_base(&pts, Point::ORIGIN, 10.0);
+        assert_eq!(mask, vec![true, true, true, false]);
+        assert!(!g.all_connected_to_base(&pts, Point::ORIGIN, 10.0));
+        let (labels, count) = g.components();
+        assert_eq!(count, 2);
+        assert_eq!(labels[0], labels[2]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn base_out_of_range_of_everyone() {
+        let pts = chain(3, 8.0);
+        let g = DiskGraph::build(&pts, 10.0);
+        let mask = g.flood_from_base(&pts, Point::new(500.0, 500.0), 10.0);
+        assert!(mask.iter().all(|&c| !c));
+    }
+
+    #[test]
+    fn hop_distances_and_k_hop() {
+        let pts = chain(6, 8.0);
+        let g = DiskGraph::build(&pts, 10.0);
+        let d = g.hop_distances(0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 5]);
+        let mut two_hop = g.k_hop_neighbors(2, 2);
+        two_hop.sort_unstable();
+        assert_eq!(two_hop, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn dense_cluster_is_complete() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ];
+        let g = DiskGraph::build(&pts, 5.0);
+        assert_eq!(g.neighbors(0).len(), 2);
+        assert_eq!(g.neighbors(1).len(), 2);
+        let (_, count) = g.components();
+        assert_eq!(count, 1);
+    }
+}

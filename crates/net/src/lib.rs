@@ -1,0 +1,33 @@
+//! Disk graphs, spanning trees, flooding and message accounting.
+//!
+//! The paper's protocols run on a unit-disk communication graph: two
+//! sensors are neighbors iff they are within communication range `rc`
+//! of each other, and the base station at the reference point is
+//! reachable by multi-hop paths. This crate provides that substrate:
+//!
+//! * [`SpatialGrid`] — hash-grid index for `O(1)`-ish range queries;
+//! * [`DiskGraph`] — the `rc`-disk graph with BFS flooding
+//!   ([`DiskGraph::flood_from_base`], modeling §4.1's connectivity
+//!   flood) and component labeling;
+//! * [`Tree`] — the parent/children forest rooted at the base station,
+//!   with ancestor lists (§5.3), loop-free reparent checks and subtree
+//!   enumeration (the `LockTree` protocol of §4.2);
+//! * [`random_walk`] — TTL-bounded random walks for FLOOR's
+//!   `Invitation` messages (§5.5.2);
+//! * [`MsgKind`] / [`MessageCounter`] — the message taxonomy and hop
+//!   accounting behind Table 1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod diskgraph;
+mod messages;
+mod randomwalk;
+mod spatial;
+mod tree;
+
+pub use diskgraph::DiskGraph;
+pub use messages::{MessageCounter, MsgKind};
+pub use randomwalk::random_walk;
+pub use spatial::SpatialGrid;
+pub use tree::{Parent, Tree};

@@ -1,0 +1,142 @@
+//! Hash-grid spatial index.
+
+use msn_geom::Point;
+use std::collections::HashMap;
+
+/// A uniform hash grid over point indices for fast range queries.
+///
+/// Rebuilt once per simulation tick (a few hundred points), then
+/// queried many times; both operations are `O(points in range)`.
+///
+/// # Examples
+///
+/// ```
+/// use msn_geom::Point;
+/// use msn_net::SpatialGrid;
+///
+/// let pts = vec![Point::new(0.0, 0.0), Point::new(5.0, 0.0), Point::new(50.0, 0.0)];
+/// let grid = SpatialGrid::build(&pts, 10.0);
+/// let near = grid.within(&pts, Point::new(0.0, 0.0), 10.0);
+/// assert!(near.contains(&0) && near.contains(&1) && !near.contains(&2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    cell: f64,
+    buckets: HashMap<(i64, i64), Vec<usize>>,
+}
+
+impl SpatialGrid {
+    /// Indexes `points` with grid cells of side `cell` meters.
+    ///
+    /// A good `cell` is the query radius you intend to use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not strictly positive or a coordinate is not
+    /// finite.
+    pub fn build(points: &[Point], cell: f64) -> Self {
+        assert!(cell > 0.0, "cell size must be positive");
+        let mut buckets: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+        for (i, p) in points.iter().enumerate() {
+            assert!(p.x.is_finite() && p.y.is_finite(), "non-finite point {i}");
+            buckets.entry(Self::key(*p, cell)).or_default().push(i);
+        }
+        SpatialGrid { cell, buckets }
+    }
+
+    #[inline]
+    fn key(p: Point, cell: f64) -> (i64, i64) {
+        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+    }
+
+    /// Indices of all points within `r` of `center` (inclusive),
+    /// including any point equal to `center` itself.
+    pub fn within(&self, points: &[Point], center: Point, r: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        let span = (r / self.cell).ceil() as i64;
+        let (cx, cy) = Self::key(center, self.cell);
+        let r_sq = r * r;
+        for gx in (cx - span)..=(cx + span) {
+            for gy in (cy - span)..=(cy + span) {
+                if let Some(bucket) = self.buckets.get(&(gx, gy)) {
+                    for &i in bucket {
+                        if points[i].dist_sq(center) <= r_sq + 1e-9 {
+                            out.push(i);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Indices of all points within `r` of `points[i]`, excluding `i`.
+    pub fn neighbors(&self, points: &[Point], i: usize, r: f64) -> Vec<usize> {
+        let mut v = self.within(points, points[i], r);
+        v.retain(|&j| j != i);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points() -> Vec<Point> {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                pts.push(Point::new(i as f64 * 10.0, j as f64 * 10.0));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn within_matches_brute_force() {
+        let pts = grid_points();
+        let grid = SpatialGrid::build(&pts, 15.0);
+        for r in [5.0, 10.0, 25.0, 47.0] {
+            let center = Point::new(33.0, 47.0);
+            let mut fast = grid.within(&pts, center, r);
+            fast.sort_unstable();
+            let mut slow: Vec<usize> = (0..pts.len())
+                .filter(|&i| pts[i].dist(center) <= r + 1e-9)
+                .collect();
+            slow.sort_unstable();
+            assert_eq!(fast, slow, "radius {r}");
+        }
+    }
+
+    #[test]
+    fn neighbors_excludes_self() {
+        let pts = grid_points();
+        let grid = SpatialGrid::build(&pts, 10.0);
+        let n = grid.neighbors(&pts, 0, 10.0);
+        assert!(!n.contains(&0));
+        assert_eq!(n.len(), 2, "corner point has two axis neighbors");
+    }
+
+    #[test]
+    fn duplicate_points_all_reported() {
+        let pts = vec![Point::new(1.0, 1.0); 4];
+        let grid = SpatialGrid::build(&pts, 5.0);
+        assert_eq!(grid.within(&pts, Point::new(1.0, 1.0), 1.0).len(), 4);
+        assert_eq!(grid.neighbors(&pts, 2, 1.0).len(), 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        let pts: Vec<Point> = Vec::new();
+        let grid = SpatialGrid::build(&pts, 5.0);
+        assert!(grid.within(&pts, Point::ORIGIN, 100.0).is_empty());
+    }
+
+    #[test]
+    fn negative_coordinates_work() {
+        let pts = vec![Point::new(-12.0, -7.0), Point::new(-14.0, -7.5)];
+        let grid = SpatialGrid::build(&pts, 4.0);
+        let near = grid.within(&pts, Point::new(-13.0, -7.0), 3.0);
+        assert_eq!(near.len(), 2);
+    }
+}

@@ -1,0 +1,350 @@
+//! The spanning forest rooted at the base station.
+
+use std::fmt;
+
+/// The parent link of a node in the deployment tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parent {
+    /// Not yet part of the tree (disconnected sensor).
+    None,
+    /// Directly attached to the base station.
+    Base,
+    /// Child of another sensor.
+    Node(usize),
+}
+
+/// The tree (forest while forming) that both CPVF and FLOOR maintain:
+/// every connected sensor has a parent — the base station or another
+/// connected sensor — and the structure stays loop-free.
+///
+/// Supports the operations the protocols need: attach/detach, ancestor
+/// lists (§5.3's classification), loop-safe reparenting (§4.2's
+/// `LockTree`), and subtree enumeration (lock scope / movable checks).
+///
+/// # Examples
+///
+/// ```
+/// use msn_net::{Parent, Tree};
+///
+/// let mut tree = Tree::new(3);
+/// tree.attach(0, Parent::Base);
+/// tree.attach(1, Parent::Node(0));
+/// tree.attach(2, Parent::Node(1));
+/// assert_eq!(tree.ancestors(2), vec![1, 0]);
+/// assert!(tree.would_create_loop(0, 2), "0 cannot become a child of its descendant");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tree {
+    parent: Vec<Parent>,
+    children: Vec<Vec<usize>>,
+}
+
+impl Tree {
+    /// An empty forest over `n` sensors (all disconnected).
+    pub fn new(n: usize) -> Self {
+        Tree {
+            parent: vec![Parent::None; n],
+            children: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of sensors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if the forest tracks zero sensors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The parent link of `i`.
+    #[inline]
+    pub fn parent(&self, i: usize) -> Parent {
+        self.parent[i]
+    }
+
+    /// The children of `i`.
+    #[inline]
+    pub fn children(&self, i: usize) -> &[usize] {
+        &self.children[i]
+    }
+
+    /// Returns `true` if `i` is attached (to the base or a sensor).
+    #[inline]
+    pub fn in_tree(&self, i: usize) -> bool {
+        !matches!(self.parent[i], Parent::None)
+    }
+
+    /// Number of attached sensors.
+    pub fn attached_count(&self) -> usize {
+        (0..self.len()).filter(|&i| self.in_tree(i)).count()
+    }
+
+    /// Attaches `i` under `parent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is already attached, if the parent is not itself
+    /// attached, or if the attachment would create a loop.
+    pub fn attach(&mut self, i: usize, parent: Parent) {
+        assert!(!self.in_tree(i), "sensor {i} is already attached");
+        match parent {
+            Parent::None => panic!("cannot attach {i} to nothing"),
+            Parent::Base => {}
+            Parent::Node(p) => {
+                assert!(self.in_tree(p), "parent {p} must be attached first");
+                assert!(!self.would_create_loop(i, p), "loop attaching {i} under {p}");
+                self.children[p].push(i);
+            }
+        }
+        self.parent[i] = parent;
+    }
+
+    /// Detaches `i` (its children keep pointing at it; callers
+    /// re-parent children first — see §5.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` still has children or is not attached.
+    pub fn detach(&mut self, i: usize) {
+        assert!(self.in_tree(i), "sensor {i} is not attached");
+        assert!(
+            self.children[i].is_empty(),
+            "sensor {i} still has children; re-parent them first"
+        );
+        if let Parent::Node(p) = self.parent[i] {
+            self.children[p].retain(|&c| c != i);
+        }
+        self.parent[i] = Parent::None;
+    }
+
+    /// Moves `i` under a new parent, keeping the structure loop-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the move would create a loop or involves detached
+    /// nodes.
+    pub fn reparent(&mut self, i: usize, new_parent: Parent) {
+        assert!(self.in_tree(i), "sensor {i} is not attached");
+        match new_parent {
+            Parent::None => panic!("cannot reparent {i} to nothing"),
+            Parent::Base => {}
+            Parent::Node(p) => {
+                assert!(self.in_tree(p), "new parent {p} is not attached");
+                assert!(
+                    !self.would_create_loop(i, p),
+                    "loop reparenting {i} under {p}"
+                );
+            }
+        }
+        if let Parent::Node(old) = self.parent[i] {
+            self.children[old].retain(|&c| c != i);
+        }
+        if let Parent::Node(p) = new_parent {
+            self.children[p].push(i);
+        }
+        self.parent[i] = new_parent;
+    }
+
+    /// The ancestor chain of `i`, nearest first, excluding the base
+    /// station. This is the ancestor ID list the base station sends
+    /// back to newly connected FLOOR sensors (§5.3).
+    pub fn ancestors(&self, i: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut cur = self.parent[i];
+        let mut steps = 0;
+        while let Parent::Node(p) = cur {
+            out.push(p);
+            cur = self.parent[p];
+            steps += 1;
+            assert!(steps <= self.len(), "parent chain loop detected");
+        }
+        out
+    }
+
+    /// Hop distance from `i` to the base station (`None` if detached).
+    pub fn depth(&self, i: usize) -> Option<usize> {
+        if !self.in_tree(i) {
+            return None;
+        }
+        Some(self.ancestors(i).len() + 1)
+    }
+
+    /// Returns `true` if making `candidate_parent` the parent of `i`
+    /// would create a loop (i.e. `candidate_parent` is `i` itself or a
+    /// descendant of `i`). This is the ancestor-list check of §5.3.
+    pub fn would_create_loop(&self, i: usize, candidate_parent: usize) -> bool {
+        if i == candidate_parent {
+            return true;
+        }
+        // candidate is a descendant of i iff i appears among candidate's
+        // ancestors.
+        let mut cur = self.parent[candidate_parent];
+        let mut steps = 0;
+        while let Parent::Node(p) = cur {
+            if p == i {
+                return true;
+            }
+            cur = self.parent[p];
+            steps += 1;
+            if steps > self.len() {
+                return true; // defensive: malformed chain counts as loop
+            }
+        }
+        false
+    }
+
+    /// All nodes in the subtree rooted at `i`, including `i` — the
+    /// scope a `LockTree` message walks (§4.2).
+    pub fn subtree(&self, i: usize) -> Vec<usize> {
+        let mut out = vec![i];
+        let mut stack = vec![i];
+        while let Some(u) = stack.pop() {
+            for &c in &self.children[u] {
+                out.push(c);
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Tree-path hop count between two attached nodes via their lowest
+    /// common ancestor (base station counts as the common root).
+    ///
+    /// Used to charge message costs for tree-routed queries (§5.4).
+    pub fn tree_hops(&self, a: usize, b: usize) -> usize {
+        if a == b {
+            return 0;
+        }
+        let anc_a = {
+            let mut v = vec![a];
+            v.extend(self.ancestors(a));
+            v
+        };
+        let anc_b = {
+            let mut v = vec![b];
+            v.extend(self.ancestors(b));
+            v
+        };
+        // Position of each node in the other's ancestor list.
+        for (da, na) in anc_a.iter().enumerate() {
+            if let Some(db) = anc_b.iter().position(|nb| nb == na) {
+                return da + db;
+            }
+        }
+        // No common sensor ancestor: both routes go through the base.
+        anc_a.len() + anc_b.len()
+    }
+}
+
+impl fmt::Display for Tree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tree({}/{} attached)",
+            self.attached_count(),
+            self.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tree() -> Tree {
+        // base <- 0 <- 1 <- 2 ; base <- 3
+        let mut t = Tree::new(5);
+        t.attach(0, Parent::Base);
+        t.attach(1, Parent::Node(0));
+        t.attach(2, Parent::Node(1));
+        t.attach(3, Parent::Base);
+        t
+    }
+
+    #[test]
+    fn attach_and_query() {
+        let t = sample_tree();
+        assert_eq!(t.parent(0), Parent::Base);
+        assert_eq!(t.parent(2), Parent::Node(1));
+        assert_eq!(t.parent(4), Parent::None);
+        assert!(t.in_tree(3));
+        assert!(!t.in_tree(4));
+        assert_eq!(t.attached_count(), 4);
+        assert_eq!(t.children(0), &[1]);
+        assert_eq!(t.depth(2), Some(3));
+        assert_eq!(t.depth(4), None);
+    }
+
+    #[test]
+    fn ancestors_nearest_first() {
+        let t = sample_tree();
+        assert_eq!(t.ancestors(2), vec![1, 0]);
+        assert!(t.ancestors(0).is_empty());
+        assert!(t.ancestors(3).is_empty());
+    }
+
+    #[test]
+    fn loop_detection() {
+        let t = sample_tree();
+        assert!(t.would_create_loop(0, 2), "descendant as parent");
+        assert!(t.would_create_loop(1, 1), "self as parent");
+        assert!(!t.would_create_loop(2, 3), "other branch is fine");
+        assert!(!t.would_create_loop(3, 2));
+    }
+
+    #[test]
+    fn subtree_enumeration() {
+        let t = sample_tree();
+        let mut s = t.subtree(0);
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2]);
+        assert_eq!(t.subtree(3), vec![3]);
+    }
+
+    #[test]
+    fn reparent_moves_branches() {
+        let mut t = sample_tree();
+        t.reparent(2, Parent::Node(3));
+        assert_eq!(t.parent(2), Parent::Node(3));
+        assert!(t.children(1).is_empty());
+        assert_eq!(t.children(3), &[2]);
+        assert_eq!(t.ancestors(2), vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "loop")]
+    fn reparent_rejects_loops() {
+        let mut t = sample_tree();
+        t.reparent(0, Parent::Node(2));
+    }
+
+    #[test]
+    fn detach_leaf() {
+        let mut t = sample_tree();
+        t.detach(2);
+        assert!(!t.in_tree(2));
+        assert!(t.children(1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "children")]
+    fn detach_with_children_panics() {
+        let mut t = sample_tree();
+        t.detach(1);
+    }
+
+    #[test]
+    fn tree_hops() {
+        let t = sample_tree();
+        assert_eq!(t.tree_hops(2, 0), 2);
+        assert_eq!(t.tree_hops(0, 2), 2);
+        assert_eq!(t.tree_hops(2, 2), 0);
+        assert_eq!(t.tree_hops(1, 2), 1);
+        // cross-branch goes through the base: 2 -> 1 -> 0 -> base -> 3
+        assert_eq!(t.tree_hops(2, 3), 4);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the network substrate.
+
+use msn_geom::Point;
+use msn_net::{random_walk, DiskGraph, Parent, SpatialGrid, Tree};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn pts_strategy() -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((0.0..500.0f64, 0.0..500.0f64), 1..60)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+proptest! {
+    #[test]
+    fn disk_graph_edges_are_symmetric_and_within_rc(pts in pts_strategy(), rc in 10.0..200.0f64) {
+        let g = DiskGraph::build(&pts, rc);
+        for i in 0..pts.len() {
+            for &j in g.neighbors(i) {
+                prop_assert!(pts[i].dist(pts[j]) <= rc + 1e-6);
+                prop_assert!(g.neighbors(j).contains(&i), "edge {i}-{j} must be symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn spatial_grid_matches_brute_force(pts in pts_strategy(), r in 5.0..150.0f64) {
+        let grid = SpatialGrid::build(&pts, r.max(1.0));
+        let center = Point::new(250.0, 250.0);
+        let mut fast = grid.within(&pts, center, r);
+        fast.sort_unstable();
+        let mut slow: Vec<usize> = (0..pts.len())
+            .filter(|&i| pts[i].dist(center) <= r + 1e-9)
+            .collect();
+        slow.sort_unstable();
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn components_partition_the_nodes(pts in pts_strategy(), rc in 10.0..200.0f64) {
+        let g = DiskGraph::build(&pts, rc);
+        let (labels, count) = g.components();
+        prop_assert_eq!(labels.len(), pts.len());
+        for &l in &labels {
+            prop_assert!(l < count);
+        }
+        // nodes in the same component are mutually reachable
+        if let Some(first) = labels.first() {
+            let mask = g.reach_from([0]);
+            for i in 0..pts.len() {
+                prop_assert_eq!(mask[i], labels[i] == *first);
+            }
+        }
+    }
+
+    #[test]
+    fn flood_reaches_exactly_base_component(pts in pts_strategy(), rc in 20.0..200.0f64) {
+        let g = DiskGraph::build(&pts, rc);
+        let base = Point::new(0.0, 0.0);
+        let mask = g.flood_from_base(&pts, base, rc);
+        // flooded nodes form a closed set: no edge from flooded to
+        // unflooded, and unflooded nodes are not adjacent to the base
+        for i in 0..pts.len() {
+            if mask[i] {
+                continue;
+            }
+            prop_assert!(pts[i].dist(base) > rc, "unflooded node adjacent to base");
+            for &j in g.neighbors(i) {
+                prop_assert!(!mask[j], "edge crosses the flood boundary");
+            }
+        }
+    }
+
+    #[test]
+    fn random_walks_stay_on_edges(pts in pts_strategy(), rc in 30.0..200.0f64, seed in 0u64..100) {
+        let g = DiskGraph::build(&pts, rc);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let walk = random_walk(&g, 0, 30, &mut rng);
+        let mut prev = 0;
+        for &v in &walk {
+            prop_assert!(g.neighbors(prev).contains(&v));
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn chain_tree_invariants(n in 2usize..40) {
+        let mut tree = Tree::new(n);
+        tree.attach(0, Parent::Base);
+        for i in 1..n {
+            tree.attach(i, Parent::Node(i - 1));
+        }
+        prop_assert_eq!(tree.attached_count(), n);
+        prop_assert_eq!(tree.ancestors(n - 1).len(), n - 1);
+        prop_assert_eq!(tree.depth(n - 1), Some(n));
+        prop_assert_eq!(tree.subtree(0).len(), n);
+        prop_assert_eq!(tree.tree_hops(0, n - 1), n - 1);
+        // any descendant as parent would loop
+        for i in 0..n - 1 {
+            prop_assert!(tree.would_create_loop(i, n - 1));
+        }
+    }
+
+    #[test]
+    fn star_tree_hops(n in 2usize..40) {
+        let mut tree = Tree::new(n);
+        tree.attach(0, Parent::Base);
+        for i in 1..n {
+            tree.attach(i, Parent::Node(0));
+        }
+        for i in 1..n {
+            prop_assert_eq!(tree.tree_hops(0, i), 1);
+            for j in 1..n {
+                if i != j {
+                    prop_assert_eq!(tree.tree_hops(i, j), 2);
+                }
+            }
+        }
+    }
+}

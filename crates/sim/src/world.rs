@@ -1,0 +1,311 @@
+//! The mutable simulation state.
+
+use crate::SimConfig;
+use msn_field::{CoverageGrid, Field};
+use msn_geom::Point;
+use msn_net::{DiskGraph, MessageCounter};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// All mutable state of one simulation run: sensor positions with
+/// moving-distance accounting, simulated time, a seeded RNG and the
+/// message counter.
+///
+/// Deployment schemes (in `msn-deploy`) drive a `World` through their
+/// protocol phases; the engine itself is policy-free.
+///
+/// # Examples
+///
+/// ```
+/// use msn_field::Field;
+/// use msn_geom::Point;
+/// use msn_sim::{SimConfig, World};
+///
+/// let field = Field::open(100.0, 100.0);
+/// let cfg = SimConfig::paper(20.0, 15.0).with_duration(5.0);
+/// let mut world = World::new(field, cfg, vec![Point::new(10.0, 10.0)]);
+/// world.set_pos(0, Point::new(12.0, 10.0));
+/// assert_eq!(world.moved(0), 2.0);
+/// ```
+#[derive(Debug)]
+pub struct World {
+    field: Field,
+    cfg: SimConfig,
+    positions: Vec<Point>,
+    moved: Vec<f64>,
+    time: f64,
+    tick: u64,
+    rng: SmallRng,
+    msgs: MessageCounter,
+}
+
+impl World {
+    /// Creates a world with sensors at `positions`.
+    pub fn new(field: Field, cfg: SimConfig, positions: Vec<Point>) -> Self {
+        let n = positions.len();
+        let rng = SmallRng::seed_from_u64(cfg.seed);
+        World {
+            field,
+            cfg,
+            positions,
+            moved: vec![0.0; n],
+            time: 0.0,
+            tick: 0,
+            rng,
+            msgs: MessageCounter::new(),
+        }
+    }
+
+    /// Number of sensors.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// The sensing field.
+    #[inline]
+    pub fn field(&self) -> &Field {
+        &self.field
+    }
+
+    /// The simulation configuration.
+    #[inline]
+    pub fn cfg(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time (s).
+    #[inline]
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Current micro-tick index.
+    #[inline]
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Advances the clock by one micro-tick.
+    pub fn advance_tick(&mut self) {
+        self.tick += 1;
+        self.time = self.tick as f64 * self.cfg.dt();
+    }
+
+    /// Returns `true` if sensor `i` plans a new step at the current
+    /// tick. Planning instants are phase-offset per sensor
+    /// (`i mod ticks_per_period`), modeling the asynchronous network
+    /// of §4.2.
+    pub fn is_plan_tick(&self, i: usize) -> bool {
+        let tpp = self.cfg.ticks_per_period as u64;
+        self.tick % tpp == (i as u64) % tpp
+    }
+
+    /// Simulated time at which sensor `i`'s current period ends (its
+    /// next planning instant) — the `t′` of the connectivity-preserving
+    /// conditions.
+    pub fn period_end(&self, i: usize) -> f64 {
+        let tpp = self.cfg.ticks_per_period as u64;
+        let phase = (i as u64) % tpp;
+        let current = self.tick;
+        let next = if current % tpp < phase {
+            current - (current % tpp) + phase
+        } else {
+            current - (current % tpp) + phase + tpp
+        };
+        next as f64 * self.cfg.dt()
+    }
+
+    /// Position of sensor `i`.
+    #[inline]
+    pub fn pos(&self, i: usize) -> Point {
+        self.positions[i]
+    }
+
+    /// All sensor positions.
+    #[inline]
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Moves sensor `i` to `p`, charging the straight-line distance.
+    pub fn set_pos(&mut self, i: usize, p: Point) {
+        self.moved[i] += self.positions[i].dist(p);
+        self.positions[i] = p;
+    }
+
+    /// Moves sensor `i` to `p`, charging an explicit path length
+    /// `dist` (BUG2 boundary-following covers more ground than the
+    /// displacement).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `dist` is shorter than the
+    /// displacement (path lengths can never undercut a straight line).
+    pub fn set_pos_with_distance(&mut self, i: usize, p: Point, dist: f64) {
+        debug_assert!(
+            dist + 1e-6 >= self.positions[i].dist(p),
+            "path length {dist} below displacement {}",
+            self.positions[i].dist(p)
+        );
+        self.moved[i] += dist;
+        self.positions[i] = p;
+    }
+
+    /// Places sensor `i` without charging distance (initial layout
+    /// adjustments whose cost is charged elsewhere, e.g. Hungarian
+    /// matching baselines).
+    pub fn teleport(&mut self, i: usize, p: Point) {
+        self.positions[i] = p;
+    }
+
+    /// Distance sensor `i` has moved so far.
+    #[inline]
+    pub fn moved(&self, i: usize) -> f64 {
+        self.moved[i]
+    }
+
+    /// Charges extra moving distance to sensor `i` without changing
+    /// its position.
+    pub fn add_distance(&mut self, i: usize, dist: f64) {
+        debug_assert!(dist >= 0.0);
+        self.moved[i] += dist;
+    }
+
+    /// Total moving distance over all sensors.
+    pub fn total_moved(&self) -> f64 {
+        self.moved.iter().sum()
+    }
+
+    /// Average moving distance per sensor.
+    pub fn avg_moved(&self) -> f64 {
+        if self.moved.is_empty() {
+            0.0
+        } else {
+            self.total_moved() / self.moved.len() as f64
+        }
+    }
+
+    /// Builds the current `rc`-disk graph.
+    pub fn graph(&self) -> DiskGraph {
+        DiskGraph::build(&self.positions, self.cfg.rc)
+    }
+
+    /// Connected-to-base mask for the current positions.
+    pub fn connected_mask(&self) -> Vec<bool> {
+        self.graph()
+            .flood_from_base(&self.positions, self.cfg.base, self.cfg.rc)
+    }
+
+    /// The seeded RNG.
+    #[inline]
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// The message counter.
+    #[inline]
+    pub fn msgs(&mut self) -> &mut MessageCounter {
+        &mut self.msgs
+    }
+
+    /// Read-only view of the message counter.
+    #[inline]
+    pub fn msgs_ref(&self) -> &MessageCounter {
+        &self.msgs
+    }
+
+    /// Builds a coverage grid for this world's field at the configured
+    /// resolution.
+    pub fn coverage_grid(&self) -> CoverageGrid {
+        CoverageGrid::new(&self.field, self.cfg.coverage_cell)
+    }
+
+    /// Current coverage fraction measured on `grid`.
+    pub fn coverage(&self, grid: &CoverageGrid) -> f64 {
+        grid.coverage(&self.positions, self.cfg.rs)
+    }
+}
+
+impl fmt::Display for World {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "world(n={}, t={:.1}s, moved {:.1} m total)",
+            self.n(),
+            self.time,
+            self.total_moved()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world_with(n: usize) -> World {
+        let field = Field::open(100.0, 100.0);
+        let cfg = SimConfig::paper(20.0, 15.0).with_duration(10.0);
+        let positions = (0..n).map(|i| Point::new(5.0 * i as f64 + 5.0, 5.0)).collect();
+        World::new(field, cfg, positions)
+    }
+
+    #[test]
+    fn distance_accounting() {
+        let mut w = world_with(2);
+        w.set_pos(0, Point::new(8.0, 9.0)); // from (5,5): 3-4-5 triangle
+        assert_eq!(w.moved(0), 5.0);
+        w.set_pos_with_distance(1, Point::new(10.0, 8.0), 7.0);
+        assert_eq!(w.moved(1), 7.0);
+        assert_eq!(w.total_moved(), 12.0);
+        assert_eq!(w.avg_moved(), 6.0);
+        w.teleport(0, Point::new(0.0, 0.0));
+        assert_eq!(w.moved(0), 5.0, "teleport charges nothing");
+        w.add_distance(0, 1.5);
+        assert_eq!(w.moved(0), 6.5);
+    }
+
+    #[test]
+    fn clock_and_phases() {
+        let mut w = world_with(3);
+        assert_eq!(w.time(), 0.0);
+        assert!(w.is_plan_tick(0), "sensor 0 plans at tick 0");
+        assert!(!w.is_plan_tick(1));
+        w.advance_tick();
+        assert!(w.is_plan_tick(1), "sensor 1 plans at tick 1");
+        assert_eq!(w.time(), 0.2);
+        // period_end: sensor 1 at tick 1 has period ending at tick 6
+        assert!((w.period_end(1) - 1.2).abs() < 1e-12);
+        // sensor 0 (phase 0) at tick 1: period ends at tick 5
+        assert!((w.period_end(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn connectivity_mask() {
+        let w = world_with(3); // at x = 5, 10, 15 with rc = 20: all near base
+        let mask = w.connected_mask();
+        assert_eq!(mask, vec![true, true, true]);
+        let mut w2 = world_with(3);
+        w2.teleport(2, Point::new(90.0, 90.0));
+        assert_eq!(w2.connected_mask(), vec![true, true, false]);
+    }
+
+    #[test]
+    fn coverage_measurement() {
+        let w = world_with(1);
+        let grid = w.coverage_grid();
+        let cov = w.coverage(&grid);
+        assert!(cov > 0.0 && cov < 0.2);
+    }
+
+    #[test]
+    fn deterministic_rng() {
+        use rand::Rng;
+        let mut a = world_with(1);
+        let mut b = world_with(1);
+        let x: u64 = a.rng().gen();
+        let y: u64 = b.rng().gen();
+        assert_eq!(x, y);
+    }
+}

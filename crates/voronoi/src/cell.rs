@@ -1,0 +1,171 @@
+//! A single Voronoi cell and the movement targets derived from it.
+
+use msn_geom::{min_enclosing_circle, Point, Polygon};
+use std::fmt;
+
+/// The (possibly empty) Voronoi cell of one site, as a convex polygon.
+///
+/// # Examples
+///
+/// ```
+/// use msn_geom::{Point, Rect};
+/// use msn_voronoi::VoronoiDiagram;
+///
+/// let sites = vec![Point::new(10.0, 50.0), Point::new(90.0, 50.0)];
+/// let vd = VoronoiDiagram::compute(&sites, Rect::new(0.0, 0.0, 100.0, 100.0));
+/// let cell = vd.cell(0);
+/// // The farthest vertex of the left cell is a corner of the split line
+/// // or the outer boundary.
+/// let fv = cell.farthest_vertex().unwrap();
+/// assert!(fv.dist(sites[0]) > 40.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoronoiCell {
+    site: Point,
+    vertices: Vec<Point>,
+}
+
+impl VoronoiCell {
+    /// Creates a cell from its site and convex-polygon vertices (CCW).
+    ///
+    /// An empty or degenerate (<3 vertices) vertex list produces an
+    /// empty cell.
+    pub fn new(site: Point, vertices: Vec<Point>) -> Self {
+        let vertices = if vertices.len() < 3 { Vec::new() } else { vertices };
+        VoronoiCell { site, vertices }
+    }
+
+    /// The site this cell belongs to.
+    #[inline]
+    pub fn site(&self) -> Point {
+        self.site
+    }
+
+    /// The cell's polygon vertices (CCW); empty for an empty cell.
+    #[inline]
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Returns `true` if the cell is empty (site crowded out or outside
+    /// the bounds).
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        self.vertices.len() < 3
+    }
+
+    /// Cell area (0 for an empty cell).
+    pub fn area(&self) -> f64 {
+        if self.is_degenerate() {
+            0.0
+        } else {
+            Polygon::new(self.vertices.clone()).area()
+        }
+    }
+
+    /// Returns `true` if `p` lies in the closed cell.
+    pub fn contains(&self, p: Point) -> bool {
+        if self.is_degenerate() {
+            return false;
+        }
+        Polygon::new(self.vertices.clone()).contains(p)
+    }
+
+    /// The cell vertex farthest from the site — the VOR scheme's
+    /// movement target (the worst-covered corner of the cell).
+    ///
+    /// Returns `None` for an empty cell.
+    pub fn farthest_vertex(&self) -> Option<Point> {
+        self.vertices
+            .iter()
+            .copied()
+            .max_by(|a, b| {
+                self.site
+                    .dist_sq(*a)
+                    .partial_cmp(&self.site.dist_sq(*b))
+                    .expect("finite")
+            })
+    }
+
+    /// The *minimax point*: the point minimizing the maximum distance to
+    /// the cell's vertices — the Minimax scheme's movement target.
+    ///
+    /// For a convex cell this is the center of the minimum enclosing
+    /// circle of the vertices. Returns `None` for an empty cell.
+    pub fn minimax_point(&self) -> Option<Point> {
+        min_enclosing_circle(&self.vertices).map(|c| c.center)
+    }
+
+    /// Maximum distance from `p` to any cell vertex (`None` if empty).
+    pub fn max_vertex_dist(&self, p: Point) -> Option<f64> {
+        self.vertices
+            .iter()
+            .map(|v| v.dist(p))
+            .fold(None, |acc, d| Some(acc.map_or(d, |m: f64| m.max(d))))
+    }
+}
+
+impl fmt::Display for VoronoiCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cell(site {}, {} vertices, area {:.3})",
+            self.site,
+            self.vertices.len(),
+            self.area()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msn_geom::Rect;
+
+    fn square_cell() -> VoronoiCell {
+        VoronoiCell::new(
+            Point::new(2.0, 2.0),
+            Rect::new(0.0, 0.0, 10.0, 10.0).to_polygon().vertices().to_vec(),
+        )
+    }
+
+    #[test]
+    fn farthest_vertex_of_offset_site() {
+        let cell = square_cell();
+        let fv = cell.farthest_vertex().unwrap();
+        assert!(fv.approx_eq(Point::new(10.0, 10.0)));
+    }
+
+    #[test]
+    fn minimax_point_of_square_is_center() {
+        let cell = square_cell();
+        let mp = cell.minimax_point().unwrap();
+        assert!(mp.approx_eq(Point::new(5.0, 5.0)));
+        // Minimax point is at least as good as the site itself.
+        let at_site = cell.max_vertex_dist(cell.site()).unwrap();
+        let at_minimax = cell.max_vertex_dist(mp).unwrap();
+        assert!(at_minimax <= at_site + 1e-9);
+    }
+
+    #[test]
+    fn degenerate_cell_behaviour() {
+        let cell = VoronoiCell::new(Point::new(1.0, 1.0), vec![]);
+        assert!(cell.is_degenerate());
+        assert_eq!(cell.area(), 0.0);
+        assert_eq!(cell.farthest_vertex(), None);
+        assert_eq!(cell.minimax_point(), None);
+        assert_eq!(cell.max_vertex_dist(Point::ORIGIN), None);
+        assert!(!cell.contains(Point::new(1.0, 1.0)));
+        // fewer than 3 vertices is also degenerate
+        let two = VoronoiCell::new(Point::ORIGIN, vec![Point::ORIGIN, Point::new(1.0, 0.0)]);
+        assert!(two.is_degenerate());
+    }
+
+    #[test]
+    fn containment() {
+        let cell = square_cell();
+        assert!(cell.contains(Point::new(5.0, 5.0)));
+        assert!(cell.contains(Point::new(0.0, 0.0)));
+        assert!(!cell.contains(Point::new(-1.0, 5.0)));
+    }
+}

@@ -1,0 +1,162 @@
+//! Communication-restricted Voronoi cells (Figure 1 of the paper).
+
+use crate::{cell_of, VoronoiCell};
+use msn_geom::{Point, Rect};
+
+/// Computes the Voronoi cell of `sites[site_idx]` as the sensor itself
+/// would: clipping only against the given `neighbors` (typically the
+/// sites within communication range `rc`).
+///
+/// The restricted cell always *contains* the true cell; with too few
+/// neighbors it can be much larger, which misleads VOR/Minimax into
+/// chasing phantom coverage holes (paper §1, Figure 1).
+///
+/// # Examples
+///
+/// ```
+/// use msn_geom::{Point, Rect};
+/// use msn_voronoi::{restricted_cell, VoronoiDiagram};
+///
+/// let sites = vec![
+///     Point::new(30.0, 50.0),
+///     Point::new(50.0, 50.0),
+///     Point::new(70.0, 50.0),
+/// ];
+/// let bounds = Rect::new(0.0, 0.0, 100.0, 100.0);
+/// // Sensor 0 only hears sensor 1, not sensor 2.
+/// let restricted = restricted_cell(0, &sites, &[1], bounds);
+/// let full = VoronoiDiagram::compute(&sites, bounds);
+/// assert!(restricted.area() >= full.cell(0).area() - 1e-9);
+/// ```
+pub fn restricted_cell(
+    site_idx: usize,
+    sites: &[Point],
+    neighbors: &[usize],
+    bounds: Rect,
+) -> VoronoiCell {
+    cell_of(
+        site_idx,
+        sites,
+        neighbors.iter().copied().filter(|&j| j != site_idx),
+        bounds,
+    )
+}
+
+/// Returns `true` if two cells are geometrically identical within
+/// tolerance `tol` (same area and pairwise-matched vertices).
+///
+/// Used to detect whether a communication-restricted cell equals the
+/// true cell — the paper's "Incorrect VD" annotation in Figure 10
+/// triggers when any sensor's restricted cell differs.
+pub fn cells_match(a: &VoronoiCell, b: &VoronoiCell, tol: f64) -> bool {
+    if (a.area() - b.area()).abs() > tol * tol.max(1.0) {
+        return false;
+    }
+    match (a.is_degenerate(), b.is_degenerate()) {
+        (true, true) => return true,
+        (true, false) | (false, true) => return false,
+        (false, false) => {}
+    }
+    // Same convex region iff every vertex of each polygon lies on (or
+    // within tol of) the other's boundary. This is robust to duplicate
+    // or collinear vertices that different clipping orders can leave
+    // behind.
+    let pa = msn_geom::Polygon::new(a.vertices().to_vec());
+    let pb = msn_geom::Polygon::new(b.vertices().to_vec());
+    a.vertices().iter().all(|v| pb.boundary_dist(*v) <= tol)
+        && b.vertices().iter().all(|v| pa.boundary_dist(*v) <= tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VoronoiDiagram;
+
+    fn bounds() -> Rect {
+        Rect::new(0.0, 0.0, 100.0, 100.0)
+    }
+
+    fn line_sites() -> Vec<Point> {
+        vec![
+            Point::new(20.0, 50.0),
+            Point::new(40.0, 50.0),
+            Point::new(60.0, 50.0),
+            Point::new(80.0, 50.0),
+        ]
+    }
+
+    #[test]
+    fn all_neighbors_reproduces_full_cell() {
+        let sites = line_sites();
+        let full = VoronoiDiagram::compute(&sites, bounds());
+        for i in 0..sites.len() {
+            let others: Vec<usize> = (0..sites.len()).filter(|&j| j != i).collect();
+            let r = restricted_cell(i, &sites, &others, bounds());
+            assert!(cells_match(&r, full.cell(i), 1e-6), "cell {i} must match");
+        }
+    }
+
+    #[test]
+    fn fewer_neighbors_gives_superset() {
+        let sites = line_sites();
+        let full = VoronoiDiagram::compute(&sites, bounds());
+        // Sensor 0 hears only sensor 1.
+        let r = restricted_cell(0, &sites, &[1], bounds());
+        assert!(r.area() >= full.cell(0).area() - 1e-9);
+        // In this geometry they coincide (site 1 dominates the bisectors),
+        // but dropping ALL neighbors definitely inflates the cell.
+        let alone = restricted_cell(0, &sites, &[], bounds());
+        assert!((alone.area() - 10_000.0).abs() < 1e-6);
+        assert!(!cells_match(&alone, full.cell(0), 1e-6));
+    }
+
+    #[test]
+    fn missing_far_neighbor_detected_by_cells_match() {
+        // Square of sites; the diagonal neighbor matters for the corner
+        // cell shape.
+        let sites = vec![
+            Point::new(30.0, 30.0),
+            Point::new(70.0, 30.0),
+            Point::new(30.0, 70.0),
+            Point::new(70.0, 70.0),
+        ];
+        let full = VoronoiDiagram::compute(&sites, bounds());
+        // With only the horizontal neighbor, the cell keeps the full
+        // vertical extent — a wrong cell.
+        let r = restricted_cell(0, &sites, &[1], bounds());
+        assert!(!cells_match(&r, full.cell(0), 1e-6));
+        assert!(r.area() > full.cell(0).area() + 1.0);
+    }
+
+    #[test]
+    fn self_index_in_neighbors_is_ignored() {
+        let sites = line_sites();
+        let with_self = restricted_cell(0, &sites, &[0, 1], bounds());
+        let without = restricted_cell(0, &sites, &[1], bounds());
+        assert!(cells_match(&with_self, &without, 1e-9));
+    }
+
+    #[test]
+    fn cells_match_tolerates_jitter() {
+        let a = VoronoiCell::new(
+            Point::new(5.0, 5.0),
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(10.0, 10.0),
+                Point::new(0.0, 10.0),
+            ],
+        );
+        let b = VoronoiCell::new(
+            Point::new(5.0, 5.0),
+            vec![
+                Point::new(1e-8, 0.0),
+                Point::new(10.0, 1e-8),
+                Point::new(10.0, 10.0),
+                Point::new(0.0, 10.0),
+            ],
+        );
+        assert!(cells_match(&a, &b, 1e-6));
+        assert!(!cells_match(&a, &b, 1e-12));
+    }
+}

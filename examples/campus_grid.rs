@@ -1,0 +1,68 @@
+//! Campus monitoring: a metropolitan block grid (the paper's "urban
+//! region with buildings") where FLOOR must thread sensors through the
+//! street canyons, and the operator wants to tune the invitation TTL
+//! for message budget vs. deployment speed.
+//!
+//! ```text
+//! cargo run --release --example campus_grid
+//! ```
+
+use msn_deploy::floor::{run, FloorParams};
+use msn_field::{scatter_clustered, Field};
+use msn_geom::Rect;
+use msn_metrics::Table;
+use msn_sim::SimConfig;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn campus() -> Field {
+    // A 3x3 grid of buildings with 80 m streets between them.
+    let mut obstacles = Vec::new();
+    for bx in 0..3 {
+        for by in 0..3 {
+            let x = 140.0 + bx as f64 * 240.0;
+            let y = 140.0 + by as f64 * 240.0;
+            obstacles.push(Rect::new(x, y, x + 160.0, y + 160.0).to_polygon());
+        }
+    }
+    Field::with_obstacles(800.0, 800.0, obstacles)
+}
+
+fn main() {
+    let field = campus();
+    let mut rng = SmallRng::seed_from_u64(11);
+    let initial = scatter_clustered(&field, Rect::new(0.0, 0.0, 130.0, 130.0), 100, &mut rng);
+    let cfg = SimConfig::paper(55.0, 35.0)
+        .with_duration(500.0)
+        .with_coverage_cell(4.0);
+
+    println!("campus with {} buildings\n", field.obstacles().len());
+    println!("Tuning the invitation TTL (fraction of N = 100 sensors):\n");
+    let mut table = Table::new(vec![
+        "TTL",
+        "coverage",
+        "messages (x1000)",
+        "msgs/node/s",
+        "avg move (m)",
+    ]);
+    for ttl in [5usize, 10, 20, 40] {
+        let params = FloorParams {
+            invitation_ttl: Some(ttl),
+            ..FloorParams::default()
+        };
+        let r = run(&field, &initial, &params, &cfg);
+        let per_node_per_s = r.messages.total() as f64 / 100.0 / cfg.duration;
+        table.row(vec![
+            ttl.to_string(),
+            format!("{:.1}%", r.coverage * 100.0),
+            format!("{:.0}", r.messages.total() as f64 / 1000.0),
+            format!("{per_node_per_s:.1}"),
+            format!("{:.0}", r.avg_move),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "\nShort TTLs starve distant frontier tips of recruits; long TTLs\n\
+         pay linearly more messages for the same walks (Table 1's trend)."
+    );
+}

@@ -1,0 +1,59 @@
+//! Failure recovery (the paper's §7 future work): after a FLOOR
+//! deployment converges, a fraction of the deployed sensors dies.
+//! Because FLOOR's machinery is restartable — classification and
+//! expansion only need the surviving positions — running the scheme
+//! again over the survivors heals the holes with the remaining
+//! redundancy.
+//!
+//! ```text
+//! cargo run --release --example failure_recovery
+//! ```
+
+use msn_deploy::floor::{run, FloorParams};
+use msn_field::{scatter_clustered, CoverageGrid, Field};
+use msn_geom::Rect;
+use msn_sim::SimConfig;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn main() {
+    let field = Field::open(500.0, 500.0);
+    let mut rng = SmallRng::seed_from_u64(21);
+    let initial = scatter_clustered(&field, Rect::new(0.0, 0.0, 200.0, 200.0), 100, &mut rng);
+    let cfg = SimConfig::paper(50.0, 35.0)
+        .with_duration(400.0)
+        .with_coverage_cell(4.0);
+    let grid = CoverageGrid::new(&field, 4.0);
+
+    // Initial deployment.
+    let deployed = run(&field, &initial, &FloorParams::default(), &cfg);
+    println!(
+        "deployed: coverage {:.1}%, connected: {}",
+        deployed.coverage * 100.0,
+        deployed.connected
+    );
+
+    // 25% of the sensors fail at random.
+    let mut survivors = deployed.positions.clone();
+    survivors.shuffle(&mut rng);
+    survivors.truncate(75);
+    let after_failure = grid.coverage(&survivors, cfg.rs);
+    println!("after 25% failures: coverage {:.1}%", after_failure * 100.0);
+
+    // Recovery: rerun FLOOR from the surviving layout. Phase 1 is a
+    // no-op for already-connected sensors; classification frees the
+    // redundant ones and expansion re-fills the holes.
+    let recovery_cfg = cfg.clone().with_duration(300.0);
+    let healed = run(&field, &survivors, &FloorParams::default(), &recovery_cfg);
+    println!(
+        "after recovery: coverage {:.1}%, connected: {} (moved {:.0} m per survivor)",
+        healed.coverage * 100.0,
+        healed.connected,
+        healed.avg_move
+    );
+    assert!(
+        healed.coverage >= after_failure - 0.02,
+        "recovery must not lose coverage"
+    );
+}

@@ -1,0 +1,100 @@
+//! Smoke tests for the experiment harness: every figure/table module
+//! must run end to end at a tiny scale and produce a plausible report.
+
+use msn_bench::Profile;
+
+fn tiny() -> Profile {
+    Profile {
+        n_base: 40,
+        n_sweep: vec![30, 40],
+        duration: 80.0,
+        coverage_cell: 10.0,
+        fig13_runs: 2,
+        seed: 42,
+        layouts: false,
+    }
+}
+
+#[test]
+fn fig3_report_contains_all_scenarios() {
+    let report = msn_bench::fig3::run(&tiny());
+    assert!(report.contains("Figure 3"));
+    assert!(report.contains("(a) rc=60 rs=40 open"));
+    assert!(report.contains("(b) rc=30 rs=40 open"));
+    assert!(report.contains("(c) rc=60 rs=40 two-obstacle"));
+    assert!(report.contains('%'));
+}
+
+#[test]
+fn fig8_report_contains_all_scenarios() {
+    let report = msn_bench::fig8::run(&tiny());
+    assert!(report.contains("Figure 8"));
+    assert!(report.contains("FLOOR"));
+    assert!(report.matches('%').count() >= 6, "coverage and paper columns");
+}
+
+#[test]
+fn fig9_sweeps_all_combos() {
+    let report = msn_bench::fig9::run(&tiny());
+    for (rc, rs) in msn_bench::fig9::COMBOS {
+        assert!(report.contains(&format!("rc = {rc} m, rs = {rs} m")));
+    }
+    assert!(report.contains("OPT"));
+}
+
+#[test]
+fn fig10_lists_every_ratio_with_flags() {
+    let report = msn_bench::fig10::run(&tiny());
+    for ratio in msn_bench::fig10::RATIOS {
+        assert!(report.contains(&format!("{ratio:.1}")));
+    }
+    assert!(report.contains("Disconn."), "small rc/rs must disconnect");
+}
+
+#[test]
+fn fig11_reports_six_schemes() {
+    let report = msn_bench::fig11::run(&tiny());
+    for name in ["CPVF", "FLOOR", "VOR", "Minimax", "OPT(pattern)", "OPT(FLOOR)"] {
+        assert!(report.contains(name), "missing column {name}");
+    }
+}
+
+#[test]
+fn fig12_sweeps_deltas() {
+    let report = msn_bench::fig12::run(&tiny());
+    assert!(report.contains("one-step"));
+    assert!(report.contains("two-step"));
+    assert!(report.contains("off"));
+}
+
+#[test]
+fn fig13_produces_cdfs() {
+    let report = msn_bench::fig13::run(&tiny());
+    assert!(report.contains("CDF of coverage"));
+    assert!(report.contains("CDF of average moving distance"));
+    assert!(report.contains("F_CPVF(x)"));
+}
+
+#[test]
+fn ablation_reports_all_variants() {
+    let report = msn_bench::ablation::run(&tiny());
+    for name in ["full FLOOR", "no BLG", "no IFLG", "FLG only"] {
+        assert!(report.contains(name), "missing variant {name}");
+    }
+}
+
+#[test]
+fn uniform_init_compares_both_distributions() {
+    let report = msn_bench::uniform_init::run(&tiny());
+    assert!(report.contains("clustered"));
+    assert!(report.contains("uniform"));
+    assert!(report.contains("FLOOR"));
+}
+
+#[test]
+fn table1_covers_both_environments() {
+    let report = msn_bench::table1::run(&tiny());
+    assert!(report.contains("non-obstacle environment"));
+    assert!(report.contains("two-obstacle environment"));
+    assert!(report.contains("TTL=0.1N"));
+}
