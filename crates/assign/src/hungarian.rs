@@ -54,7 +54,10 @@ impl fmt::Display for Assignment {
 pub fn hungarian(costs: &CostMatrix) -> Assignment {
     let n = costs.rows();
     let m = costs.cols();
-    assert!(n <= m, "hungarian requires rows <= cols; transpose the problem");
+    assert!(
+        n <= m,
+        "hungarian requires rows <= cols; transpose the problem"
+    );
 
     // 1-indexed potentials and matching, per the classic formulation:
     // u[i] for rows, v[j] for columns, way[j] = previous column on the

@@ -66,7 +66,11 @@ impl CostMatrix {
                 data.push(v);
             }
         }
-        CostMatrix { rows: n, cols: m, data }
+        CostMatrix {
+            rows: n,
+            cols: m,
+            data,
+        }
     }
 
     /// Euclidean distances from each source point to each target point.

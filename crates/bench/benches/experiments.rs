@@ -6,7 +6,10 @@ fn main() {
     // Respect the libtest-style --bench flag cargo passes.
     let profile = msn_bench::Profile::quick();
     for (name, f) in [
-        ("fig3", msn_bench::fig3::run as fn(&msn_bench::Profile) -> String),
+        (
+            "fig3",
+            msn_bench::fig3::run as fn(&msn_bench::Profile) -> String,
+        ),
         ("fig8", msn_bench::fig8::run),
         ("fig9", msn_bench::fig9::run),
         ("fig10", msn_bench::fig10::run),
@@ -19,7 +22,10 @@ fn main() {
     ] {
         let start = std::time::Instant::now();
         let report = f(&profile);
-        println!("=== {name} (quick profile, {:.1}s) ===", start.elapsed().as_secs_f64());
+        println!(
+            "=== {name} (quick profile, {:.1}s) ===",
+            start.elapsed().as_secs_f64()
+        );
         println!("{report}");
     }
 }

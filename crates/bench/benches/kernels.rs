@@ -34,7 +34,10 @@ fn bench_voronoi(c: &mut Criterion) {
 
 fn bench_hungarian(c: &mut Criterion) {
     let src = sites(240);
-    let dst: Vec<Point> = sites(240).into_iter().map(|p| Point::new(p.y, p.x)).collect();
+    let dst: Vec<Point> = sites(240)
+        .into_iter()
+        .map(|p| Point::new(p.y, p.x))
+        .collect();
     c.bench_function("hungarian_240x240_euclidean", |b| {
         b.iter_batched(
             || CostMatrix::euclidean(&src, &dst),

@@ -42,9 +42,8 @@ pub fn variants() -> Vec<(&'static str, FloorParams)> {
 
 /// Runs the ablation and formats the report.
 pub fn run(profile: &Profile) -> String {
-    let mut out = String::from(
-        "Ablation — contribution of FLOOR's expansion patterns (extension)\n\n",
-    );
+    let mut out =
+        String::from("Ablation — contribution of FLOOR's expansion patterns (extension)\n\n");
     for (name, rc, rs, field) in fig3::scenarios() {
         let initial = clustered_initial(&field, profile.n_base, profile.seed);
         let cfg = profile.cfg(rc, rs);

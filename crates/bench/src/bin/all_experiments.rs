@@ -3,7 +3,10 @@
 fn main() {
     let profile = msn_bench::Profile::full();
     for (name, f) in [
-        ("fig3", msn_bench::fig3::run as fn(&msn_bench::Profile) -> String),
+        (
+            "fig3",
+            msn_bench::fig3::run as fn(&msn_bench::Profile) -> String,
+        ),
         ("fig8", msn_bench::fig8::run),
         ("fig9", msn_bench::fig9::run),
         ("fig10", msn_bench::fig10::run),

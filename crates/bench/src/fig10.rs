@@ -28,7 +28,13 @@ pub fn run(profile: &Profile) -> String {
         let initial = clustered_initial(&field, profile.n_base, profile.seed);
         let cfg = profile.cfg(rc, rs);
         let fl = floor::run(&field, &initial, &floor::FloorParams::default(), &cfg);
-        let vor = vd::run(&field, &initial, vd::VdVariant::Vor, &vd::VdParams::default(), &cfg);
+        let vor = vd::run(
+            &field,
+            &initial,
+            vd::VdVariant::Vor,
+            &vd::VdParams::default(),
+            &cfg,
+        );
         let mm = vd::run(
             &field,
             &initial,

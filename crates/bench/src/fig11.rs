@@ -18,9 +18,7 @@ use msn_metrics::Table;
 
 /// Runs Figure 11 and formats the report.
 pub fn run(profile: &Profile) -> String {
-    let mut out = String::from(
-        "Figure 11 — average moving distance (m), rc = 60 m, rs = 40 m\n\n",
-    );
+    let mut out = String::from("Figure 11 — average moving distance (m), rc = 60 m, rs = 40 m\n\n");
     let field = paper_field();
     let (rc, rs) = (60.0, 40.0);
     let mut table = Table::new(vec![
@@ -37,7 +35,13 @@ pub fn run(profile: &Profile) -> String {
         let cfg = profile.cfg(rc, rs);
         let r_cpvf = cpvf::run(&field, &initial, &cpvf::CpvfParams::default(), &cfg);
         let r_floor = floor::run(&field, &initial, &floor::FloorParams::default(), &cfg);
-        let r_vor = vd::run(&field, &initial, vd::VdVariant::Vor, &vd::VdParams::default(), &cfg);
+        let r_vor = vd::run(
+            &field,
+            &initial,
+            vd::VdVariant::Vor,
+            &vd::VdParams::default(),
+            &cfg,
+        );
         let r_mm = vd::run(
             &field,
             &initial,

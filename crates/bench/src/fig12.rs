@@ -16,9 +16,8 @@ pub const DELTAS: [f64; 5] = [1.0, 2.0, 4.0, 8.0, 16.0];
 
 /// Runs Figure 12 and formats the report.
 pub fn run(profile: &Profile) -> String {
-    let mut out = String::from(
-        "Figure 12 — oscillation avoidance for CPVF (rc = 60 m, rs = 40 m)\n\n",
-    );
+    let mut out =
+        String::from("Figure 12 — oscillation avoidance for CPVF (rc = 60 m, rs = 40 m)\n\n");
     let field = paper_field();
     let initial = clustered_initial(&field, profile.n_base, profile.seed);
     let cfg = profile.cfg(60.0, 40.0);

@@ -1,16 +1,22 @@
 //! Figure 13: CDFs of coverage and average moving distance for CPVF
 //! vs FLOOR over repeated runs with 1–4 random rectangular obstacles.
 //!
+//! Implemented as a thin client of the `msn-scenario` engine: the
+//! repeated random-obstacle workload is a [`ScenarioSpec`] with a
+//! `random-obstacles` field and N repetitions, executed in parallel
+//! by the [`BatchRunner`]; both schemes face identical environments
+//! in every repetition (shared per-rep environment seed). This module
+//! only builds the CDF tables from the per-run records.
+//!
 //! Findings to reproduce in shape: FLOOR's mean coverage exceeds
 //! CPVF's by 20+ percentage points, at less than half the mean moving
 //! distance.
 
-use crate::{clustered_initial, pct, Profile};
-use msn_deploy::{cpvf, floor};
-use msn_field::{random_obstacle_field, RandomObstacleParams};
+use crate::{pct, Profile};
+use msn_deploy::SchemeKind;
+use msn_field::RandomObstacleParams;
 use msn_metrics::{Cdf, Table};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use msn_scenario::{BatchRunner, FieldSpec, ScenarioSpec};
 
 /// One scheme's samples across the random-obstacle runs.
 #[derive(Debug, Clone)]
@@ -23,33 +29,38 @@ pub struct SchemeSamples {
     pub avg_move: Vec<f64>,
 }
 
-/// Executes the experiment, returning raw samples for both schemes.
+/// The experiment as a declarative scenario spec.
+pub fn spec(profile: &Profile) -> ScenarioSpec {
+    ScenarioSpec::new("fig13")
+        .with_description("Figure 13: CPVF vs FLOOR CDFs over random-obstacle fields")
+        .with_field(FieldSpec::RandomObstacles(RandomObstacleParams::default()))
+        .with_schemes(vec![SchemeKind::Cpvf, SchemeKind::Floor])
+        .with_sensor_counts(vec![profile.n_base])
+        .with_radios(vec![(60.0, 40.0)])
+        .with_duration(profile.duration)
+        .with_coverage_cell(profile.coverage_cell)
+        .with_repetitions(profile.fig13_runs)
+        .with_seed(profile.seed)
+}
+
+/// Executes the experiment (in parallel, via the scenario engine),
+/// returning raw samples for both schemes.
 pub fn samples(profile: &Profile) -> (SchemeSamples, SchemeSamples) {
-    let mut c = SchemeSamples {
-        name: "CPVF",
-        coverage: Vec::new(),
-        avg_move: Vec::new(),
+    let result = BatchRunner::new()
+        .run(&spec(profile))
+        .expect("fig13 spec is valid");
+    let collect = |kind: SchemeKind, name: &'static str| {
+        let records = result.scheme_records(kind);
+        SchemeSamples {
+            name,
+            coverage: records.iter().map(|r| r.coverage).collect(),
+            avg_move: records.iter().map(|r| r.avg_move).collect(),
+        }
     };
-    let mut f = SchemeSamples {
-        name: "FLOOR",
-        coverage: Vec::new(),
-        avg_move: Vec::new(),
-    };
-    let params = RandomObstacleParams::default();
-    for run_idx in 0..profile.fig13_runs {
-        let seed = profile.seed + run_idx as u64;
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let field = random_obstacle_field(&params, &mut rng);
-        let initial = clustered_initial(&field, profile.n_base, seed);
-        let cfg = profile.cfg(60.0, 40.0).with_seed(seed);
-        let rc = cpvf::run(&field, &initial, &cpvf::CpvfParams::default(), &cfg);
-        c.coverage.push(rc.coverage);
-        c.avg_move.push(rc.avg_move);
-        let rf = floor::run(&field, &initial, &floor::FloorParams::default(), &cfg);
-        f.coverage.push(rf.coverage);
-        f.avg_move.push(rf.avg_move);
-    }
-    (c, f)
+    (
+        collect(SchemeKind::Cpvf, "CPVF"),
+        collect(SchemeKind::Floor, "FLOOR"),
+    )
 }
 
 /// Runs Figure 13 and formats the CDF report.

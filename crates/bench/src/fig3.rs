@@ -14,7 +14,12 @@ pub fn scenarios() -> Vec<(&'static str, f64, f64, Field)> {
     vec![
         ("(a) rc=60 rs=40 open", 60.0, 40.0, paper_field()),
         ("(b) rc=30 rs=40 open", 30.0, 40.0, paper_field()),
-        ("(c) rc=60 rs=40 two-obstacle", 60.0, 40.0, two_obstacle_field()),
+        (
+            "(c) rc=60 rs=40 two-obstacle",
+            60.0,
+            40.0,
+            two_obstacle_field(),
+        ),
     ]
 }
 
@@ -24,7 +29,13 @@ pub const PAPER: [f64; 3] = [0.745, 0.264, 0.371];
 /// Runs Figure 3 and formats the report.
 pub fn run(profile: &Profile) -> String {
     let mut out = String::from("Figure 3 — CPVF sensor layouts and coverage\n");
-    let mut table = Table::new(vec!["scenario", "coverage", "paper", "avg move (m)", "connected"]);
+    let mut table = Table::new(vec![
+        "scenario",
+        "coverage",
+        "paper",
+        "avg move (m)",
+        "connected",
+    ]);
     for (i, (name, rc, rs, field)) in scenarios().into_iter().enumerate() {
         let initial = clustered_initial(&field, profile.n_base, profile.seed);
         let cfg = profile.cfg(rc, rs);
@@ -38,7 +49,12 @@ pub fn run(profile: &Profile) -> String {
         ]);
         if profile.layouts {
             out.push_str(&format!("\n{name}: coverage {}\n", pct(r.coverage)));
-            out.push_str(&ascii_layout(&field, &r.positions, rs, &AsciiOptions::default()));
+            out.push_str(&ascii_layout(
+                &field,
+                &r.positions,
+                rs,
+                &AsciiOptions::default(),
+            ));
             out.push('\n');
         }
     }

@@ -16,7 +16,13 @@ pub const PAPER: [f64; 3] = [0.788, 0.462, 0.725];
 /// Runs Figure 8 and formats the report.
 pub fn run(profile: &Profile) -> String {
     let mut out = String::from("Figure 8 — FLOOR sensor layouts and coverage\n");
-    let mut table = Table::new(vec!["scenario", "coverage", "paper", "avg move (m)", "connected"]);
+    let mut table = Table::new(vec![
+        "scenario",
+        "coverage",
+        "paper",
+        "avg move (m)",
+        "connected",
+    ]);
     for (i, (name, rc, rs, field)) in fig3::scenarios().into_iter().enumerate() {
         let initial = clustered_initial(&field, profile.n_base, profile.seed);
         let cfg = profile.cfg(rc, rs);
@@ -30,7 +36,12 @@ pub fn run(profile: &Profile) -> String {
         ]);
         if profile.layouts {
             out.push_str(&format!("\n{name}: coverage {}\n", pct(r.coverage)));
-            out.push_str(&ascii_layout(&field, &r.positions, rs, &AsciiOptions::default()));
+            out.push_str(&ascii_layout(
+                &field,
+                &r.positions,
+                rs,
+                &AsciiOptions::default(),
+            ));
             out.push('\n');
         }
     }

@@ -1,33 +1,59 @@
 //! Figure 9: coverage of CPVF, FLOOR and OPT for varying numbers of
 //! sensors and three (rc, rs) combinations.
 //!
+//! Implemented as a thin client of the `msn-scenario` engine: the
+//! sweep is declared as a [`ScenarioSpec`] and executed by the
+//! parallel [`BatchRunner`]; this module only formats the paper's
+//! tables from the aggregated result.
+//!
 //! The paper's findings this experiment should reproduce in shape:
 //! FLOOR beats CPVF everywhere, with the largest margin at small
 //! `rc/rs` (e.g. rc = 20, rs = 60: CPVF ≈ 20 % vs FLOOR ≈ 46 % at 240
 //! sensors); FLOOR approaches OPT as `rc` and `n` grow (within ~4 % at
 //! rc = rs = 60 and n ≥ 200).
 
-use crate::{clustered_initial, pct, Profile};
-use msn_deploy::{run_scheme, SchemeKind};
-use msn_field::paper_field;
+use crate::{pct, Profile};
+use msn_deploy::SchemeKind;
 use msn_metrics::Table;
+use msn_scenario::{BatchRunner, RadioSpec, ScenarioSpec};
 
 /// The (rc, rs) combinations the paper's Figure 9 sweeps.
 pub const COMBOS: [(f64, f64); 3] = [(20.0, 60.0), (40.0, 60.0), (60.0, 60.0)];
 
-/// Runs Figure 9 and formats the report.
+/// The schemes Figure 9 compares, in column order.
+const SCHEMES: [SchemeKind; 3] = [SchemeKind::Cpvf, SchemeKind::Floor, SchemeKind::Opt];
+
+/// The experiment as a declarative scenario spec.
+pub fn spec(profile: &Profile) -> ScenarioSpec {
+    ScenarioSpec::new("fig9")
+        .with_description("Figure 9: coverage vs sensor count for three (rc, rs) combos")
+        .with_schemes(SCHEMES.to_vec())
+        .with_sensor_counts(profile.n_sweep.clone())
+        .with_radios(COMBOS.to_vec())
+        .with_duration(profile.duration)
+        .with_coverage_cell(profile.coverage_cell)
+        .with_seed(profile.seed)
+}
+
+/// Runs Figure 9 (in parallel, via the scenario engine) and formats
+/// the report.
 pub fn run(profile: &Profile) -> String {
+    let result = BatchRunner::new()
+        .run(&spec(profile))
+        .expect("fig9 spec is valid");
+    let stats = result.cell_stats();
     let mut out = String::from("Figure 9 — coverage of CPVF, FLOOR and OPT vs sensor count\n");
-    let field = paper_field();
     for (rc, rs) in COMBOS {
+        let radio = RadioSpec::new(rc, rs);
         let mut table = Table::new(vec!["n", "CPVF", "FLOOR", "OPT"]);
         for &n in &profile.n_sweep {
-            let initial = clustered_initial(&field, n, profile.seed);
-            let cfg = profile.cfg(rc, rs);
             let mut cells = vec![n.to_string()];
-            for kind in [SchemeKind::Cpvf, SchemeKind::Floor, SchemeKind::Opt] {
-                let r = run_scheme(kind, &field, &initial, &cfg);
-                cells.push(pct(r.coverage));
+            for scheme in SCHEMES {
+                let cell = stats
+                    .iter()
+                    .find(|s| s.radio == radio && s.n == n && s.scheme == scheme)
+                    .expect("matrix covers every (radio, n, scheme)");
+                cells.push(pct(cell.coverage.mean()));
             }
             table.row(cells);
         }

@@ -89,7 +89,8 @@ pub fn virtual_force(
         if d >= params.obstacle_range || d <= 1e-9 {
             continue;
         }
-        f += (delta / d) * (params.obstacle_gain * (params.obstacle_range - d) / params.obstacle_range);
+        f += (delta / d)
+            * (params.obstacle_gain * (params.obstacle_range - d) / params.obstacle_range);
     }
     // Boundary repulsion keeps sensors inside the field.
     let b = field.bounds();

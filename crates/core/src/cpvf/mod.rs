@@ -217,7 +217,11 @@ pub fn run(field: &Field, initial: &[Point], params: &CpvfParams, cfg: &SimConfi
                 match tree.parent(i) {
                     Parent::Base => {
                         let d = world.pos(i).dist(cfg.base);
-                        assert!(d <= limit, "t={}: base link of #{i} at {d:.3}", world.time());
+                        assert!(
+                            d <= limit,
+                            "t={}: base link of #{i} at {d:.3}",
+                            world.time()
+                        );
                     }
                     Parent::Node(p) => {
                         let d = world.pos(i).dist(world.pos(p));
@@ -236,7 +240,15 @@ pub fn run(field: &Field, initial: &[Point], params: &CpvfParams, cfg: &SimConfi
     let moved: Vec<f64> = (0..n).map(|i| world.moved(i)).collect();
     let msgs = world.msgs_ref().clone();
     let positions = world.positions().to_vec();
-    RunResult::from_run("CPVF", coverage, &moved, msgs, all_connected, timeline, positions)
+    RunResult::from_run(
+        "CPVF",
+        coverage,
+        &moved,
+        msgs,
+        all_connected,
+        timeline,
+        positions,
+    )
 }
 
 /// Floods from the base station at t = 0 and attaches all reached
@@ -338,7 +350,11 @@ fn plan_virtual_force(
 ) {
     let pos = world.pos(i);
     let neighbor_positions: Vec<Point> = spatial
-        .neighbors(world.positions(), i, force_params.neighbor_threshold.min(world.cfg().rc))
+        .neighbors(
+            world.positions(),
+            i,
+            force_params.neighbor_threshold.min(world.cfg().rc),
+        )
         .into_iter()
         .map(|j| world.pos(j))
         .collect();
@@ -354,16 +370,11 @@ fn plan_virtual_force(
     let links = maintained_links(tree, i);
     // Obtaining each neighbor's direction/speed/period end costs a
     // round trip (§4.2).
-    let probes = links
-        .iter()
-        .filter(|l| matches!(l, Link::Node(_)))
-        .count() as u64;
+    let probes = links.iter().filter(|l| matches!(l, Link::Node(_))).count() as u64;
     world.msgs().record(MsgKind::MotionProbe, 2 * probes);
 
     let chosen = max_valid_step(i, pos, dir, &links, world, motions, max_step);
-    let filtered = params
-        .oscillation
-        .filter(pos, dir, chosen, max_step, prev);
+    let filtered = params.oscillation.filter(pos, dir, chosen, max_step, prev);
 
     if filtered > 1e-9 {
         motions[i] = Motion {
@@ -518,7 +529,12 @@ mod tests {
     fn run_connects_everyone_in_small_field() {
         let field = Field::open(300.0, 300.0);
         let initial = clustered(&field, 20, 7);
-        let r = run(&field, &initial, &CpvfParams::default(), &small_cfg(50.0, 30.0));
+        let r = run(
+            &field,
+            &initial,
+            &CpvfParams::default(),
+            &small_cfg(50.0, 30.0),
+        );
         assert!(r.connected, "CPVF must end fully connected");
         assert!(r.coverage > 0.05);
         assert_eq!(r.positions.len(), 20);
@@ -528,7 +544,12 @@ mod tests {
     fn coverage_improves_over_time() {
         let field = Field::open(300.0, 300.0);
         let initial = clustered(&field, 25, 3);
-        let r = run(&field, &initial, &CpvfParams::default(), &small_cfg(60.0, 40.0));
+        let r = run(
+            &field,
+            &initial,
+            &CpvfParams::default(),
+            &small_cfg(60.0, 40.0),
+        );
         let first = r.coverage_timeline.first().expect("timeline").1;
         assert!(
             r.coverage >= first - 0.02,

@@ -169,7 +169,11 @@ mod tests {
         // sensor exactly on floor line 0 (y = 40)
         let f = flg_frontiers(Point::new(200.0, 40.0), 40.0, &lines());
         assert_eq!(f.len(), 2);
-        assert!(f[0].approx_eq(Point::new(240.0, 40.0)), "far end first: {}", f[0]);
+        assert!(
+            f[0].approx_eq(Point::new(240.0, 40.0)),
+            "far end first: {}",
+            f[0]
+        );
         assert!(f[1].approx_eq(Point::new(160.0, 40.0)));
     }
 

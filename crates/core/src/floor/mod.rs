@@ -178,7 +178,12 @@ struct FloorSim<'a> {
 }
 
 impl<'a> FloorSim<'a> {
-    fn new(field: &'a Field, initial: &[Point], params: &'a FloorParams, cfg: &'a SimConfig) -> Self {
+    fn new(
+        field: &'a Field,
+        initial: &[Point],
+        params: &'a FloorParams,
+        cfg: &'a SimConfig,
+    ) -> Self {
         let n = initial.len();
         let world = World::new(field.clone(), cfg.clone(), initial.to_vec());
         let lines = FloorLines::new(field.bounds(), cfg.rs);
@@ -228,7 +233,9 @@ impl<'a> FloorSim<'a> {
             }
         }
 
-        let snap_ticks = (self.params.snapshot_every / self.cfg.dt()).round().max(1.0) as u64;
+        let snap_ticks = (self.params.snapshot_every / self.cfg.dt())
+            .round()
+            .max(1.0) as u64;
         let mut timeline = vec![(0.0, self.world.coverage(&cov_grid))];
         let classify_deadline = self.params.phase1_timeout_frac * self.cfg.duration;
 
@@ -241,7 +248,8 @@ impl<'a> FloorSim<'a> {
             }
             let spatial = SpatialGrid::build(self.world.positions(), self.cfg.rc.max(1.0));
             let graph = self.world.graph();
-            let base_mask = graph.flood_from_base(self.world.positions(), self.cfg.base, self.cfg.rc);
+            let base_mask =
+                graph.flood_from_base(self.world.positions(), self.cfg.base, self.cfg.rc);
             for i in 0..n {
                 if !self.world.is_plan_tick(i) {
                     continue;
@@ -278,14 +286,17 @@ impl<'a> FloorSim<'a> {
         }
 
         let coverage = self.world.coverage(&cov_grid);
-        let connected = self
-            .world
-            .graph()
-            .all_connected_to_base(self.world.positions(), self.cfg.base, self.cfg.rc);
+        let connected = self.world.graph().all_connected_to_base(
+            self.world.positions(),
+            self.cfg.base,
+            self.cfg.rc,
+        );
         let moved: Vec<f64> = (0..n).map(|i| self.world.moved(i)).collect();
         let msgs = self.world.msgs_ref().clone();
         let positions = self.world.positions().to_vec();
-        RunResult::from_run("FLOOR", coverage, &moved, msgs, connected, timeline, positions)
+        RunResult::from_run(
+            "FLOOR", coverage, &moved, msgs, connected, timeline, positions,
+        )
     }
 
     /// Algorithm 1's waypoints from a starting position.
@@ -599,18 +610,16 @@ impl<'a> FloorSim<'a> {
             let room = self.params.max_concurrent_eps - self.active_eps[i].len();
             let mut fresh = self.discover_eps(i, spatial, room);
             if fresh.len() < room {
-                let tips: Vec<VirtualTip> = self
-                    .tips
-                    .iter()
-                    .copied()
-                    .filter(|t| t.owner == i)
-                    .collect();
+                let tips: Vec<VirtualTip> =
+                    self.tips.iter().copied().filter(|t| t.owner == i).collect();
                 for tip in tips {
                     if fresh.len() >= room {
                         break;
                     }
                     for ep in self.discover_from_tip(i, tip, spatial, room - fresh.len()) {
-                        let dup = fresh.iter().any(|e: &ExpansionPoint| e.pos.dist(ep.pos) < 0.5 * self.rho)
+                        let dup = fresh
+                            .iter()
+                            .any(|e: &ExpansionPoint| e.pos.dist(ep.pos) < 0.5 * self.rho)
                             || self.active_eps[i]
                                 .iter()
                                 .any(|a| a.ep.pos.dist(ep.pos) < 0.5 * self.rho);
@@ -642,13 +651,20 @@ impl<'a> FloorSim<'a> {
 
     /// EP discovery in priority order FLG > BLG > IFLG (§5.5.1),
     /// returning up to `room` fresh EPs not yet pursued by this node.
-    fn discover_eps(&mut self, i: usize, spatial: &SpatialGrid, room: usize) -> Vec<ExpansionPoint> {
+    fn discover_eps(
+        &mut self,
+        i: usize,
+        spatial: &SpatialGrid,
+        room: usize,
+    ) -> Vec<ExpansionPoint> {
         let pos = self.world.pos(i);
         let rs = self.cfg.rs;
         let mut out: Vec<ExpansionPoint> = Vec::new();
         let push = |sim: &Self, out: &mut Vec<ExpansionPoint>, ep: ExpansionPoint| {
             let dup = out.iter().any(|e| e.pos.dist(ep.pos) < 0.5 * sim.rho)
-                || sim.active_eps[i].iter().any(|a| a.ep.pos.dist(ep.pos) < 0.5 * sim.rho);
+                || sim.active_eps[i]
+                    .iter()
+                    .any(|a| a.ep.pos.dist(ep.pos) < 0.5 * sim.rho);
             if !dup {
                 out.push(ep);
             }
@@ -720,9 +736,14 @@ impl<'a> FloorSim<'a> {
             if out.len() >= room {
                 return out;
             }
-            if let Some(ep) =
-                self.try_frontier_from(owner, tip.pos, frontier, EpKind::Flg, spatial, &[owner, tip.recruit])
-            {
+            if let Some(ep) = self.try_frontier_from(
+                owner,
+                tip.pos,
+                frontier,
+                EpKind::Flg,
+                spatial,
+                &[owner, tip.recruit],
+            ) {
                 out.push(ep);
             }
         }
@@ -872,8 +893,7 @@ impl<'a> FloorSim<'a> {
         // Highest priority (FLG < BLG < IFLG in enum order), then the
         // closest EP.
         let my_pos = self.world.pos(i);
-        let best = *self
-            .inbox[i]
+        let best = *self.inbox[i]
             .iter()
             .min_by(|a, b| {
                 (a.ep.kind, a.ep.pos.dist(my_pos))
@@ -915,8 +935,7 @@ impl<'a> FloorSim<'a> {
         self.inbox[i].clear();
         self.waited[i] = 0;
         // The inviter is free to pursue its next EP.
-        self.active_eps[best.inviter]
-            .retain(|a| !a.ep.pos.approx_eq(best.ep.pos));
+        self.active_eps[best.inviter].retain(|a| !a.ep.pos.approx_eq(best.ep.pos));
         self.idle_search[best.inviter] = 0;
     }
 
@@ -999,7 +1018,12 @@ mod tests {
     fn stays_connected_and_covers() {
         let field = Field::open(400.0, 400.0);
         let initial = clustered(&field, 30, 150.0, 1);
-        let r = run(&field, &initial, &FloorParams::default(), &short_cfg(60.0, 40.0, 120.0));
+        let r = run(
+            &field,
+            &initial,
+            &FloorParams::default(),
+            &short_cfg(60.0, 40.0, 120.0),
+        );
         assert!(r.connected, "FLOOR must end connected");
         assert!(r.coverage > 0.1, "coverage {}", r.coverage);
         assert!(r.messages.total() > 0);
@@ -1009,7 +1033,12 @@ mod tests {
     fn expansion_grows_coverage_over_time() {
         let field = Field::open(400.0, 400.0);
         let initial = clustered(&field, 40, 120.0, 2);
-        let r = run(&field, &initial, &FloorParams::default(), &short_cfg(60.0, 40.0, 200.0));
+        let r = run(
+            &field,
+            &initial,
+            &FloorParams::default(),
+            &short_cfg(60.0, 40.0, 200.0),
+        );
         let early = r.coverage_timeline[0].1;
         assert!(
             r.coverage > early + 0.03,
@@ -1025,7 +1054,12 @@ mod tests {
         let initial = clustered(&field, 25, 100.0, 3);
         // Recruits may still be traveling at a mid-deployment snapshot;
         // by 300 s this scenario has fully converged.
-        let r = run(&field, &initial, &FloorParams::default(), &short_cfg(30.0, 40.0, 300.0));
+        let r = run(
+            &field,
+            &initial,
+            &FloorParams::default(),
+            &short_cfg(30.0, 40.0, 300.0),
+        );
         assert!(r.connected, "connectivity must hold for rc < rs");
     }
 
@@ -1047,7 +1081,12 @@ mod tests {
     fn invitations_are_sent_and_answered() {
         let field = Field::open(400.0, 400.0);
         let initial = clustered(&field, 40, 120.0, 5);
-        let r = run(&field, &initial, &FloorParams::default(), &short_cfg(60.0, 40.0, 150.0));
+        let r = run(
+            &field,
+            &initial,
+            &FloorParams::default(),
+            &short_cfg(60.0, 40.0, 150.0),
+        );
         assert!(r.messages.count(msn_net::MsgKind::Invitation) > 0);
         assert!(r.messages.count(msn_net::MsgKind::Acknowledge) > 0);
     }
@@ -1096,7 +1135,12 @@ mod tests {
     fn fixed_sensors_never_move_after_classification() {
         let field = paper_field();
         let initial = clustered(&field, 30, 200.0, 8);
-        let r = run(&field, &initial, &FloorParams::default(), &short_cfg(60.0, 40.0, 80.0));
+        let r = run(
+            &field,
+            &initial,
+            &FloorParams::default(),
+            &short_cfg(60.0, 40.0, 80.0),
+        );
         // Sensors fixed from t=0 (the flood-connected ones that stayed
         // fixed) have zero moving distance.
         let stationary = r

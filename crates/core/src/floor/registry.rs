@@ -146,11 +146,7 @@ impl FloorRegistry {
         self.floors[k]
             .real
             .iter()
-            .min_by(|(a, ia), (b, ib)| {
-                a.x.partial_cmp(&b.x)
-                    .expect("finite")
-                    .then(ia.cmp(ib))
-            })
+            .min_by(|(a, ia), (b, ib)| a.x.partial_cmp(&b.x).expect("finite").then(ia.cmp(ib)))
             .map(|&(_, id)| id)
     }
 

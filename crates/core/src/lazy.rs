@@ -163,7 +163,11 @@ pub(crate) fn lazy_plan_step(
                         looped = true;
                         break;
                     }
-                    match movers.get(cur).and_then(|m| m.as_ref()).and_then(|m| m.path_parent) {
+                    match movers
+                        .get(cur)
+                        .and_then(|m| m.as_ref())
+                        .and_then(|m| m.path_parent)
+                    {
                         Some(next) => cur = next,
                         None => break,
                     }
@@ -250,7 +254,11 @@ mod tests {
         // Pretend 1 already adopted 0 (contrived, as 0 is behind).
         movers[1].as_mut().unwrap().path_parent = Some(0);
         let out = lazy_plan_step(0, &mut world, &grid, &mut movers);
-        assert_eq!(out, ConnectOutcome::Move, "may not adopt a sensor that adopted us");
+        assert_eq!(
+            out,
+            ConnectOutcome::Move,
+            "may not adopt a sensor that adopted us"
+        );
     }
 
     #[test]

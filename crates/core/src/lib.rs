@@ -76,6 +76,15 @@ pub enum SchemeKind {
 }
 
 impl SchemeKind {
+    /// All five schemes, in the paper's presentation order.
+    pub const ALL: [SchemeKind; 5] = [
+        SchemeKind::Cpvf,
+        SchemeKind::Floor,
+        SchemeKind::Vor,
+        SchemeKind::Minimax,
+        SchemeKind::Opt,
+    ];
+
     /// Human-readable scheme name as used in the paper's figures.
     pub fn name(self) -> &'static str {
         match self {
@@ -94,15 +103,41 @@ impl std::fmt::Display for SchemeKind {
     }
 }
 
+impl std::str::FromStr for SchemeKind {
+    type Err = String;
+
+    /// Parses a scheme by its figure name, case-insensitively
+    /// (`"CPVF"`, `"floor"`, `"Minimax"`, ...).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        SchemeKind::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(s.trim()))
+            .ok_or_else(|| {
+                format!("unknown scheme '{s}' (expected one of CPVF, FLOOR, VOR, Minimax, OPT)")
+            })
+    }
+}
+
 /// Runs `kind` with its default tuning parameters.
 ///
 /// For scheme-specific knobs use the per-module runners
 /// ([`cpvf::run`], [`floor::run`], [`vd::run`], [`opt::run`]) directly.
-pub fn run_scheme(kind: SchemeKind, field: &Field, initial: &[Point], cfg: &SimConfig) -> RunResult {
+pub fn run_scheme(
+    kind: SchemeKind,
+    field: &Field,
+    initial: &[Point],
+    cfg: &SimConfig,
+) -> RunResult {
     match kind {
         SchemeKind::Cpvf => cpvf::run(field, initial, &cpvf::CpvfParams::default(), cfg),
         SchemeKind::Floor => floor::run(field, initial, &floor::FloorParams::default(), cfg),
-        SchemeKind::Vor => vd::run(field, initial, vd::VdVariant::Vor, &vd::VdParams::default(), cfg),
+        SchemeKind::Vor => vd::run(
+            field,
+            initial,
+            vd::VdVariant::Vor,
+            &vd::VdParams::default(),
+            cfg,
+        ),
         SchemeKind::Minimax => vd::run(
             field,
             initial,
@@ -125,5 +160,14 @@ mod tests {
         assert_eq!(SchemeKind::Vor.name(), "VOR");
         assert_eq!(SchemeKind::Minimax.name(), "Minimax");
         assert_eq!(SchemeKind::Opt.name(), "OPT");
+    }
+
+    #[test]
+    fn scheme_parse_roundtrip() {
+        for kind in SchemeKind::ALL {
+            assert_eq!(kind.name().parse::<SchemeKind>(), Ok(kind));
+            assert_eq!(kind.name().to_lowercase().parse::<SchemeKind>(), Ok(kind));
+        }
+        assert!("NOPE".parse::<SchemeKind>().is_err());
     }
 }

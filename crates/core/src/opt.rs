@@ -79,7 +79,11 @@ pub fn strip_pattern(field: &Field, rc: f64, rs: f64, n: usize, params: &OptPara
                 }
             }
             // The strip itself.
-            let offset = if row.is_multiple_of(2) { alpha / 2.0 } else { alpha };
+            let offset = if row.is_multiple_of(2) {
+                alpha / 2.0
+            } else {
+                alpha
+            };
             let mut x = (offset + layer_dx).rem_euclid(alpha);
             if x < 1e-9 {
                 x = alpha;
@@ -134,11 +138,7 @@ pub fn run(field: &Field, initial: &[Point], params: &OptParams, cfg: &SimConfig
         .enumerate()
         .map(|(i, &t)| initial[i].dist(pattern[t]))
         .collect();
-    let positions: Vec<Point> = sol
-        .assignment
-        .iter()
-        .map(|&t| pattern[t])
-        .collect();
+    let positions: Vec<Point> = sol.assignment.iter().map(|&t| pattern[t]).collect();
     let grid = CoverageGrid::new(field, cfg.coverage_cell);
     let coverage = grid.coverage(&positions, cfg.rs);
     let graph = DiskGraph::build(&positions, cfg.rc);
@@ -195,7 +195,11 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(8);
         let initial = scatter_clustered(&field, Rect::new(0.0, 0.0, 500.0, 500.0), 240, &mut rng);
         let r = run(&field, &initial, &OptParams::default(), &cfg);
-        assert!(r.coverage > 0.9, "240 sensors at rc=rs=60 nearly saturate: {}", r.coverage);
+        assert!(
+            r.coverage > 0.9,
+            "240 sensors at rc=rs=60 nearly saturate: {}",
+            r.coverage
+        );
         assert!(r.connected);
     }
 

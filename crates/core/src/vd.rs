@@ -167,10 +167,7 @@ pub fn run(
                 positions[i] = next;
             }
         }
-        timeline.push((
-            (round + 1) as f64,
-            cov_grid.coverage(&positions, cfg.rs),
-        ));
+        timeline.push(((round + 1) as f64, cov_grid.coverage(&positions, cfg.rs)));
     }
 
     let coverage = cov_grid.coverage(&positions, cfg.rs);
@@ -215,7 +212,13 @@ mod tests {
         let field = paper_field();
         let initial = clustered(120, 1);
         // rc/rs = 4: ample communication for useful cells.
-        let r = run(&field, &initial, VdVariant::Vor, &VdParams::default(), &cfg(240.0, 60.0));
+        let r = run(
+            &field,
+            &initial,
+            VdVariant::Vor,
+            &VdParams::default(),
+            &cfg(240.0, 60.0),
+        );
         assert!(r.coverage > 0.6, "coverage {}", r.coverage);
     }
 
@@ -252,7 +255,13 @@ mod tests {
     fn small_rc_flags_incorrect_vd() {
         let field = paper_field();
         let initial = clustered(120, 2);
-        let r = run(&field, &initial, VdVariant::Vor, &VdParams::default(), &cfg(48.0, 60.0));
+        let r = run(
+            &field,
+            &initial,
+            VdVariant::Vor,
+            &VdParams::default(),
+            &cfg(48.0, 60.0),
+        );
         assert!(r.flags.iter().any(|f| f == "Incorrect VD"));
     }
 
@@ -260,7 +269,13 @@ mod tests {
     fn small_rc_usually_disconnects() {
         let field = paper_field();
         let initial = clustered(120, 3);
-        let r = run(&field, &initial, VdVariant::Minimax, &VdParams::default(), &cfg(48.0, 60.0));
+        let r = run(
+            &field,
+            &initial,
+            VdVariant::Minimax,
+            &VdParams::default(),
+            &cfg(48.0, 60.0),
+        );
         assert!(
             r.flags.iter().any(|f| f == "Disconn.") || r.connected,
             "flag must be consistent"
@@ -274,7 +289,13 @@ mod tests {
     fn explosion_dominates_moving_distance() {
         let field = paper_field();
         let initial = clustered(80, 4);
-        let with = run(&field, &initial, VdVariant::Vor, &VdParams::default(), &cfg(240.0, 60.0));
+        let with = run(
+            &field,
+            &initial,
+            VdVariant::Vor,
+            &VdParams::default(),
+            &cfg(240.0, 60.0),
+        );
         let without = run(
             &field,
             &initial,
@@ -285,16 +306,32 @@ mod tests {
             },
             &cfg(240.0, 60.0),
         );
-        assert!(with.avg_move > without.avg_move * 0.8,
-            "explosion cost should be substantial: with {} without {}", with.avg_move, without.avg_move);
+        assert!(
+            with.avg_move > without.avg_move * 0.8,
+            "explosion cost should be substantial: with {} without {}",
+            with.avg_move,
+            without.avg_move
+        );
     }
 
     #[test]
     fn minimax_differs_from_vor() {
         let field = paper_field();
         let initial = clustered(60, 5);
-        let a = run(&field, &initial, VdVariant::Vor, &VdParams::default(), &cfg(180.0, 60.0));
-        let b = run(&field, &initial, VdVariant::Minimax, &VdParams::default(), &cfg(180.0, 60.0));
+        let a = run(
+            &field,
+            &initial,
+            VdVariant::Vor,
+            &VdParams::default(),
+            &cfg(180.0, 60.0),
+        );
+        let b = run(
+            &field,
+            &initial,
+            VdVariant::Minimax,
+            &VdParams::default(),
+            &cfg(180.0, 60.0),
+        );
         assert_ne!(a.positions, b.positions, "the two rules move differently");
     }
 

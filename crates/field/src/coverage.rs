@@ -189,7 +189,10 @@ mod tests {
         let g = CoverageGrid::new(&f, 2.0);
         let cov = g.coverage(&[Point::new(500.0, 500.0)], 100.0);
         let expected = std::f64::consts::PI * 100.0 * 100.0 / 1_000_000.0;
-        assert!((cov - expected).abs() < 0.001, "got {cov}, expected {expected}");
+        assert!(
+            (cov - expected).abs() < 0.001,
+            "got {cov}, expected {expected}"
+        );
     }
 
     #[test]
@@ -202,7 +205,9 @@ mod tests {
         let g = CoverageGrid::new(&f, 2.0);
         // covering the entire right half covers 100% of free space
         let sensors: Vec<Point> = (0..10)
-            .flat_map(|i| (0..10).map(move |j| Point::new(52.0 + 5.0 * i as f64, 5.0 + 10.0 * j as f64)))
+            .flat_map(|i| {
+                (0..10).map(move |j| Point::new(52.0 + 5.0 * i as f64, 5.0 + 10.0 * j as f64))
+            })
             .collect();
         let cov = g.coverage(&sensors, 12.0);
         assert!(cov > 0.99, "got {cov}");

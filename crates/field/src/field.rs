@@ -49,7 +49,10 @@ impl Field {
     ///
     /// Panics if either dimension is not strictly positive.
     pub fn open(width: f64, height: f64) -> Self {
-        assert!(width > 0.0 && height > 0.0, "field dimensions must be positive");
+        assert!(
+            width > 0.0 && height > 0.0,
+            "field dimensions must be positive"
+        );
         Field {
             bounds: Rect::new(0.0, 0.0, width, height),
             obstacles: Vec::new(),
@@ -220,8 +223,14 @@ mod tests {
         let f = blocked_field();
         assert!(f.is_free(Point::new(10.0, 10.0)));
         assert!(!f.is_free(Point::new(50.0, 40.0)));
-        assert!(!f.is_free(Point::new(-1.0, 10.0)), "outside bounds is not free");
-        assert!(f.in_bounds(Point::new(50.0, 40.0)), "obstacle interior is still in bounds");
+        assert!(
+            !f.is_free(Point::new(-1.0, 10.0)),
+            "outside bounds is not free"
+        );
+        assert!(
+            f.in_bounds(Point::new(50.0, 40.0)),
+            "obstacle interior is still in bounds"
+        );
     }
 
     #[test]
@@ -278,7 +287,12 @@ mod tests {
         assert_eq!(f.nearest_obstacle_dist(Point::new(50.0, 40.0)), 0.0);
         let np = f.nearest_obstacle_point(Point::new(30.0, 40.0)).unwrap();
         assert!(np.approx_eq(Point::new(40.0, 40.0)));
-        assert_eq!(Field::open(10.0, 10.0).nearest_obstacle_dist(Point::ORIGIN), f64::INFINITY);
-        assert!(Field::open(10.0, 10.0).nearest_obstacle_point(Point::ORIGIN).is_none());
+        assert_eq!(
+            Field::open(10.0, 10.0).nearest_obstacle_dist(Point::ORIGIN),
+            f64::INFINITY
+        );
+        assert!(Field::open(10.0, 10.0)
+            .nearest_obstacle_point(Point::ORIGIN)
+            .is_none());
     }
 }

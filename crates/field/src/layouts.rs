@@ -1,0 +1,214 @@
+//! Parametric obstacle layouts beyond the paper's fixed fields.
+//!
+//! The scenario engine (`msn-scenario`) describes experiments
+//! declaratively; these constructors turn layout parameters into
+//! concrete [`Field`]s:
+//!
+//! * [`campus_grid_field`] — a regular grid of rectangular buildings
+//!   separated by streets (the "urban region" of the paper's
+//!   motivation, previously hard-coded in `examples/campus_grid.rs`);
+//! * [`corridor_field`] — a serpentine corridor formed by alternating
+//!   baffle walls, stressing BUG2 boundary following and FLOOR's
+//!   obstacle-adaptive expansion;
+//! * [`disaster_zone_field`] — the mixed rectangle/triangle/
+//!   quadrilateral debris field of `examples/disaster_zone.rs`.
+
+use crate::Field;
+use msn_geom::{Point, Polygon, Rect};
+
+/// Parameters for [`campus_grid_field`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampusGridParams {
+    /// Field width (m).
+    pub width: f64,
+    /// Field height (m).
+    pub height: f64,
+    /// Buildings along x.
+    pub blocks_x: usize,
+    /// Buildings along y.
+    pub blocks_y: usize,
+    /// Building side length (m).
+    pub building: f64,
+    /// Street width between buildings (m).
+    pub street: f64,
+    /// Clear margin between the field border and the first building (m).
+    pub margin: f64,
+}
+
+impl Default for CampusGridParams {
+    fn default() -> Self {
+        // The layout of examples/campus_grid.rs: 3x3 blocks of 160 m
+        // buildings on 80 m streets in an 800 m field.
+        CampusGridParams {
+            width: 800.0,
+            height: 800.0,
+            blocks_x: 3,
+            blocks_y: 3,
+            building: 160.0,
+            street: 80.0,
+            margin: 140.0,
+        }
+    }
+}
+
+/// A regular grid of rectangular buildings separated by streets.
+///
+/// # Panics
+///
+/// Panics if the grid does not fit inside the field or a parameter is
+/// not positive.
+pub fn campus_grid_field(params: &CampusGridParams) -> Field {
+    assert!(
+        params.building > 0.0 && params.street > 0.0 && params.margin >= 0.0,
+        "building/street must be positive, margin non-negative"
+    );
+    let pitch = params.building + params.street;
+    let extent_x = params.margin + params.blocks_x as f64 * pitch - params.street;
+    let extent_y = params.margin + params.blocks_y as f64 * pitch - params.street;
+    assert!(
+        extent_x <= params.width && extent_y <= params.height,
+        "campus grid exceeds the field: needs {extent_x} x {extent_y}, field is {} x {}",
+        params.width,
+        params.height
+    );
+    let mut obstacles = Vec::with_capacity(params.blocks_x * params.blocks_y);
+    for bx in 0..params.blocks_x {
+        for by in 0..params.blocks_y {
+            let x = params.margin + bx as f64 * pitch;
+            let y = params.margin + by as f64 * pitch;
+            obstacles.push(Rect::new(x, y, x + params.building, y + params.building).to_polygon());
+        }
+    }
+    Field::with_obstacles(params.width, params.height, obstacles)
+}
+
+/// Parameters for [`corridor_field`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorridorParams {
+    /// Field width (m).
+    pub width: f64,
+    /// Field height (m).
+    pub height: f64,
+    /// Number of baffle walls.
+    pub baffles: usize,
+    /// Opening left at the free end of each baffle (m).
+    pub gap: f64,
+    /// Baffle thickness (m).
+    pub thickness: f64,
+}
+
+impl Default for CorridorParams {
+    fn default() -> Self {
+        CorridorParams {
+            width: 1000.0,
+            height: 600.0,
+            baffles: 3,
+            gap: 120.0,
+            thickness: 30.0,
+        }
+    }
+}
+
+/// A serpentine corridor: evenly spaced baffle walls alternately
+/// attached to the top and bottom border, each leaving a `gap`-wide
+/// opening at its free end. Free space stays connected by
+/// construction (every baffle has an opening).
+///
+/// # Panics
+///
+/// Panics if the gap or thickness does not fit the field.
+pub fn corridor_field(params: &CorridorParams) -> Field {
+    assert!(
+        params.gap > 0.0 && params.gap < params.height,
+        "gap must be positive and smaller than the field height"
+    );
+    assert!(params.thickness > 0.0, "thickness must be positive");
+    let pitch = params.width / (params.baffles as f64 + 1.0);
+    assert!(
+        pitch > params.thickness,
+        "too many baffles for the field width"
+    );
+    let mut obstacles = Vec::with_capacity(params.baffles);
+    for i in 1..=params.baffles {
+        let x = i as f64 * pitch - params.thickness / 2.0;
+        let wall = if i % 2 == 1 {
+            // Attached to the top border, opening at the bottom.
+            Rect::new(x, params.gap, x + params.thickness, params.height)
+        } else {
+            // Attached to the bottom border, opening at the top.
+            Rect::new(x, 0.0, x + params.thickness, params.height - params.gap)
+        };
+        obstacles.push(wall.to_polygon());
+    }
+    Field::with_obstacles(params.width, params.height, obstacles)
+}
+
+/// The debris field of `examples/disaster_zone.rs`: two collapsed
+/// buildings, a triangular debris pile and an irregular flooded area
+/// in an 800 m field.
+pub fn disaster_zone_field() -> Field {
+    Field::with_obstacles(
+        800.0,
+        800.0,
+        vec![
+            Rect::new(250.0, 100.0, 420.0, 220.0).to_polygon(),
+            Rect::new(500.0, 420.0, 640.0, 620.0).to_polygon(),
+            Polygon::new(vec![
+                Point::new(120.0, 420.0),
+                Point::new(300.0, 520.0),
+                Point::new(140.0, 620.0),
+            ]),
+            Polygon::new(vec![
+                Point::new(520.0, 120.0),
+                Point::new(700.0, 160.0),
+                Point::new(680.0, 300.0),
+                Point::new(560.0, 260.0),
+            ]),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::free_space_connected;
+
+    #[test]
+    fn campus_grid_matches_example_layout() {
+        let f = campus_grid_field(&CampusGridParams::default());
+        assert_eq!(f.obstacles().len(), 9);
+        assert!(f.is_free(Point::new(10.0, 10.0)), "corner clear");
+        assert!(!f.is_free(Point::new(200.0, 200.0)), "inside a building");
+        assert!(f.is_free(Point::new(120.0, 400.0)), "street clear");
+        assert!(free_space_connected(&f, 10.0));
+    }
+
+    #[test]
+    fn corridor_is_connected_and_blocks() {
+        let p = CorridorParams::default();
+        let f = corridor_field(&p);
+        assert_eq!(f.obstacles().len(), 3);
+        assert!(free_space_connected(&f, 10.0));
+        assert!(f.is_free(Point::new(1.0, 1.0)), "base corner clear");
+        // first baffle hangs from the top; its opening is at the bottom
+        let pitch = p.width / 4.0;
+        assert!(!f.is_free(Point::new(pitch, p.height / 2.0)));
+        assert!(f.is_free(Point::new(pitch, p.gap / 2.0)));
+    }
+
+    #[test]
+    fn disaster_zone_matches_example() {
+        let f = disaster_zone_field();
+        assert_eq!(f.obstacles().len(), 4);
+        assert!(free_space_connected(&f, 10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the field")]
+    fn oversized_campus_rejected() {
+        campus_grid_field(&CampusGridParams {
+            blocks_x: 10,
+            ..CampusGridParams::default()
+        });
+    }
+}

@@ -17,6 +17,9 @@
 //!   distributions of §6;
 //! * [`random_obstacle_field`] — the 1–4 random rectangles workload of
 //!   §6.4;
+//! * [`campus_grid_field`] / [`corridor_field`] /
+//!   [`disaster_zone_field`] — parametric layouts for the scenario
+//!   engine's declarative field specs;
 //! * [`ascii_layout`] — terminal rendering of layouts (our stand-in for
 //!   the paper's layout figures 3 and 8).
 
@@ -28,6 +31,7 @@ mod coverage;
 mod distributions;
 mod field;
 mod freespace;
+mod layouts;
 mod random_obstacles;
 
 pub use ascii::{ascii_layout, AsciiOptions};
@@ -35,6 +39,9 @@ pub use coverage::CoverageGrid;
 pub use distributions::{scatter_clustered, scatter_uniform};
 pub use field::{Field, Hit};
 pub use freespace::free_space_connected;
+pub use layouts::{
+    campus_grid_field, corridor_field, disaster_zone_field, CampusGridParams, CorridorParams,
+};
 pub use random_obstacles::{random_obstacle_field, RandomObstacleParams};
 
 /// Standard field used throughout the paper's evaluation:
@@ -77,13 +84,25 @@ mod tests {
     fn two_obstacle_field_blocks_and_stays_connected() {
         let f = two_obstacle_field();
         assert_eq!(f.obstacles().len(), 2);
-        assert!(!f.is_free(Point::new(530.0, 300.0)), "inside the vertical wall");
-        assert!(!f.is_free(Point::new(200.0, 530.0)), "inside the horizontal wall");
-        assert!(f.is_free(Point::new(10.0, 10.0)), "base-station corner clear");
+        assert!(
+            !f.is_free(Point::new(530.0, 300.0)),
+            "inside the vertical wall"
+        );
+        assert!(
+            !f.is_free(Point::new(200.0, 530.0)),
+            "inside the horizontal wall"
+        );
+        assert!(
+            f.is_free(Point::new(10.0, 10.0)),
+            "base-station corner clear"
+        );
         // the three exits are open
         assert!(f.is_free(Point::new(30.0, 530.0)), "top-left exit");
         assert!(f.is_free(Point::new(480.0, 530.0)), "top-channel exit");
         assert!(f.is_free(Point::new(530.0, 15.0)), "narrow bottom exit");
-        assert!(free_space_connected(&f, 10.0), "obstacles must not partition the field");
+        assert!(
+            free_space_connected(&f, 10.0),
+            "obstacles must not partition the field"
+        );
     }
 }

@@ -9,7 +9,7 @@ use rand::Rng;
 /// Defaults follow §6.4: between 1 and 4 rectangular obstacles of
 /// random size, possibly overlapping, never partitioning the field,
 /// inside a 1 km × 1 km field.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RandomObstacleParams {
     /// Field width (m).
     pub width: f64,
@@ -109,7 +109,10 @@ mod tests {
             let n = f.obstacles().len();
             assert!((1..=4).contains(&n), "got {n} obstacles");
             assert!(free_space_connected(&f, params.connectivity_cell));
-            assert!(f.is_free(Point::new(1.0, 1.0)), "base corner must stay free");
+            assert!(
+                f.is_free(Point::new(1.0, 1.0)),
+                "base corner must stay free"
+            );
         }
     }
 

@@ -1,8 +1,8 @@
 //! Property-based tests for fields, coverage and workloads.
 
 use msn_field::{
-    free_space_connected, random_obstacle_field, scatter_clustered, scatter_uniform,
-    CoverageGrid, Field, RandomObstacleParams,
+    free_space_connected, random_obstacle_field, scatter_clustered, scatter_uniform, CoverageGrid,
+    Field, RandomObstacleParams,
 };
 use msn_geom::{Point, Rect, Segment};
 use proptest::prelude::*;

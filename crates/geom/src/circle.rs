@@ -149,9 +149,7 @@ impl Circle {
         if approx_zero(d) {
             return Vec::new();
         }
-        if d > self.radius + other.radius + EPS
-            || d < (self.radius - other.radius).abs() - EPS
-        {
+        if d > self.radius + other.radius + EPS || d < (self.radius - other.radius).abs() - EPS {
             return Vec::new();
         }
         // Distance from self.center to the radical line.
@@ -180,8 +178,14 @@ impl Circle {
             let r = r1.min(r2);
             return std::f64::consts::PI * r * r;
         }
-        let alpha = 2.0 * ((d * d + r1 * r1 - r2 * r2) / (2.0 * d * r1)).clamp(-1.0, 1.0).acos();
-        let beta = 2.0 * ((d * d + r2 * r2 - r1 * r1) / (2.0 * d * r2)).clamp(-1.0, 1.0).acos();
+        let alpha = 2.0
+            * ((d * d + r1 * r1 - r2 * r2) / (2.0 * d * r1))
+                .clamp(-1.0, 1.0)
+                .acos();
+        let beta = 2.0
+            * ((d * d + r2 * r2 - r1 * r1) / (2.0 * d * r2))
+                .clamp(-1.0, 1.0)
+                .acos();
         0.5 * r1 * r1 * (alpha - alpha.sin()) + 0.5 * r2 * r2 * (beta - beta.sin())
     }
 }
@@ -271,8 +275,12 @@ mod tests {
         let t = Circle::new(Point::new(10.0, 0.0), 5.0);
         assert_eq!(a.intersect_circle(&t).len(), 1);
         // disjoint and concentric
-        assert!(a.intersect_circle(&Circle::new(Point::new(20.0, 0.0), 5.0)).is_empty());
-        assert!(a.intersect_circle(&Circle::new(Point::ORIGIN, 3.0)).is_empty());
+        assert!(a
+            .intersect_circle(&Circle::new(Point::new(20.0, 0.0), 5.0))
+            .is_empty());
+        assert!(a
+            .intersect_circle(&Circle::new(Point::ORIGIN, 3.0))
+            .is_empty());
     }
 
     #[test]

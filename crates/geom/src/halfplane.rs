@@ -34,7 +34,10 @@ impl HalfPlane {
     /// Panics in debug builds if `normal` is (near-)zero.
     #[inline]
     pub fn new(point: Point, normal: Vec2) -> Self {
-        debug_assert!(!approx_zero(normal.norm()), "half-plane normal must be non-zero");
+        debug_assert!(
+            !approx_zero(normal.norm()),
+            "half-plane normal must be non-zero"
+        );
         HalfPlane { point, normal }
     }
 
@@ -105,7 +108,11 @@ impl HalfPlane {
 
 impl fmt::Display for HalfPlane {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "halfplane(through {} normal {})", self.point, self.normal)
+        write!(
+            f,
+            "halfplane(through {} normal {})",
+            self.point, self.normal
+        )
     }
 }
 
@@ -115,7 +122,10 @@ mod tests {
     use crate::Rect;
 
     fn unit_square() -> Vec<Point> {
-        Rect::new(0.0, 0.0, 1.0, 1.0).to_polygon().vertices().to_vec()
+        Rect::new(0.0, 0.0, 1.0, 1.0)
+            .to_polygon()
+            .vertices()
+            .to_vec()
     }
 
     #[test]

@@ -137,7 +137,10 @@ mod tests {
     fn line_segment_intersection() {
         let l = Line::horizontal(0.0);
         let cross = Segment::new(Point::new(1.0, -1.0), Point::new(1.0, 1.0));
-        assert!(l.intersect_segment(&cross).unwrap().approx_eq(Point::new(1.0, 0.0)));
+        assert!(l
+            .intersect_segment(&cross)
+            .unwrap()
+            .approx_eq(Point::new(1.0, 0.0)));
         let miss = Segment::new(Point::new(1.0, 1.0), Point::new(1.0, 2.0));
         assert_eq!(l.intersect_segment(&miss), None);
         // parallel on the line

@@ -228,7 +228,13 @@ impl Polygon {
     ///
     /// Returns the end point and the index of the edge it lies on.
     /// Walking the perimeter exactly returns to the start.
-    pub fn walk_boundary(&self, start: Point, edge_idx: usize, ccw: bool, dist: f64) -> (Point, usize) {
+    pub fn walk_boundary(
+        &self,
+        start: Point,
+        edge_idx: usize,
+        ccw: bool,
+        dist: f64,
+    ) -> (Point, usize) {
         debug_assert!(dist >= 0.0);
         let n = self.vertices.len();
         let mut idx = edge_idx % n;
@@ -246,7 +252,11 @@ impl Polygon {
             }
             remaining -= avail;
             pos = target;
-            idx = if ccw { (idx + 1) % n } else { (idx + n - 1) % n };
+            idx = if ccw {
+                (idx + 1) % n
+            } else {
+                (idx + n - 1) % n
+            };
             if remaining <= EPS {
                 return (pos, idx);
             }

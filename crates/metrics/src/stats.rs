@@ -82,6 +82,21 @@ impl Summary {
         }
     }
 
+    /// Standard error of the mean (0 for < 2 samples).
+    pub fn std_err(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.std() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the normal-approximation 95 % confidence interval
+    /// of the mean (`1.96 · std_err`; 0 for < 2 samples).
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std_err()
+    }
+
     /// Smallest sample (+∞ for an empty summary).
     #[inline]
     pub fn min(&self) -> f64 {
@@ -158,6 +173,17 @@ mod tests {
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
         assert!((s.mean() - mean).abs() < 1e-12);
         assert!((s.std() - var.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci95_shrinks_with_samples() {
+        let small: Summary = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        let big: Summary = (0..100).map(|i| 1.0 + (i % 4) as f64).collect();
+        assert!(small.ci95_half_width() > 0.0);
+        assert!(big.ci95_half_width() < small.ci95_half_width());
+        assert_eq!(Summary::new().ci95_half_width(), 0.0);
+        let one: Summary = [5.0].into_iter().collect();
+        assert_eq!(one.std_err(), 0.0);
     }
 
     #[test]

@@ -81,7 +81,11 @@ impl Navigator {
             .collect();
         let total_perimeter: f64 = rings.iter().map(Polygon::perimeter).sum();
         let d = start.dist(target);
-        let state = if d <= 1e-9 { State::Reached } else { State::OnLine };
+        let state = if d <= 1e-9 {
+            State::Reached
+        } else {
+            State::OnLine
+        };
         Navigator {
             start,
             target,
@@ -209,7 +213,11 @@ impl Navigator {
                     if to_corner <= 1e-9 {
                         // Sitting on the corner: advance to the next edge.
                         let n = ring.len();
-                        edge = if ccw { (edge + 1) % n } else { (edge + n - 1) % n };
+                        edge = if ccw {
+                            (edge + 1) % n
+                        } else {
+                            (edge + n - 1) % n
+                        };
                         self.state = State::Following {
                             poly,
                             edge,
@@ -220,8 +228,7 @@ impl Navigator {
                         continue;
                     }
                     let chunk_len = remaining.min(to_corner);
-                    let mut chunk =
-                        Segment::new(ring_pos, ring_pos.step_toward(corner, chunk_len));
+                    let mut chunk = Segment::new(ring_pos, ring_pos.step_toward(corner, chunk_len));
                     // Crossing into another obstacle's ring: switch rings
                     // there (walking the boundary of the obstacle union).
                     let mut switch: Option<(usize, usize)> = None;
@@ -236,9 +243,7 @@ impl Navigator {
                     // progress?
                     let ref_seg = Segment::new(self.start, self.target);
                     if let Some(cross) = chunk.intersect(&ref_seg) {
-                        if cross.dist(self.target) < hit_dist - 1e-6
-                            && self.can_progress(cross)
-                        {
+                        if cross.dist(self.target) < hit_dist - 1e-6 && self.can_progress(cross) {
                             let moved = ring_pos.dist(cross);
                             self.pos = cross;
                             self.traveled += moved;
@@ -263,7 +268,11 @@ impl Navigator {
                         edge = ej;
                     } else if ring_pos.dist(corner) <= 1e-9 {
                         let n = ring.len();
-                        edge = if ccw { (edge + 1) % n } else { (edge + n - 1) % n };
+                        edge = if ccw {
+                            (edge + 1) % n
+                        } else {
+                            (edge + n - 1) % n
+                        };
                     }
                     self.state = State::Following {
                         poly,
@@ -357,7 +366,12 @@ mod tests {
     #[test]
     fn straight_line_in_open_field() {
         let f = Field::open(100.0, 100.0);
-        let mut nav = Navigator::new(&f, Point::new(10.0, 10.0), Point::new(90.0, 90.0), Hand::Right);
+        let mut nav = Navigator::new(
+            &f,
+            Point::new(10.0, 10.0),
+            Point::new(90.0, 90.0),
+            Hand::Right,
+        );
         assert!(run(&mut nav, 7.0, 100));
         let d = Point::new(10.0, 10.0).dist(Point::new(90.0, 90.0));
         assert!((nav.traveled() - d).abs() < 1e-6);
@@ -381,7 +395,10 @@ mod tests {
         let start = Point::new(10.0, 50.0);
         let target = Point::new(90.0, 50.0);
         let mut nav = Navigator::new(&f, start, target, Hand::Right);
-        assert!(run(&mut nav, 3.0, 500), "must reach the target, state: {nav}");
+        assert!(
+            run(&mut nav, 3.0, 500),
+            "must reach the target, state: {nav}"
+        );
         assert!(nav.hit_obstacle());
         // Detour: strictly longer than straight line, but bounded by
         // D + perimeter of the (inflated) obstacle.
@@ -400,7 +417,12 @@ mod tests {
             100.0,
             vec![Rect::new(40.0, 20.0, 60.0, 80.0).to_polygon()],
         );
-        let mut nav = Navigator::new(&f, Point::new(10.0, 50.0), Point::new(90.0, 50.0), Hand::Right);
+        let mut nav = Navigator::new(
+            &f,
+            Point::new(10.0, 50.0),
+            Point::new(90.0, 50.0),
+            Hand::Right,
+        );
         // advance until following, then a bit more
         for _ in 0..40 {
             nav.advance(1.0);
@@ -410,7 +432,11 @@ mod tests {
         }
         assert!(nav.is_following());
         nav.advance(10.0);
-        assert!(nav.pos().y > 50.0, "right hand should walk up first, at {}", nav.pos());
+        assert!(
+            nav.pos().y > 50.0,
+            "right hand should walk up first, at {}",
+            nav.pos()
+        );
         assert!(run(&mut nav, 3.0, 500));
     }
 
@@ -421,7 +447,12 @@ mod tests {
             100.0,
             vec![Rect::new(40.0, 20.0, 60.0, 80.0).to_polygon()],
         );
-        let mut nav = Navigator::new(&f, Point::new(10.0, 50.0), Point::new(90.0, 50.0), Hand::Left);
+        let mut nav = Navigator::new(
+            &f,
+            Point::new(10.0, 50.0),
+            Point::new(90.0, 50.0),
+            Hand::Left,
+        );
         for _ in 0..40 {
             nav.advance(1.0);
             if nav.is_following() {
@@ -430,7 +461,11 @@ mod tests {
         }
         assert!(nav.is_following());
         nav.advance(10.0);
-        assert!(nav.pos().y < 50.0, "left hand should walk down first, at {}", nav.pos());
+        assert!(
+            nav.pos().y < 50.0,
+            "left hand should walk down first, at {}",
+            nav.pos()
+        );
         assert!(run(&mut nav, 3.0, 500));
     }
 
@@ -451,7 +486,11 @@ mod tests {
         assert!(run(&mut nav, 2.0, 1000), "state: {nav}");
         let d = start.dist(target);
         let perims = 2.0 * (30.0 + 40.0) + 2.0 * (30.0 + 40.0);
-        assert!(nav.traveled() <= d + perims + 30.0, "BUG2 bound violated: {}", nav.traveled());
+        assert!(
+            nav.traveled() <= d + perims + 30.0,
+            "BUG2 bound violated: {}",
+            nav.traveled()
+        );
     }
 
     #[test]
@@ -462,7 +501,12 @@ mod tests {
             100.0,
             vec![Rect::new(40.0, 40.0, 60.0, 60.0).to_polygon()],
         );
-        let mut nav = Navigator::new(&f, Point::new(10.0, 50.0), Point::new(50.0, 50.0), Hand::Right);
+        let mut nav = Navigator::new(
+            &f,
+            Point::new(10.0, 50.0),
+            Point::new(50.0, 50.0),
+            Hand::Right,
+        );
         let done = run(&mut nav, 5.0, 2000);
         assert!(!done);
         assert!(nav.is_stuck());
@@ -493,7 +537,12 @@ mod tests {
             100.0,
             vec![Rect::new(40.0, 20.0, 60.0, 80.0).to_polygon()],
         );
-        let mut nav = Navigator::new(&f, Point::new(10.0, 50.0), Point::new(90.0, 50.0), Hand::Right);
+        let mut nav = Navigator::new(
+            &f,
+            Point::new(10.0, 50.0),
+            Point::new(90.0, 50.0),
+            Hand::Right,
+        );
         while !nav.is_done() && !nav.is_stuck() {
             let p = nav.advance(1.5);
             assert!(

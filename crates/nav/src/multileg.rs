@@ -177,7 +177,11 @@ mod tests {
         let mut plan = MultiLegPlan::new(&f, start, legs, Hand::Right);
         assert!(run(&mut plan, 5.0, 200));
         // Manhattan-ish path: 23 + 80 + 50
-        assert!((plan.traveled() - 153.0).abs() < 1e-6, "got {}", plan.traveled());
+        assert!(
+            (plan.traveled() - 153.0).abs() < 1e-6,
+            "got {}",
+            plan.traveled()
+        );
     }
 
     #[test]
@@ -213,7 +217,10 @@ mod tests {
         let mut plan = MultiLegPlan::new(&f, start, legs, Hand::Right);
         assert!(run(&mut plan, 4.0, 500), "state: {plan}");
         assert!(plan.pos().dist(Point::ORIGIN) < 1e-6);
-        assert!(plan.traveled() > 135.0, "detour is longer than manhattan path");
+        assert!(
+            plan.traveled() > 135.0,
+            "detour is longer than manhattan path"
+        );
     }
 
     #[test]

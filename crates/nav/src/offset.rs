@@ -93,7 +93,10 @@ mod tests {
         ]);
         let grown = offset_polygon(&tri, 1.0);
         for v in tri.vertices() {
-            assert!(grown.contains(*v), "inflated polygon must contain original vertices");
+            assert!(
+                grown.contains(*v),
+                "inflated polygon must contain original vertices"
+            );
         }
         assert!(grown.area() > tri.area());
     }

@@ -63,7 +63,10 @@ impl MsgKind {
     ];
 
     fn index(self) -> usize {
-        MsgKind::ALL.iter().position(|&k| k == self).expect("listed")
+        MsgKind::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("listed")
     }
 }
 

@@ -65,7 +65,6 @@ pub fn random_walk<R: Rng>(graph: &DiskGraph, start: usize, ttl: usize, rng: &mu
     out
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,7 +100,10 @@ mod tests {
         let walk = random_walk(&g, 4, 50, &mut rng);
         let mut prev = 4;
         for &v in &walk {
-            assert!(g.neighbors(prev).contains(&v), "{prev} -> {v} is not an edge");
+            assert!(
+                g.neighbors(prev).contains(&v),
+                "{prev} -> {v} is not an edge"
+            );
             prev = v;
         }
     }
@@ -116,7 +118,10 @@ mod tests {
                 visited.insert(v);
             }
         }
-        assert!(visited.len() >= 4, "random walks should reach most of a 5-chain");
+        assert!(
+            visited.len() >= 4,
+            "random walks should reach most of a 5-chain"
+        );
     }
 
     #[test]

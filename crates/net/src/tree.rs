@@ -96,7 +96,10 @@ impl Tree {
             Parent::Base => {}
             Parent::Node(p) => {
                 assert!(self.in_tree(p), "parent {p} must be attached first");
-                assert!(!self.would_create_loop(i, p), "loop attaching {i} under {p}");
+                assert!(
+                    !self.would_create_loop(i, p),
+                    "loop attaching {i} under {p}"
+                );
                 self.children[p].push(i);
             }
         }
@@ -242,12 +245,7 @@ impl Tree {
 
 impl fmt::Display for Tree {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "tree({}/{} attached)",
-            self.attached_count(),
-            self.len()
-        )
+        write!(f, "tree({}/{} attached)", self.attached_count(), self.len())
     }
 }
 

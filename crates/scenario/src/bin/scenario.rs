@@ -1,0 +1,194 @@
+//! The `scenario` CLI: run, list and describe declarative scenario
+//! specs.
+//!
+//! ```text
+//! scenario run <spec.toml> [--out DIR] [--threads N] [--quick]
+//! scenario list [DIR]
+//! scenario describe <spec.toml>
+//! ```
+//!
+//! `run` executes the spec's full matrix in parallel and writes
+//! `batch.json`, `batch.csv` and `report.txt` under the output
+//! directory (default `results/scenario/<name>/`), printing the ASCII
+//! report. `--quick` shrinks duration/repetitions for a fast smoke
+//! pass. Rerunning with `RAYON_NUM_THREADS=1` (or `--threads 1`)
+//! produces byte-identical JSON.
+
+use msn_scenario::{BatchRunner, ScenarioSpec};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("list") => cmd_list(&args[1..]),
+        Some("describe") => cmd_describe(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+scenario — declarative experiment batches for the MSN deployment schemes
+
+USAGE:
+    scenario run <spec.toml> [--out DIR] [--threads N] [--quick]
+    scenario list [DIR]           (default DIR: scenarios/)
+    scenario describe <spec.toml>
+
+`run` writes batch.json, batch.csv and report.txt under --out
+(default results/scenario/<name>/) and prints the report.
+`--quick` caps duration at 100 s, repetitions at 2 and the coverage
+raster at >= 5 m for a fast smoke pass.
+";
+
+fn load_spec(path: &str) -> Result<ScenarioSpec, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    ScenarioSpec::from_toml_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let mut spec_path: Option<&str> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut threads: Option<usize> = None;
+    let mut quick = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                let v = it.next().ok_or("--out needs a directory")?;
+                out_dir = Some(PathBuf::from(v));
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a number")?;
+                threads = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("invalid thread count '{v}'"))?
+                        .max(1),
+                );
+            }
+            "--quick" => quick = true,
+            other if !other.starts_with('-') && spec_path.is_none() => {
+                spec_path = Some(other);
+            }
+            other => return Err(format!("unexpected argument '{other}'\n{USAGE}")),
+        }
+    }
+    let spec_path = spec_path.ok_or_else(|| format!("run needs a spec file\n{USAGE}"))?;
+    let mut spec = load_spec(spec_path)?;
+    if quick {
+        spec = spec
+            .clone()
+            .with_duration(spec.duration.min(100.0))
+            .with_repetitions(spec.repetitions.min(2))
+            .with_coverage_cell(spec.coverage_cell.max(5.0));
+    }
+    let matrix_size = spec.matrix().len();
+    eprintln!(
+        "running '{}': {} runs ({} radios x {} counts x {} reps x {} schemes){}",
+        spec.name,
+        matrix_size,
+        spec.radios.len(),
+        spec.sensor_counts.len(),
+        spec.repetitions,
+        spec.schemes.len(),
+        if quick { " [quick]" } else { "" },
+    );
+    let mut runner = BatchRunner::new();
+    if let Some(t) = threads {
+        runner = runner.with_threads(t);
+    }
+    let started = std::time::Instant::now();
+    let result = runner.run(&spec).map_err(|e| e.to_string())?;
+    eprintln!("finished in {:.1} s", started.elapsed().as_secs_f64());
+
+    let dir = out_dir.unwrap_or_else(|| Path::new("results/scenario").join(&spec.name));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+    let report = result.report();
+    for (name, contents) in [
+        ("batch.json", result.to_json()),
+        ("batch.csv", result.to_csv()),
+        ("report.txt", report.clone()),
+    ] {
+        let path = dir.join(name);
+        std::fs::write(&path, contents).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        eprintln!("wrote {}", path.display());
+    }
+    println!("{report}");
+    Ok(())
+}
+
+fn cmd_list(args: &[String]) -> Result<(), String> {
+    let dir = args.first().map(String::as_str).unwrap_or("scenarios");
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read directory {dir}: {e}"))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+        .collect();
+    entries.sort();
+    if entries.is_empty() {
+        println!("no .toml specs in {dir}");
+        return Ok(());
+    }
+    for path in entries {
+        match load_spec(&path.to_string_lossy()) {
+            Ok(spec) => println!(
+                "{:<40} {:<18} {:>5} runs  {}",
+                path.display(),
+                spec.field.kind(),
+                spec.matrix().len(),
+                spec.description,
+            ),
+            Err(e) => println!("{:<40} INVALID: {e}", path.display()),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_describe(args: &[String]) -> Result<(), String> {
+    let path = args
+        .first()
+        .ok_or_else(|| format!("describe needs a spec file\n{USAGE}"))?;
+    let spec = load_spec(path)?;
+    println!("name:          {}", spec.name);
+    if !spec.description.is_empty() {
+        println!("description:   {}", spec.description);
+    }
+    println!("field:         {}", spec.field.kind());
+    println!("scatter:       {}", spec.scatter.kind());
+    println!(
+        "schemes:       {}",
+        spec.schemes
+            .iter()
+            .map(|s| s.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("sensor counts: {:?}", spec.sensor_counts);
+    println!(
+        "radios:        {}",
+        spec.radios
+            .iter()
+            .map(|r| format!("({}, {})", r.rc, r.rs))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("duration:      {} s", spec.duration);
+    println!("coverage cell: {} m", spec.coverage_cell);
+    println!("repetitions:   {}", spec.repetitions);
+    println!("base seed:     {}", spec.seed);
+    println!("matrix:        {} runs", spec.matrix().len());
+    println!("randomized:    {}", spec.field.is_randomized());
+    Ok(())
+}

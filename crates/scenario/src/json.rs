@@ -1,0 +1,230 @@
+//! A minimal, deterministic JSON writer.
+//!
+//! Batch results are exported as JSON without serde (no crates.io
+//! access). Output is fully deterministic: object members keep
+//! insertion order, floats print in their shortest round-trippable
+//! form (`{:?}`), and there is no whitespace variation — the
+//! determinism tests compare documents byte-for-byte.
+
+use std::fmt::Write as _;
+
+/// A JSON value being built for serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An integer (serialized without a decimal point).
+    Int(i64),
+    /// An unsigned integer; keeps `u64` values above `i64::MAX` (e.g.
+    /// environment seeds) exact instead of wrapping negative.
+    UInt(u64),
+    /// A finite float.
+    ///
+    /// Serialization panics on NaN/infinity — callers map those to
+    /// [`Json::Null`] explicitly.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; members serialize in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An object builder starting empty.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Appends a member to an object (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    #[must_use]
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(members) => members.push((key.to_string(), value.into())),
+            _ => panic!("field() requires an object"),
+        }
+        self
+    }
+
+    /// Serializes with 2-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Num(f) => {
+                assert!(f.is_finite(), "JSON numbers must be finite, got {f}");
+                let _ = write!(out, "{f:?}");
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    let _ = write!(out, "\"{key}\": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(i: i64) -> Json {
+        Json::Int(i)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(i: u64) -> Json {
+        Json::UInt(i)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(i: usize) -> Json {
+        Json::UInt(i as u64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(f: f64) -> Json {
+        Json::Num(f)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(o: Option<T>) -> Json {
+        o.map_or(Json::Null, Into::into)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_nested_structures() {
+        let doc = Json::obj()
+            .field("name", "x\"y")
+            .field("n", 3usize)
+            .field("ok", true)
+            .field("missing", Json::Null)
+            .field("xs", vec![1.5f64, 2.0])
+            .field("empty", Json::Arr(vec![]))
+            .field("t", Json::obj().field("k", Option::<f64>::None));
+        let text = doc.pretty();
+        assert!(text.contains("\"name\": \"x\\\"y\""));
+        assert!(text.contains("\"n\": 3"));
+        assert!(text.contains("\"xs\": [\n    1.5,\n    2.0\n  ]"));
+        assert!(text.contains("\"empty\": []"));
+        assert!(text.contains("\"k\": null"));
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn u64_values_above_i64_max_stay_exact() {
+        let doc = Json::obj().field("seed", u64::MAX);
+        assert!(doc.pretty().contains("\"seed\": 18446744073709551615"));
+    }
+
+    #[test]
+    fn floats_keep_shortest_roundtrip_form() {
+        assert_eq!(Json::Num(0.1).pretty(), "0.1\n");
+        assert_eq!(Json::Num(42.0).pretty(), "42.0\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_floats_rejected() {
+        let _ = Json::Num(f64::NAN).pretty();
+    }
+}

@@ -1,0 +1,49 @@
+//! Declarative scenario engine with a parallel batch runner.
+//!
+//! The paper's evaluation is a fixed set of figures over one field
+//! layout; this crate turns that pattern into a reusable subsystem:
+//!
+//! * [`ScenarioSpec`] — a declarative, TOML-loadable description of an
+//!   experiment: field geometry ([`FieldSpec`]: paper field, campus
+//!   grid, corridor, disaster zone, random-obstacle generator),
+//!   initial scatter ([`ScatterSpec`]), sensor-count sweep, scheme
+//!   set, radio combinations, duration, repetitions and seed policy;
+//! * [`BatchRunner`] — expands a spec into its run matrix and
+//!   executes it in parallel via rayon with deterministic per-run
+//!   seeding (seeds derive from the base seed and matrix coordinates,
+//!   so results are byte-identical at any thread count);
+//! * [`BatchResult`] — per-cell mean/CI aggregation via
+//!   `msn-metrics`, exported as JSON, CSV and ASCII report tables.
+//!
+//! The `scenario` binary (`run` / `list` / `describe`) drives specs
+//! from the bundled `scenarios/` directory, and `msn-bench`'s `fig9` /
+//! `fig13` are thin clients of this engine.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use msn_deploy::SchemeKind;
+//! use msn_scenario::{BatchRunner, ScenarioSpec};
+//!
+//! let spec = ScenarioSpec::new("quickstart")
+//!     .with_schemes(vec![SchemeKind::Floor])
+//!     .with_sensor_counts(vec![15])
+//!     .with_duration(20.0)        // keep the doc test fast
+//!     .with_coverage_cell(25.0);
+//! let result = BatchRunner::new().run(&spec).unwrap();
+//! assert_eq!(result.records.len(), 1);
+//! assert!(result.records[0].coverage > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod json;
+mod runner;
+mod spec;
+mod toml;
+
+pub use json::Json;
+pub use runner::{BatchResult, BatchRunner, CellStats, RunRecord, ScenarioError};
+pub use spec::{derive_seed, FieldSpec, RadioSpec, RunCell, ScatterSpec, ScenarioSpec};
+pub use toml::{TomlError, TomlValue};

@@ -1,0 +1,504 @@
+//! Parallel batch execution of scenario specs.
+//!
+//! [`BatchRunner`] expands a [`ScenarioSpec`] into its run matrix and
+//! executes every run — in parallel via rayon by default — collecting
+//! a [`BatchResult`] that aggregates per-cell statistics and exports
+//! JSON, CSV and the ASCII report tables the older `figN` harness
+//! prints.
+//!
+//! Determinism: every run's randomness derives from the spec's base
+//! seed and the run's matrix coordinates (see
+//! [`crate::spec::derive_seed`]), and the parallel map preserves
+//! matrix order on collect, so results — including the serialized
+//! JSON — are byte-identical at any thread count.
+
+use crate::json::Json;
+use crate::spec::{RunCell, ScenarioSpec};
+use msn_deploy::run_scheme;
+use msn_metrics::{to_csv, Summary, Table};
+use msn_sim::SimConfig;
+use rayon::prelude::*;
+use std::fmt;
+
+/// A scenario that failed validation before execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError(pub String);
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// The metrics of one executed run of the matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// The matrix cell this run executed.
+    pub cell: RunCell,
+    /// Final coverage fraction of free area.
+    pub coverage: f64,
+    /// Average moving distance per sensor (m).
+    pub avg_move: f64,
+    /// Maximum moving distance over sensors (m).
+    pub max_move: f64,
+    /// Total moving distance (m).
+    pub total_move: f64,
+    /// Total message transmissions.
+    pub messages: u64,
+    /// Whether every sensor ended connected to the base.
+    pub connected: bool,
+    /// Time to reach 95 % of final coverage, if the run converged.
+    pub convergence_time: Option<f64>,
+}
+
+/// Aggregated statistics of one (radio, n, scheme) cell over its
+/// repetitions.
+#[derive(Debug, Clone)]
+pub struct CellStats {
+    /// Radio combination.
+    pub radio: crate::spec::RadioSpec,
+    /// Sensor count.
+    pub n: usize,
+    /// Scheme.
+    pub scheme: msn_deploy::SchemeKind,
+    /// Coverage over repetitions.
+    pub coverage: Summary,
+    /// Average moving distance over repetitions.
+    pub avg_move: Summary,
+    /// Total messages over repetitions.
+    pub messages: Summary,
+    /// Number of repetitions that ended fully connected.
+    pub connected_runs: usize,
+    /// The per-repetition records behind the aggregates.
+    pub runs: Vec<RunRecord>,
+}
+
+/// Executes [`ScenarioSpec`]s, optionally pinned to one thread.
+#[derive(Debug, Clone, Default)]
+pub struct BatchRunner {
+    threads: Option<usize>,
+}
+
+impl BatchRunner {
+    /// A runner using the shared rayon pool (all cores, or
+    /// `RAYON_NUM_THREADS`).
+    pub fn new() -> Self {
+        BatchRunner::default()
+    }
+
+    /// Pins execution to exactly `threads` workers; `1` forces fully
+    /// sequential execution (used by the determinism tests as the
+    /// reference).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Expands `spec` into its run matrix and executes every run.
+    pub fn run(&self, spec: &ScenarioSpec) -> Result<BatchResult, ScenarioError> {
+        spec.validate().map_err(ScenarioError)?;
+        let cells = spec.matrix();
+        let records: Vec<RunRecord> = match self.threads {
+            Some(1) => cells.into_iter().map(|cell| execute(spec, cell)).collect(),
+            Some(threads) => run_pinned(spec, cells, threads),
+            // The rayon shim preserves input order on collect, so the
+            // record order below is the matrix order at any pool size.
+            None => cells
+                .into_par_iter()
+                .map(|cell| execute(spec, cell))
+                .collect(),
+        };
+        Ok(BatchResult {
+            spec: spec.clone(),
+            records,
+        })
+    }
+}
+
+/// Executes the matrix on exactly `threads` scoped workers (bypassing
+/// the shared rayon pool), writing results back by matrix index so
+/// record order still equals matrix order.
+fn run_pinned(spec: &ScenarioSpec, cells: Vec<RunCell>, threads: usize) -> Vec<RunRecord> {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+    let n = cells.len();
+    let queue: Mutex<VecDeque<RunCell>> = Mutex::new(cells.into());
+    let slots: Vec<Mutex<Option<RunRecord>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let job = queue.lock().unwrap().pop_front();
+                match job {
+                    Some(cell) => {
+                        let i = cell.index;
+                        let record = execute(spec, cell);
+                        *slots[i].lock().unwrap() = Some(record);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("worker completed every job")
+        })
+        .collect()
+}
+
+/// Executes one cell of the matrix.
+fn execute(spec: &ScenarioSpec, cell: RunCell) -> RunRecord {
+    let (field, initial) = cell.build_environment(spec);
+    let cfg = SimConfig::paper(cell.radio.rc, cell.radio.rs)
+        .with_duration(spec.duration)
+        .with_coverage_cell(spec.coverage_cell)
+        .with_seed(cell.sim_seed());
+    let r = run_scheme(cell.scheme, &field, &initial, &cfg);
+    RunRecord {
+        cell,
+        coverage: r.coverage,
+        avg_move: r.avg_move,
+        max_move: r.max_move,
+        total_move: r.total_move,
+        messages: r.messages.total(),
+        connected: r.connected,
+        convergence_time: r.convergence_time,
+    }
+}
+
+/// The outcome of a batch: the spec it ran plus every run record, in
+/// matrix order.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// The executed spec.
+    pub spec: ScenarioSpec,
+    /// One record per matrix cell, in matrix order.
+    pub records: Vec<RunRecord>,
+}
+
+impl BatchResult {
+    /// Groups records into per-(radio, n, scheme) aggregates, in
+    /// matrix order.
+    pub fn cell_stats(&self) -> Vec<CellStats> {
+        let mut stats: Vec<CellStats> = Vec::new();
+        for record in &self.records {
+            let cell = &record.cell;
+            let existing = stats
+                .iter_mut()
+                .find(|s| s.radio == cell.radio && s.n == cell.n && s.scheme == cell.scheme);
+            let slot = match existing {
+                Some(slot) => slot,
+                None => {
+                    stats.push(CellStats {
+                        radio: cell.radio,
+                        n: cell.n,
+                        scheme: cell.scheme,
+                        coverage: Summary::new(),
+                        avg_move: Summary::new(),
+                        messages: Summary::new(),
+                        connected_runs: 0,
+                        runs: Vec::new(),
+                    });
+                    stats.last_mut().expect("just pushed")
+                }
+            };
+            slot.coverage.add(record.coverage);
+            slot.avg_move.add(record.avg_move);
+            slot.messages.add(record.messages as f64);
+            slot.connected_runs += usize::from(record.connected);
+            slot.runs.push(record.clone());
+        }
+        stats
+    }
+
+    /// All records of one scheme, in matrix order (e.g. to build the
+    /// CDFs of Figure 13).
+    pub fn scheme_records(&self, scheme: msn_deploy::SchemeKind) -> Vec<&RunRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.cell.scheme == scheme)
+            .collect()
+    }
+
+    /// Serializes the batch as deterministic JSON: the spec header,
+    /// per-cell aggregates and the raw per-run samples.
+    pub fn to_json(&self) -> String {
+        let spec = &self.spec;
+        let cells: Vec<Json> = self
+            .cell_stats()
+            .into_iter()
+            .map(|s| {
+                let runs: Vec<Json> = s
+                    .runs
+                    .iter()
+                    .map(|r| {
+                        Json::obj()
+                            .field("rep", r.cell.rep)
+                            .field("env_seed", r.cell.env_seed)
+                            .field("coverage", r.coverage)
+                            .field("avg_move", r.avg_move)
+                            .field("max_move", r.max_move)
+                            .field("total_move", r.total_move)
+                            .field("messages", r.messages)
+                            .field("connected", r.connected)
+                            .field(
+                                "convergence_time",
+                                r.convergence_time.filter(|t| t.is_finite()),
+                            )
+                    })
+                    .collect();
+                Json::obj()
+                    .field("rc", s.radio.rc)
+                    .field("rs", s.radio.rs)
+                    .field("n", s.n)
+                    .field("scheme", s.scheme.name())
+                    .field("coverage", summary_json(&s.coverage))
+                    .field("avg_move", summary_json(&s.avg_move))
+                    .field("messages", summary_json(&s.messages))
+                    .field("connected_runs", s.connected_runs)
+                    .field("runs", Json::Arr(runs))
+            })
+            .collect();
+        Json::obj()
+            .field("scenario", spec.name.as_str())
+            .field("description", spec.description.as_str())
+            .field("field", spec.field.kind())
+            .field("scatter", spec.scatter.kind())
+            .field("seed", spec.seed)
+            .field("repetitions", spec.repetitions)
+            .field("duration", spec.duration)
+            .field("coverage_cell", spec.coverage_cell)
+            .field("total_runs", self.records.len())
+            .field("cells", Json::Arr(cells))
+            .pretty()
+    }
+
+    /// Serializes per-cell aggregates as CSV.
+    pub fn to_csv(&self) -> String {
+        let headers: Vec<String> = [
+            "scenario",
+            "rc",
+            "rs",
+            "n",
+            "scheme",
+            "reps",
+            "coverage_mean",
+            "coverage_ci95",
+            "coverage_min",
+            "coverage_max",
+            "avg_move_mean",
+            "avg_move_ci95",
+            "messages_mean",
+            "connected_runs",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+        let rows: Vec<Vec<String>> = self
+            .cell_stats()
+            .into_iter()
+            .map(|s| {
+                vec![
+                    self.spec.name.clone(),
+                    format!("{:?}", s.radio.rc),
+                    format!("{:?}", s.radio.rs),
+                    s.n.to_string(),
+                    s.scheme.name().to_string(),
+                    s.coverage.count().to_string(),
+                    format!("{:.6}", s.coverage.mean()),
+                    format!("{:.6}", s.coverage.ci95_half_width()),
+                    format!("{:.6}", s.coverage.min()),
+                    format!("{:.6}", s.coverage.max()),
+                    format!("{:.3}", s.avg_move.mean()),
+                    format!("{:.3}", s.avg_move.ci95_half_width()),
+                    format!("{:.1}", s.messages.mean()),
+                    s.connected_runs.to_string(),
+                ]
+            })
+            .collect();
+        to_csv(&headers, &rows)
+    }
+
+    /// Formats the ASCII report: one coverage table per radio
+    /// combination (rows: sensor counts; columns: schemes), plus a
+    /// moving-distance table.
+    pub fn report(&self) -> String {
+        let spec = &self.spec;
+        let mut out = format!(
+            "Scenario '{}' — field: {}, scatter: {}, {} runs ({} reps)\n",
+            spec.name,
+            spec.field.kind(),
+            spec.scatter.kind(),
+            self.records.len(),
+            spec.repetitions,
+        );
+        if !spec.description.is_empty() {
+            out.push_str(&format!("{}\n", spec.description));
+        }
+        let stats = self.cell_stats();
+        for radio in &spec.radios {
+            out.push_str(&format!("\n{radio}\n"));
+            let mut headers = vec!["n".to_string()];
+            for scheme in &spec.schemes {
+                headers.push(format!("{scheme} cov"));
+            }
+            for scheme in &spec.schemes {
+                headers.push(format!("{scheme} move (m)"));
+            }
+            let mut table = Table::new(headers);
+            for &n in &spec.sensor_counts {
+                let mut row = vec![n.to_string()];
+                for &scheme in &spec.schemes {
+                    let cell = stats
+                        .iter()
+                        .find(|s| s.radio == *radio && s.n == n && s.scheme == scheme);
+                    row.push(cell.map_or("-".into(), |s| fmt_pct(&s.coverage)));
+                }
+                for &scheme in &spec.schemes {
+                    let cell = stats
+                        .iter()
+                        .find(|s| s.radio == *radio && s.n == n && s.scheme == scheme);
+                    row.push(cell.map_or("-".into(), |s| fmt_move(&s.avg_move)));
+                }
+                table.row(row);
+            }
+            out.push_str(&format!("{table}\n"));
+        }
+        out
+    }
+}
+
+fn summary_json(s: &Summary) -> Json {
+    Json::obj()
+        .field("mean", s.mean())
+        .field("ci95", s.ci95_half_width())
+        .field(
+            "min",
+            if s.is_empty() {
+                Json::Null
+            } else {
+                s.min().into()
+            },
+        )
+        .field(
+            "max",
+            if s.is_empty() {
+                Json::Null
+            } else {
+                s.max().into()
+            },
+        )
+        .field("count", s.count())
+}
+
+/// `"52.3%"`, with a `±` half-width when there are repetitions.
+fn fmt_pct(s: &Summary) -> String {
+    if s.count() > 1 {
+        format!(
+            "{:.1}%±{:.1}",
+            s.mean() * 100.0,
+            s.ci95_half_width() * 100.0
+        )
+    } else {
+        format!("{:.1}%", s.mean() * 100.0)
+    }
+}
+
+/// `"384"`, with a `±` half-width when there are repetitions.
+fn fmt_move(s: &Summary) -> String {
+    if s.count() > 1 {
+        format!("{:.0}±{:.0}", s.mean(), s.ci95_half_width())
+    } else {
+        format!("{:.0}", s.mean())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{FieldSpec, ScenarioSpec};
+    use msn_deploy::SchemeKind;
+
+    fn tiny_spec() -> ScenarioSpec {
+        ScenarioSpec::new("tiny")
+            .with_schemes(vec![SchemeKind::Cpvf, SchemeKind::Floor])
+            .with_sensor_counts(vec![12, 20])
+            .with_radios(vec![(60.0, 40.0)])
+            .with_duration(30.0)
+            .with_coverage_cell(20.0)
+            .with_repetitions(2)
+    }
+
+    #[test]
+    fn runs_and_aggregates() {
+        let result = BatchRunner::new().run(&tiny_spec()).unwrap();
+        assert_eq!(result.records.len(), 2 * 2 * 2);
+        let stats = result.cell_stats();
+        assert_eq!(stats.len(), 2 * 2, "one aggregate per (n, scheme)");
+        for s in &stats {
+            assert_eq!(s.coverage.count(), 2);
+            assert!(s.coverage.mean() > 0.0, "{} covered nothing", s.scheme);
+            assert_eq!(s.runs.len(), 2);
+        }
+        assert_eq!(result.scheme_records(SchemeKind::Cpvf).len(), 4);
+    }
+
+    #[test]
+    fn outputs_are_well_formed() {
+        let result = BatchRunner::new()
+            .with_threads(1)
+            .run(&tiny_spec())
+            .unwrap();
+        let json = result.to_json();
+        assert!(json.contains("\"scenario\": \"tiny\""));
+        assert!(json.contains("\"scheme\": \"CPVF\""));
+        assert!(json.contains("\"runs\""));
+        let csv = result.to_csv();
+        assert_eq!(csv.lines().count(), 1 + 4, "header + one row per cell");
+        assert!(csv.starts_with("scenario,rc,rs,n,scheme"));
+        let report = result.report();
+        assert!(report.contains("Scenario 'tiny'"));
+        assert!(report.contains("CPVF cov"));
+        assert!(report.contains('%'));
+    }
+
+    #[test]
+    fn pinned_thread_counts_match_sequential_output() {
+        let spec = tiny_spec();
+        let sequential = BatchRunner::new().with_threads(1).run(&spec).unwrap();
+        let pinned = BatchRunner::new().with_threads(3).run(&spec).unwrap();
+        assert_eq!(sequential.to_json(), pinned.to_json());
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected() {
+        let bad = tiny_spec().with_schemes(vec![]);
+        assert!(BatchRunner::new().run(&bad).is_err());
+    }
+
+    #[test]
+    fn randomized_fields_vary_per_rep_but_not_per_scheme() {
+        let spec = ScenarioSpec::new("rnd")
+            .with_field(FieldSpec::RandomObstacles(Default::default()))
+            .with_schemes(vec![SchemeKind::Cpvf, SchemeKind::Floor])
+            .with_sensor_counts(vec![10])
+            .with_duration(10.0)
+            .with_coverage_cell(25.0)
+            .with_repetitions(2);
+        let cells = spec.matrix();
+        let (f0, i0) = cells[0].build_environment(&spec);
+        let (f1, i1) = cells[1].build_environment(&spec);
+        // same rep, different scheme: identical environment
+        assert_eq!(f0.obstacles().len(), f1.obstacles().len());
+        assert_eq!(i0, i1);
+        // different rep: different environment
+        let (_, i2) = cells[2].build_environment(&spec);
+        assert_ne!(i0, i2);
+    }
+}

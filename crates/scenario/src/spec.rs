@@ -1,0 +1,830 @@
+//! Declarative scenario descriptions.
+//!
+//! A [`ScenarioSpec`] fully describes an experiment: field geometry,
+//! initial scatter, sensor-count sweep, radio-range combinations,
+//! scheme set, durations, repetitions and the seed policy. Specs are
+//! built in code (builder methods) or loaded from TOML
+//! ([`ScenarioSpec::from_toml_str`]); [`ScenarioSpec::matrix`]
+//! expands a spec into the flat run matrix the batch runner executes.
+
+use crate::toml::{TomlError, TomlValue};
+use msn_deploy::SchemeKind;
+use msn_field::{
+    campus_grid_field, corridor_field, disaster_zone_field, paper_field, random_obstacle_field,
+    scatter_clustered, scatter_uniform, two_obstacle_field, CampusGridParams, CorridorParams,
+    Field, RandomObstacleParams,
+};
+use msn_geom::{Point, Rect};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A communication/sensing range combination (`rc`, `rs`), in meters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadioSpec {
+    /// Communication range `rc` (m).
+    pub rc: f64,
+    /// Sensing range `rs` (m).
+    pub rs: f64,
+}
+
+impl RadioSpec {
+    /// A new combination.
+    pub fn new(rc: f64, rs: f64) -> Self {
+        RadioSpec { rc, rs }
+    }
+}
+
+impl fmt::Display for RadioSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rc={} rs={}", self.rc, self.rs)
+    }
+}
+
+/// Field geometry of a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldSpec {
+    /// The paper's 1 km × 1 km obstacle-free field.
+    Paper,
+    /// The two-obstacle field of Figures 3(c)/8(c).
+    TwoObstacle,
+    /// A block grid of buildings (see [`CampusGridParams`]).
+    CampusGrid(CampusGridParams),
+    /// A serpentine corridor of baffle walls (see [`CorridorParams`]).
+    Corridor(CorridorParams),
+    /// The debris field of the disaster-zone example.
+    DisasterZone,
+    /// Per-run random rectangular obstacles (§6.4 workload; see
+    /// [`RandomObstacleParams`]).
+    RandomObstacles(RandomObstacleParams),
+}
+
+impl FieldSpec {
+    /// The spec's TOML `kind` tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FieldSpec::Paper => "paper",
+            FieldSpec::TwoObstacle => "two-obstacle",
+            FieldSpec::CampusGrid(_) => "campus-grid",
+            FieldSpec::Corridor(_) => "corridor",
+            FieldSpec::DisasterZone => "disaster-zone",
+            FieldSpec::RandomObstacles(_) => "random-obstacles",
+        }
+    }
+
+    /// Whether the field differs run to run (drawn from the run's
+    /// environment seed) rather than being fixed for the scenario.
+    pub fn is_randomized(&self) -> bool {
+        matches!(self, FieldSpec::RandomObstacles(_))
+    }
+
+    /// Materializes the field, drawing any randomness from `rng`.
+    pub fn build<R: Rng>(&self, rng: &mut R) -> Field {
+        match self {
+            FieldSpec::Paper => paper_field(),
+            FieldSpec::TwoObstacle => two_obstacle_field(),
+            FieldSpec::CampusGrid(params) => campus_grid_field(params),
+            FieldSpec::Corridor(params) => corridor_field(params),
+            FieldSpec::DisasterZone => disaster_zone_field(),
+            FieldSpec::RandomObstacles(params) => random_obstacle_field(params, rng),
+        }
+    }
+}
+
+/// Initial sensor distribution of a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScatterSpec {
+    /// Uniform over the field's lower-left quarter (the paper's §6
+    /// clustered start, scaled to the field).
+    ClusteredQuarter,
+    /// Uniform over an explicit sub-rectangle.
+    Clustered {
+        /// Sub-area min x (m).
+        x0: f64,
+        /// Sub-area min y (m).
+        y0: f64,
+        /// Sub-area max x (m).
+        x1: f64,
+        /// Sub-area max y (m).
+        y1: f64,
+    },
+    /// Uniform over the whole free space.
+    Uniform,
+}
+
+impl ScatterSpec {
+    /// The spec's TOML `kind` tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ScatterSpec::ClusteredQuarter => "clustered-quarter",
+            ScatterSpec::Clustered { .. } => "clustered",
+            ScatterSpec::Uniform => "uniform",
+        }
+    }
+
+    /// Draws `n` initial positions on `field` from `rng`.
+    pub fn place<R: Rng>(&self, field: &Field, n: usize, rng: &mut R) -> Vec<Point> {
+        match self {
+            ScatterSpec::ClusteredQuarter => {
+                let b = field.bounds();
+                let sub = Rect::new(
+                    b.min.x,
+                    b.min.y,
+                    b.min.x + b.width() / 2.0,
+                    b.min.y + b.height() / 2.0,
+                );
+                scatter_clustered(field, sub, n, rng)
+            }
+            ScatterSpec::Clustered { x0, y0, x1, y1 } => {
+                scatter_clustered(field, Rect::new(*x0, *y0, *x1, *y1), n, rng)
+            }
+            ScatterSpec::Uniform => scatter_uniform(field, n, rng),
+        }
+    }
+}
+
+/// A declarative description of one experiment batch.
+///
+/// # Examples
+///
+/// ```
+/// use msn_deploy::SchemeKind;
+/// use msn_scenario::ScenarioSpec;
+///
+/// let spec = ScenarioSpec::new("demo")
+///     .with_schemes(vec![SchemeKind::Cpvf, SchemeKind::Floor])
+///     .with_sensor_counts(vec![40, 80])
+///     .with_radios(vec![(60.0, 40.0)])
+///     .with_duration(100.0)
+///     .with_repetitions(2);
+/// assert_eq!(spec.matrix().len(), 2 * 2 * 2);
+/// let toml = spec.to_toml_string();
+/// assert_eq!(ScenarioSpec::from_toml_str(&toml).unwrap(), spec);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (used for output paths and reports).
+    pub name: String,
+    /// Free-form description.
+    pub description: String,
+    /// Field geometry.
+    pub field: FieldSpec,
+    /// Initial sensor distribution.
+    pub scatter: ScatterSpec,
+    /// Sensor-count sweep (one run matrix column per count).
+    pub sensor_counts: Vec<usize>,
+    /// Schemes to compare. Every scheme sees the same environments
+    /// (field, initial positions, sim seed) within a matrix cell.
+    pub schemes: Vec<SchemeKind>,
+    /// Radio-range combinations to sweep.
+    pub radios: Vec<RadioSpec>,
+    /// Simulated duration per run (s).
+    pub duration: f64,
+    /// Coverage raster cell (m).
+    pub coverage_cell: f64,
+    /// Repetitions per (radio, n, scheme) cell with different seeds.
+    pub repetitions: usize,
+    /// Base seed; per-run seeds are derived deterministically from it
+    /// and the run's matrix coordinates (never from thread timing).
+    pub seed: u64,
+}
+
+impl ScenarioSpec {
+    /// A spec with the paper's defaults: paper field, clustered
+    /// quarter scatter, 240 sensors, all five schemes, rc 60 / rs 40,
+    /// 750 s, 2.5 m raster, 1 repetition, seed 42.
+    pub fn new(name: impl Into<String>) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            description: String::new(),
+            field: FieldSpec::Paper,
+            scatter: ScatterSpec::ClusteredQuarter,
+            sensor_counts: vec![240],
+            schemes: SchemeKind::ALL.to_vec(),
+            radios: vec![RadioSpec::new(60.0, 40.0)],
+            duration: 750.0,
+            coverage_cell: 2.5,
+            repetitions: 1,
+            seed: 42,
+        }
+    }
+
+    /// Sets the description.
+    #[must_use]
+    pub fn with_description(mut self, description: impl Into<String>) -> Self {
+        self.description = description.into();
+        self
+    }
+
+    /// Sets the field geometry.
+    #[must_use]
+    pub fn with_field(mut self, field: FieldSpec) -> Self {
+        self.field = field;
+        self
+    }
+
+    /// Sets the initial distribution.
+    #[must_use]
+    pub fn with_scatter(mut self, scatter: ScatterSpec) -> Self {
+        self.scatter = scatter;
+        self
+    }
+
+    /// Sets the sensor-count sweep.
+    #[must_use]
+    pub fn with_sensor_counts(mut self, counts: Vec<usize>) -> Self {
+        self.sensor_counts = counts;
+        self
+    }
+
+    /// Sets the scheme set.
+    #[must_use]
+    pub fn with_schemes(mut self, schemes: Vec<SchemeKind>) -> Self {
+        self.schemes = schemes;
+        self
+    }
+
+    /// Sets the radio combinations from `(rc, rs)` pairs.
+    #[must_use]
+    pub fn with_radios(mut self, radios: Vec<(f64, f64)>) -> Self {
+        self.radios = radios
+            .into_iter()
+            .map(|(rc, rs)| RadioSpec::new(rc, rs))
+            .collect();
+        self
+    }
+
+    /// Sets the simulated duration (s).
+    #[must_use]
+    pub fn with_duration(mut self, duration: f64) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Sets the coverage raster cell (m).
+    #[must_use]
+    pub fn with_coverage_cell(mut self, cell: f64) -> Self {
+        self.coverage_cell = cell;
+        self
+    }
+
+    /// Sets the repetition count.
+    #[must_use]
+    pub fn with_repetitions(mut self, repetitions: usize) -> Self {
+        self.repetitions = repetitions;
+        self
+    }
+
+    /// Sets the base seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Checks the spec is executable, returning the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("scenario name must not be empty".into());
+        }
+        if self.sensor_counts.is_empty() || self.sensor_counts.contains(&0) {
+            return Err("sensor_counts must be non-empty and positive".into());
+        }
+        if self.schemes.is_empty() {
+            return Err("schemes must be non-empty".into());
+        }
+        if self.radios.is_empty() {
+            return Err("radios must be non-empty".into());
+        }
+        if self.radios.iter().any(|r| r.rc <= 0.0 || r.rs <= 0.0) {
+            return Err("radio ranges must be positive".into());
+        }
+        if !(self.duration.is_finite() && self.duration > 0.0) {
+            return Err("duration must be positive".into());
+        }
+        if !(self.coverage_cell.is_finite() && self.coverage_cell > 0.0) {
+            return Err("coverage_cell must be positive".into());
+        }
+        if self.repetitions == 0 {
+            return Err("repetitions must be at least 1".into());
+        }
+        if let ScatterSpec::Clustered { x0, y0, x1, y1 } = self.scatter {
+            if ![x0, y0, x1, y1].iter().all(|v| v.is_finite()) || x1 <= x0 || y1 <= y0 {
+                return Err(
+                    "clustered scatter rect must be finite with x0 < x1 and y0 < y1".into(),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Expands the spec into its flat run matrix, in deterministic
+    /// order: radios × sensor counts × repetitions × schemes.
+    pub fn matrix(&self) -> Vec<RunCell> {
+        let mut cells = Vec::with_capacity(
+            self.radios.len() * self.sensor_counts.len() * self.repetitions * self.schemes.len(),
+        );
+        for (radio_idx, &radio) in self.radios.iter().enumerate() {
+            for (n_idx, &n) in self.sensor_counts.iter().enumerate() {
+                for rep in 0..self.repetitions {
+                    let env_seed = derive_seed(self.seed, radio_idx, n_idx, rep);
+                    for &scheme in &self.schemes {
+                        cells.push(RunCell {
+                            index: cells.len(),
+                            radio,
+                            n,
+                            scheme,
+                            rep,
+                            env_seed,
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Serializes as a TOML document.
+    pub fn to_toml_string(&self) -> String {
+        let mut root = BTreeMap::new();
+        root.insert("name".into(), TomlValue::Str(self.name.clone()));
+        root.insert(
+            "description".into(),
+            TomlValue::Str(self.description.clone()),
+        );
+        root.insert(
+            "schemes".into(),
+            TomlValue::Array(
+                self.schemes
+                    .iter()
+                    .map(|k| TomlValue::Str(k.name().into()))
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "sensor_counts".into(),
+            TomlValue::Array(
+                self.sensor_counts
+                    .iter()
+                    .map(|&n| TomlValue::Int(n as i64))
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "radios".into(),
+            TomlValue::Array(
+                self.radios
+                    .iter()
+                    .map(|r| TomlValue::Array(vec![TomlValue::Float(r.rc), TomlValue::Float(r.rs)]))
+                    .collect(),
+            ),
+        );
+        root.insert("duration".into(), TomlValue::Float(self.duration));
+        root.insert("coverage_cell".into(), TomlValue::Float(self.coverage_cell));
+        root.insert(
+            "repetitions".into(),
+            TomlValue::Int(self.repetitions as i64),
+        );
+        root.insert("seed".into(), TomlValue::from_u64(self.seed));
+        root.insert("field".into(), field_to_toml(&self.field));
+        root.insert("scatter".into(), scatter_to_toml(&self.scatter));
+        TomlValue::Table(root).to_toml_string()
+    }
+
+    /// Parses a spec from a TOML document.
+    pub fn from_toml_str(text: &str) -> Result<Self, TomlError> {
+        let root = TomlValue::parse(text)?;
+        let name = require_str(&root, "name")?;
+        let description = match root.get("description") {
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| TomlError("'description' must be a string".into()))?
+                .to_string(),
+            None => String::new(),
+        };
+        let mut spec = ScenarioSpec::new(name).with_description(description);
+        if let Some(v) = root.get("schemes") {
+            let items = v
+                .as_array()
+                .ok_or_else(|| TomlError("'schemes' must be an array".into()))?;
+            let mut schemes = Vec::new();
+            for item in items {
+                let s = item
+                    .as_str()
+                    .ok_or_else(|| TomlError("'schemes' entries must be strings".into()))?;
+                schemes.push(s.parse::<SchemeKind>().map_err(TomlError)?);
+            }
+            spec.schemes = schemes;
+        }
+        if let Some(v) = root.get("sensor_counts") {
+            let items = v
+                .as_array()
+                .ok_or_else(|| TomlError("'sensor_counts' must be an array".into()))?;
+            spec.sensor_counts = items
+                .iter()
+                .map(|i| {
+                    i.as_usize().ok_or_else(|| {
+                        TomlError("'sensor_counts' entries must be non-negative integers".into())
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+        }
+        if let Some(v) = root.get("radios") {
+            let items = v
+                .as_array()
+                .ok_or_else(|| TomlError("'radios' must be an array of [rc, rs] pairs".into()))?;
+            let mut radios = Vec::new();
+            for item in items {
+                let pair = item
+                    .as_array()
+                    .filter(|a| a.len() == 2)
+                    .ok_or_else(|| TomlError("each radio must be an [rc, rs] pair".into()))?;
+                let rc = pair[0]
+                    .as_f64()
+                    .ok_or_else(|| TomlError("radio rc must be numeric".into()))?;
+                let rs = pair[1]
+                    .as_f64()
+                    .ok_or_else(|| TomlError("radio rs must be numeric".into()))?;
+                radios.push(RadioSpec::new(rc, rs));
+            }
+            spec.radios = radios;
+        }
+        if let Some(v) = root.get("duration") {
+            spec.duration = v
+                .as_f64()
+                .ok_or_else(|| TomlError("'duration' must be numeric".into()))?;
+        }
+        if let Some(v) = root.get("coverage_cell") {
+            spec.coverage_cell = v
+                .as_f64()
+                .ok_or_else(|| TomlError("'coverage_cell' must be numeric".into()))?;
+        }
+        if let Some(v) = root.get("repetitions") {
+            spec.repetitions = v
+                .as_usize()
+                .ok_or_else(|| TomlError("'repetitions' must be a non-negative integer".into()))?;
+        }
+        if let Some(v) = root.get("seed") {
+            spec.seed = v
+                .as_u64()
+                .ok_or_else(|| TomlError("'seed' must be a non-negative integer".into()))?;
+        }
+        if let Some(v) = root.get("field") {
+            spec.field = field_from_toml(v)?;
+        }
+        if let Some(v) = root.get("scatter") {
+            spec.scatter = scatter_from_toml(v)?;
+        }
+        spec.validate().map_err(TomlError)?;
+        Ok(spec)
+    }
+}
+
+/// One entry of the expanded run matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunCell {
+    /// Flat matrix index (also the execution/collect order).
+    pub index: usize,
+    /// Radio combination.
+    pub radio: RadioSpec,
+    /// Sensor count.
+    pub n: usize,
+    /// Scheme under test.
+    pub scheme: SchemeKind,
+    /// Repetition number within the cell.
+    pub rep: usize,
+    /// Environment seed shared by every scheme in this
+    /// (radio, n, rep) slice: field, initial scatter and sim seed all
+    /// derive from it, so schemes compete on identical environments.
+    pub env_seed: u64,
+}
+
+impl RunCell {
+    /// The run's environment, materialized deterministically from
+    /// [`RunCell::env_seed`]: the field and the initial positions.
+    pub fn build_environment(&self, spec: &ScenarioSpec) -> (Field, Vec<Point>) {
+        let mut field_rng = SmallRng::seed_from_u64(stream_seed(self.env_seed, 1));
+        let field = spec.field.build(&mut field_rng);
+        let mut scatter_rng = SmallRng::seed_from_u64(stream_seed(self.env_seed, 2));
+        let initial = spec.scatter.place(&field, self.n, &mut scatter_rng);
+        (field, initial)
+    }
+
+    /// The seed for the in-run RNG (message backoff, random walks).
+    pub fn sim_seed(&self) -> u64 {
+        stream_seed(self.env_seed, 3)
+    }
+}
+
+/// Derives a run's environment seed from the base seed and its matrix
+/// coordinates. Pure function of its arguments — results are
+/// identical at any thread count and stable across runs.
+pub fn derive_seed(base: u64, radio_idx: usize, n_idx: usize, rep: usize) -> u64 {
+    let state = base
+        ^ (radio_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (n_idx as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+        ^ (rep as u64).wrapping_mul(0x1656_67B1_9E37_79F9);
+    split_mix_64(state)
+}
+
+/// Splits an environment seed into independent streams (field /
+/// scatter / sim) so consuming one stream never shifts another.
+fn stream_seed(env_seed: u64, stream: u64) -> u64 {
+    split_mix_64(env_seed ^ stream.wrapping_mul(0xA076_1D64_78BD_642F))
+}
+
+/// One SplitMix64 output step (finalizer-quality bit mixing).
+fn split_mix_64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn field_to_toml(field: &FieldSpec) -> TomlValue {
+    let mut t = BTreeMap::new();
+    t.insert("kind".into(), TomlValue::Str(field.kind().into()));
+    match field {
+        FieldSpec::Paper | FieldSpec::TwoObstacle | FieldSpec::DisasterZone => {}
+        FieldSpec::CampusGrid(p) => {
+            t.insert("width".into(), TomlValue::Float(p.width));
+            t.insert("height".into(), TomlValue::Float(p.height));
+            t.insert("blocks_x".into(), TomlValue::Int(p.blocks_x as i64));
+            t.insert("blocks_y".into(), TomlValue::Int(p.blocks_y as i64));
+            t.insert("building".into(), TomlValue::Float(p.building));
+            t.insert("street".into(), TomlValue::Float(p.street));
+            t.insert("margin".into(), TomlValue::Float(p.margin));
+        }
+        FieldSpec::Corridor(p) => {
+            t.insert("width".into(), TomlValue::Float(p.width));
+            t.insert("height".into(), TomlValue::Float(p.height));
+            t.insert("baffles".into(), TomlValue::Int(p.baffles as i64));
+            t.insert("gap".into(), TomlValue::Float(p.gap));
+            t.insert("thickness".into(), TomlValue::Float(p.thickness));
+        }
+        FieldSpec::RandomObstacles(p) => {
+            t.insert("width".into(), TomlValue::Float(p.width));
+            t.insert("height".into(), TomlValue::Float(p.height));
+            t.insert("count_min".into(), TomlValue::Int(p.count.0 as i64));
+            t.insert("count_max".into(), TomlValue::Int(p.count.1 as i64));
+            t.insert("side_min".into(), TomlValue::Float(p.side.0));
+            t.insert("side_max".into(), TomlValue::Float(p.side.1));
+            t.insert("base_clearance".into(), TomlValue::Float(p.base_clearance));
+            t.insert(
+                "connectivity_cell".into(),
+                TomlValue::Float(p.connectivity_cell),
+            );
+        }
+    }
+    TomlValue::Table(t)
+}
+
+fn get_f64(table: &TomlValue, key: &str, default: f64) -> Result<f64, TomlError> {
+    match table.get(key) {
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| TomlError(format!("'{key}' must be numeric"))),
+        None => Ok(default),
+    }
+}
+
+fn get_usize(table: &TomlValue, key: &str, default: usize) -> Result<usize, TomlError> {
+    match table.get(key) {
+        Some(v) => v
+            .as_usize()
+            .ok_or_else(|| TomlError(format!("'{key}' must be a non-negative integer"))),
+        None => Ok(default),
+    }
+}
+
+fn field_from_toml(v: &TomlValue) -> Result<FieldSpec, TomlError> {
+    let kind = require_str(v, "kind")?;
+    match kind.as_str() {
+        "paper" => Ok(FieldSpec::Paper),
+        "two-obstacle" => Ok(FieldSpec::TwoObstacle),
+        "disaster-zone" => Ok(FieldSpec::DisasterZone),
+        "campus-grid" => {
+            let d = CampusGridParams::default();
+            Ok(FieldSpec::CampusGrid(CampusGridParams {
+                width: get_f64(v, "width", d.width)?,
+                height: get_f64(v, "height", d.height)?,
+                blocks_x: get_usize(v, "blocks_x", d.blocks_x)?,
+                blocks_y: get_usize(v, "blocks_y", d.blocks_y)?,
+                building: get_f64(v, "building", d.building)?,
+                street: get_f64(v, "street", d.street)?,
+                margin: get_f64(v, "margin", d.margin)?,
+            }))
+        }
+        "corridor" => {
+            let d = CorridorParams::default();
+            Ok(FieldSpec::Corridor(CorridorParams {
+                width: get_f64(v, "width", d.width)?,
+                height: get_f64(v, "height", d.height)?,
+                baffles: get_usize(v, "baffles", d.baffles)?,
+                gap: get_f64(v, "gap", d.gap)?,
+                thickness: get_f64(v, "thickness", d.thickness)?,
+            }))
+        }
+        "random-obstacles" => {
+            let d = RandomObstacleParams::default();
+            Ok(FieldSpec::RandomObstacles(RandomObstacleParams {
+                width: get_f64(v, "width", d.width)?,
+                height: get_f64(v, "height", d.height)?,
+                count: (
+                    get_usize(v, "count_min", d.count.0)?,
+                    get_usize(v, "count_max", d.count.1)?,
+                ),
+                side: (
+                    get_f64(v, "side_min", d.side.0)?,
+                    get_f64(v, "side_max", d.side.1)?,
+                ),
+                base_clearance: get_f64(v, "base_clearance", d.base_clearance)?,
+                connectivity_cell: get_f64(v, "connectivity_cell", d.connectivity_cell)?,
+            }))
+        }
+        other => Err(TomlError(format!(
+            "unknown field kind '{other}' (expected paper, two-obstacle, campus-grid, corridor, disaster-zone or random-obstacles)"
+        ))),
+    }
+}
+
+fn scatter_to_toml(scatter: &ScatterSpec) -> TomlValue {
+    let mut t = BTreeMap::new();
+    t.insert("kind".into(), TomlValue::Str(scatter.kind().into()));
+    if let ScatterSpec::Clustered { x0, y0, x1, y1 } = scatter {
+        t.insert("x0".into(), TomlValue::Float(*x0));
+        t.insert("y0".into(), TomlValue::Float(*y0));
+        t.insert("x1".into(), TomlValue::Float(*x1));
+        t.insert("y1".into(), TomlValue::Float(*y1));
+    }
+    TomlValue::Table(t)
+}
+
+fn scatter_from_toml(v: &TomlValue) -> Result<ScatterSpec, TomlError> {
+    let kind = require_str(v, "kind")?;
+    match kind.as_str() {
+        "clustered-quarter" => Ok(ScatterSpec::ClusteredQuarter),
+        "uniform" => Ok(ScatterSpec::Uniform),
+        "clustered" => Ok(ScatterSpec::Clustered {
+            x0: get_f64(v, "x0", 0.0)?,
+            y0: get_f64(v, "y0", 0.0)?,
+            x1: get_f64(v, "x1", 0.0)?,
+            y1: get_f64(v, "y1", 0.0)?,
+        }),
+        other => Err(TomlError(format!(
+            "unknown scatter kind '{other}' (expected clustered-quarter, clustered or uniform)"
+        ))),
+    }
+}
+
+fn require_str(table: &TomlValue, key: &str) -> Result<String, TomlError> {
+    table
+        .get(key)
+        .and_then(TomlValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| TomlError(format!("missing required string '{key}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_shares_env_seed_across_schemes() {
+        let spec = ScenarioSpec::new("t")
+            .with_schemes(vec![SchemeKind::Cpvf, SchemeKind::Floor])
+            .with_sensor_counts(vec![10, 20])
+            .with_radios(vec![(60.0, 40.0), (30.0, 40.0)])
+            .with_repetitions(3);
+        let cells = spec.matrix();
+        assert_eq!(cells.len(), 2 * 2 * 3 * 2);
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.index, i);
+        }
+        // schemes within one (radio, n, rep) slice share the environment
+        for pair in cells.chunks(2) {
+            assert_eq!(pair[0].env_seed, pair[1].env_seed);
+            assert_ne!(pair[0].scheme, pair[1].scheme);
+        }
+        // different reps get different environments
+        assert_ne!(cells[0].env_seed, cells[2].env_seed);
+    }
+
+    #[test]
+    fn derived_seeds_are_stable_and_spread() {
+        assert_eq!(derive_seed(42, 0, 1, 2), derive_seed(42, 0, 1, 2));
+        assert_ne!(derive_seed(42, 0, 0, 0), derive_seed(42, 1, 0, 0));
+        assert_ne!(derive_seed(42, 0, 0, 0), derive_seed(42, 0, 1, 0));
+        assert_ne!(derive_seed(42, 0, 0, 0), derive_seed(42, 0, 0, 1));
+        assert_ne!(derive_seed(42, 0, 0, 0), derive_seed(43, 0, 0, 0));
+    }
+
+    #[test]
+    fn environment_is_deterministic() {
+        let spec = ScenarioSpec::new("t")
+            .with_field(FieldSpec::RandomObstacles(RandomObstacleParams::default()))
+            .with_sensor_counts(vec![15]);
+        let cell = spec.matrix()[0];
+        let (f1, i1) = cell.build_environment(&spec);
+        let (f2, i2) = cell.build_environment(&spec);
+        assert_eq!(f1.obstacles().len(), f2.obstacles().len());
+        assert_eq!(i1, i2);
+        assert_eq!(i1.len(), 15);
+    }
+
+    #[test]
+    fn toml_roundtrip_all_field_kinds() {
+        let fields = [
+            FieldSpec::Paper,
+            FieldSpec::TwoObstacle,
+            FieldSpec::CampusGrid(CampusGridParams::default()),
+            FieldSpec::Corridor(CorridorParams::default()),
+            FieldSpec::DisasterZone,
+            FieldSpec::RandomObstacles(RandomObstacleParams::default()),
+        ];
+        let scatters = [
+            ScatterSpec::ClusteredQuarter,
+            ScatterSpec::Uniform,
+            ScatterSpec::Clustered {
+                x0: 0.0,
+                y0: 10.0,
+                x1: 200.0,
+                y1: 300.0,
+            },
+        ];
+        for field in fields {
+            for scatter in scatters.iter().cloned() {
+                let spec = ScenarioSpec::new("roundtrip")
+                    .with_description("all kinds")
+                    .with_field(field.clone())
+                    .with_scatter(scatter)
+                    .with_schemes(vec![SchemeKind::Floor, SchemeKind::Minimax])
+                    .with_sensor_counts(vec![30, 60])
+                    .with_radios(vec![(20.0, 60.0), (60.0, 60.0)])
+                    .with_duration(120.0)
+                    .with_coverage_cell(5.0)
+                    .with_repetitions(4)
+                    .with_seed(7);
+                let text = spec.to_toml_string();
+                let parsed = ScenarioSpec::from_toml_str(&text).unwrap();
+                assert_eq!(parsed, spec, "round-trip failed for:\n{text}");
+            }
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        assert!(ScenarioSpec::new("x").validate().is_ok());
+        assert!(ScenarioSpec::new("").validate().is_err());
+        assert!(ScenarioSpec::new("x")
+            .with_sensor_counts(vec![])
+            .validate()
+            .is_err());
+        assert!(ScenarioSpec::new("x")
+            .with_schemes(vec![])
+            .validate()
+            .is_err());
+        assert!(ScenarioSpec::new("x")
+            .with_radios(vec![(0.0, 40.0)])
+            .validate()
+            .is_err());
+        assert!(ScenarioSpec::new("x")
+            .with_duration(0.0)
+            .validate()
+            .is_err());
+        assert!(ScenarioSpec::new("x")
+            .with_repetitions(0)
+            .validate()
+            .is_err());
+        // degenerate, inverted and non-finite clustered rects
+        for (x0, y0, x1, y1) in [
+            (0.0, 0.0, 0.0, 0.0),
+            (100.0, 0.0, 50.0, 50.0),
+            (0.0, f64::NAN, 50.0, 50.0),
+        ] {
+            assert!(ScenarioSpec::new("x")
+                .with_scatter(ScatterSpec::Clustered { x0, y0, x1, y1 })
+                .validate()
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn seeds_above_i64_max_roundtrip() {
+        let spec = ScenarioSpec::new("big-seed").with_seed(u64::MAX);
+        let text = spec.to_toml_string();
+        assert!(text.contains("seed = 18446744073709551615"), "{text}");
+        assert_eq!(ScenarioSpec::from_toml_str(&text).unwrap(), spec);
+    }
+
+    #[test]
+    fn parse_errors_name_the_problem() {
+        let e = ScenarioSpec::from_toml_str("x = 1").unwrap_err();
+        assert!(e.0.contains("name"));
+        let e = ScenarioSpec::from_toml_str("name = \"x\"\nschemes = [\"NOPE\"]").unwrap_err();
+        assert!(e.0.contains("NOPE"));
+        let e = ScenarioSpec::from_toml_str("name = \"x\"\n[field]\nkind = \"moon\"").unwrap_err();
+        assert!(e.0.contains("moon"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Batch-runner determinism: the same spec and seed must produce
+//! byte-identical JSON at any thread count, because per-run seeds
+//! derive from matrix coordinates (never from scheduling) and the
+//! parallel collect preserves matrix order.
+
+use msn_deploy::SchemeKind;
+use msn_field::RandomObstacleParams;
+use msn_scenario::{derive_seed, BatchRunner, FieldSpec, ScenarioSpec};
+
+fn spec() -> ScenarioSpec {
+    ScenarioSpec::new("determinism")
+        .with_schemes(vec![SchemeKind::Cpvf, SchemeKind::Floor])
+        .with_sensor_counts(vec![10, 16])
+        .with_radios(vec![(60.0, 40.0), (30.0, 40.0)])
+        .with_duration(20.0)
+        .with_coverage_cell(25.0)
+        .with_repetitions(2)
+        .with_seed(7)
+}
+
+#[test]
+fn json_is_byte_identical_at_any_thread_count() {
+    let reference = BatchRunner::new()
+        .with_threads(1)
+        .run(&spec())
+        .unwrap()
+        .to_json();
+    for threads in [2, 4, 8] {
+        let parallel = BatchRunner::new()
+            .with_threads(threads)
+            .run(&spec())
+            .unwrap()
+            .to_json();
+        assert_eq!(
+            reference, parallel,
+            "JSON diverged between 1 and {threads} threads"
+        );
+    }
+    // and the default (shared-pool) runner agrees too
+    let pooled = BatchRunner::new().run(&spec()).unwrap().to_json();
+    assert_eq!(reference, pooled);
+}
+
+#[test]
+fn randomized_fields_are_also_thread_count_invariant() {
+    let spec = ScenarioSpec::new("determinism-rnd")
+        .with_field(FieldSpec::RandomObstacles(RandomObstacleParams::default()))
+        .with_schemes(vec![SchemeKind::Floor])
+        .with_sensor_counts(vec![12])
+        .with_duration(10.0)
+        .with_coverage_cell(25.0)
+        .with_repetitions(4)
+        .with_seed(99);
+    let a = BatchRunner::new().with_threads(1).run(&spec).unwrap();
+    let b = BatchRunner::new().with_threads(4).run(&spec).unwrap();
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(a.to_csv(), b.to_csv());
+    assert_eq!(a.report(), b.report());
+}
+
+#[test]
+fn csv_and_report_are_deterministic_across_invocations() {
+    let a = BatchRunner::new().run(&spec()).unwrap();
+    let b = BatchRunner::new().run(&spec()).unwrap();
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(a.to_csv(), b.to_csv());
+    assert_eq!(a.report(), b.report());
+}
+
+#[test]
+fn different_base_seeds_change_results() {
+    let a = BatchRunner::new().run(&spec()).unwrap().to_json();
+    let b = BatchRunner::new()
+        .run(&spec().with_seed(8))
+        .unwrap()
+        .to_json();
+    assert_ne!(a, b, "base seed must perturb the batch");
+}
+
+#[test]
+fn matrix_seed_derivation_is_pure() {
+    for (radio, n, rep) in [(0usize, 0usize, 0usize), (1, 2, 3), (2, 0, 7)] {
+        assert_eq!(derive_seed(7, radio, n, rep), derive_seed(7, radio, n, rep));
+    }
+}

@@ -83,7 +83,11 @@ impl fmt::Display for RunResult {
             self.coverage * 100.0,
             self.avg_move,
             self.messages.total(),
-            if self.connected { "" } else { " [disconnected]" },
+            if self.connected {
+                ""
+            } else {
+                " [disconnected]"
+            },
             if self.flags.is_empty() {
                 String::new()
             } else {
@@ -95,11 +99,7 @@ impl fmt::Display for RunResult {
 
 /// The first time the coverage timeline reaches `frac` of the final
 /// coverage (`None` for an empty timeline or zero final coverage).
-pub fn convergence_time(
-    timeline: &[(f64, f64)],
-    final_coverage: f64,
-    frac: f64,
-) -> Option<f64> {
+pub fn convergence_time(timeline: &[(f64, f64)], final_coverage: f64, frac: f64) -> Option<f64> {
     if final_coverage <= 0.0 {
         return None;
     }

@@ -247,7 +247,9 @@ mod tests {
     fn world_with(n: usize) -> World {
         let field = Field::open(100.0, 100.0);
         let cfg = SimConfig::paper(20.0, 15.0).with_duration(10.0);
-        let positions = (0..n).map(|i| Point::new(5.0 * i as f64 + 5.0, 5.0)).collect();
+        let positions = (0..n)
+            .map(|i| Point::new(5.0 * i as f64 + 5.0, 5.0))
+            .collect();
         World::new(field, cfg, positions)
     }
 

@@ -31,7 +31,11 @@ impl VoronoiCell {
     /// An empty or degenerate (<3 vertices) vertex list produces an
     /// empty cell.
     pub fn new(site: Point, vertices: Vec<Point>) -> Self {
-        let vertices = if vertices.len() < 3 { Vec::new() } else { vertices };
+        let vertices = if vertices.len() < 3 {
+            Vec::new()
+        } else {
+            vertices
+        };
         VoronoiCell { site, vertices }
     }
 
@@ -76,15 +80,12 @@ impl VoronoiCell {
     ///
     /// Returns `None` for an empty cell.
     pub fn farthest_vertex(&self) -> Option<Point> {
-        self.vertices
-            .iter()
-            .copied()
-            .max_by(|a, b| {
-                self.site
-                    .dist_sq(*a)
-                    .partial_cmp(&self.site.dist_sq(*b))
-                    .expect("finite")
-            })
+        self.vertices.iter().copied().max_by(|a, b| {
+            self.site
+                .dist_sq(*a)
+                .partial_cmp(&self.site.dist_sq(*b))
+                .expect("finite")
+        })
     }
 
     /// The *minimax point*: the point minimizing the maximum distance to
@@ -125,7 +126,10 @@ mod tests {
     fn square_cell() -> VoronoiCell {
         VoronoiCell::new(
             Point::new(2.0, 2.0),
-            Rect::new(0.0, 0.0, 10.0, 10.0).to_polygon().vertices().to_vec(),
+            Rect::new(0.0, 0.0, 10.0, 10.0)
+                .to_polygon()
+                .vertices()
+                .to_vec(),
         )
     }
 

@@ -8,28 +8,17 @@
 //! ```
 
 use msn_deploy::floor::{run, FloorParams};
-use msn_field::{scatter_clustered, Field};
+use msn_field::{campus_grid_field, scatter_clustered, CampusGridParams};
 use msn_geom::Rect;
 use msn_metrics::Table;
 use msn_sim::SimConfig;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-fn campus() -> Field {
-    // A 3x3 grid of buildings with 80 m streets between them.
-    let mut obstacles = Vec::new();
-    for bx in 0..3 {
-        for by in 0..3 {
-            let x = 140.0 + bx as f64 * 240.0;
-            let y = 140.0 + by as f64 * 240.0;
-            obstacles.push(Rect::new(x, y, x + 160.0, y + 160.0).to_polygon());
-        }
-    }
-    Field::with_obstacles(800.0, 800.0, obstacles)
-}
-
 fn main() {
-    let field = campus();
+    // A 3x3 grid of buildings with 80 m streets between them — the
+    // same layout `scenarios/campus-grid.toml` drives declaratively.
+    let field = campus_grid_field(&CampusGridParams::default());
     let mut rng = SmallRng::seed_from_u64(11);
     let initial = scatter_clustered(&field, Rect::new(0.0, 0.0, 130.0, 130.0), 100, &mut rng);
     let cfg = SimConfig::paper(55.0, 35.0)

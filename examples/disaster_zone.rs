@@ -11,38 +11,18 @@
 //! ```
 
 use msn_deploy::{cpvf, floor};
-use msn_field::{ascii_layout, free_space_connected, scatter_clustered, AsciiOptions, Field};
-use msn_geom::{Point, Polygon, Rect};
+use msn_field::{
+    ascii_layout, disaster_zone_field, free_space_connected, scatter_clustered, AsciiOptions,
+};
+use msn_geom::Rect;
 use msn_sim::SimConfig;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-fn disaster_field() -> Field {
-    // Two collapsed buildings (rectangles), a debris pile (triangle)
-    // and a flooded area (irregular quadrilateral).
-    Field::with_obstacles(
-        800.0,
-        800.0,
-        vec![
-            Rect::new(250.0, 100.0, 420.0, 220.0).to_polygon(),
-            Rect::new(500.0, 420.0, 640.0, 620.0).to_polygon(),
-            Polygon::new(vec![
-                Point::new(120.0, 420.0),
-                Point::new(300.0, 520.0),
-                Point::new(140.0, 620.0),
-            ]),
-            Polygon::new(vec![
-                Point::new(520.0, 120.0),
-                Point::new(700.0, 160.0),
-                Point::new(680.0, 300.0),
-                Point::new(560.0, 260.0),
-            ]),
-        ],
-    )
-}
-
 fn main() {
-    let field = disaster_field();
+    // Two collapsed buildings, a debris pile and a flooded area — the
+    // same layout `scenarios/disaster-zone.toml` drives declaratively.
+    let field = disaster_zone_field();
     assert!(
         free_space_connected(&field, 10.0),
         "the debris must not seal off any region"

@@ -1,0 +1,137 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides just enough API for the workspace's bench targets to
+//! compile and run without crates.io access: [`Criterion`] with
+//! `bench_function`, a [`Bencher`] with `iter` / `iter_batched`,
+//! [`BatchSize`] and the `criterion_group!` / `criterion_main!`
+//! macros. Timing is a simple best-of-runs wall clock — adequate for
+//! spotting order-of-magnitude regressions, without criterion's
+//! statistics, warm-up tuning or HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized (accepted, ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Runs one benchmark body repeatedly and tracks elapsed time.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this measurement's iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over fresh inputs from `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Benchmark driver (subset of criterion's).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Measures `f`, printing a per-iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        // Calibration pass, then a measured pass sized to ~0.2 s.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(200).as_nanos() / per_iter.as_nanos()).clamp(1, 10_000);
+        let mut b = Bencher {
+            iters: iters as u64,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let nanos = b.elapsed.as_nanos() as f64 / b.iters as f64;
+        println!("{name:<40} {:>12.1} ns/iter  ({} iters)", nanos, b.iters);
+        self
+    }
+}
+
+/// Declares a benchmark group function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_uses_setup_per_iteration() {
+        let mut b = Bencher {
+            iters: 5,
+            elapsed: Duration::ZERO,
+        };
+        let mut setups = 0u64;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u8; 8]
+            },
+            |v| v.len(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, 5);
+    }
+}

@@ -1,0 +1,190 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the small slice of rayon's API the workspace uses —
+//! `vec.into_par_iter().map(f).collect::<Vec<_>>()` and
+//! slice `par_iter().map(f).collect()` — on top of `std::thread::scope`
+//! with a shared work queue. Results are written back by input index,
+//! so **collect order always equals input order**, regardless of the
+//! number of worker threads: parallel output is byte-identical to
+//! sequential output for deterministic work functions.
+//!
+//! Thread count comes from `RAYON_NUM_THREADS` (like rayon's default
+//! pool) or `std::thread::available_parallelism`.
+
+#![forbid(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// The worker-thread count: `RAYON_NUM_THREADS` if set and positive,
+/// else the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `f` over `items` on `threads` workers, preserving input order
+/// in the output.
+fn run_indexed<I, O, F>(items: Vec<I>, f: &F, threads: usize) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue: Mutex<VecDeque<(usize, I)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let slots: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let job = queue.lock().unwrap().pop_front();
+                match job {
+                    Some((i, item)) => {
+                        let out = f(item);
+                        *slots[i].lock().unwrap() = Some(out);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("worker completed every job")
+        })
+        .collect()
+}
+
+/// An order-preserving parallel iterator over owned items.
+#[derive(Debug)]
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Maps every item through `f` in parallel.
+    pub fn map<O: Send, F: Fn(I) -> O + Sync>(self, f: F) -> ParMap<I, O, F> {
+        ParMap {
+            items: self.items,
+            f,
+            _out: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F: Fn(I) + Sync>(self, f: F) {
+        self.map(f).collect::<Vec<()>>();
+    }
+}
+
+/// A mapped parallel iterator, executed on `collect`.
+#[derive(Debug)]
+pub struct ParMap<I, O, F> {
+    items: Vec<I>,
+    f: F,
+    _out: std::marker::PhantomData<fn() -> O>,
+}
+
+impl<I: Send, O: Send, F: Fn(I) -> O + Sync> ParMap<I, O, F> {
+    /// Executes the map on the shared pool; output preserves input order.
+    pub fn collect<C: FromParOutput<O>>(self) -> C {
+        C::from_par_output(run_indexed(self.items, &self.f, current_num_threads()))
+    }
+}
+
+/// Conversion from the ordered output vector of a parallel map.
+pub trait FromParOutput<O> {
+    /// Builds the collection from in-order outputs.
+    fn from_par_output(v: Vec<O>) -> Self;
+}
+
+impl<O> FromParOutput<O> for Vec<O> {
+    fn from_par_output(v: Vec<O>) -> Self {
+        v
+    }
+}
+
+/// Conversion into a parallel iterator (subset of rayon's trait).
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing conversion (subset of rayon's `IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send;
+    /// A parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        self.as_slice().par_iter()
+    }
+}
+
+/// Common imports, mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn collect_preserves_input_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, v.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> = v.par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens.len(), 100);
+        assert_eq!(lens[0], 1);
+        assert_eq!(lens[99], 2);
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let v: Vec<u64> = (0..257).collect();
+        let seq = super::run_indexed(v.clone(), &|x| x + 1, 1);
+        let par = super::run_indexed(v, &|x| x + 1, 8);
+        assert_eq!(seq, par);
+    }
+}

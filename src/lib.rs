@@ -1,0 +1,20 @@
+//! Workspace façade crate.
+//!
+//! Exists so the repository-level `tests/` (cross-crate integration
+//! tests) and `examples/` directories build as part of the workspace;
+//! as a library it simply re-exports every member crate under one
+//! roof.
+
+#![forbid(unsafe_code)]
+
+pub use msn_assign as assign;
+pub use msn_bench as bench;
+pub use msn_deploy as deploy;
+pub use msn_field as field;
+pub use msn_geom as geom;
+pub use msn_metrics as metrics;
+pub use msn_nav as nav;
+pub use msn_net as net;
+pub use msn_scenario as scenario;
+pub use msn_sim as sim;
+pub use msn_voronoi as voronoi;

@@ -27,11 +27,13 @@ fn cpvf_connects_across_rc_rs_ratios() {
     let field = Field::open(400.0, 400.0);
     for (rc, rs) in [(20.0, 60.0), (40.0, 40.0), (80.0, 25.0)] {
         let initial = clustered(&field, 30, 150.0, 17);
-        let r = cpvf::run(&field, &initial, &cpvf::CpvfParams::default(), &cfg(rc, rs, 400.0));
-        assert!(
-            r.connected,
-            "CPVF must end connected at rc={rc} rs={rs}"
+        let r = cpvf::run(
+            &field,
+            &initial,
+            &cpvf::CpvfParams::default(),
+            &cfg(rc, rs, 400.0),
         );
+        assert!(r.connected, "CPVF must end connected at rc={rc} rs={rs}");
     }
 }
 
@@ -40,11 +42,13 @@ fn floor_connects_across_rc_rs_ratios() {
     let field = Field::open(400.0, 400.0);
     for (rc, rs) in [(20.0, 60.0), (40.0, 40.0), (80.0, 25.0)] {
         let initial = clustered(&field, 30, 150.0, 23);
-        let r = floor::run(&field, &initial, &floor::FloorParams::default(), &cfg(rc, rs, 400.0));
-        assert!(
-            r.connected,
-            "FLOOR must end connected at rc={rc} rs={rs}"
+        let r = floor::run(
+            &field,
+            &initial,
+            &floor::FloorParams::default(),
+            &cfg(rc, rs, 400.0),
         );
+        assert!(r.connected, "FLOOR must end connected at rc={rc} rs={rs}");
     }
 }
 
@@ -52,7 +56,12 @@ fn floor_connects_across_rc_rs_ratios() {
 fn cpvf_connects_with_two_obstacles() {
     let field = two_obstacle_field();
     let initial = clustered(&field, 60, 450.0, 5);
-    let r = cpvf::run(&field, &initial, &cpvf::CpvfParams::default(), &cfg(60.0, 40.0, 500.0));
+    let r = cpvf::run(
+        &field,
+        &initial,
+        &cpvf::CpvfParams::default(),
+        &cfg(60.0, 40.0, 500.0),
+    );
     assert!(r.connected);
 }
 
@@ -81,6 +90,11 @@ fn sparse_network_still_reaches_base() {
     let field = Field::open(500.0, 500.0);
     let mut rng = SmallRng::seed_from_u64(9);
     let initial = msn_field::scatter_uniform(&field, 12, &mut rng);
-    let r = cpvf::run(&field, &initial, &cpvf::CpvfParams::default(), &cfg(40.0, 30.0, 700.0));
+    let r = cpvf::run(
+        &field,
+        &initial,
+        &cpvf::CpvfParams::default(),
+        &cfg(40.0, 30.0, 700.0),
+    );
     assert!(r.connected, "every sensor must walk into the tree");
 }

@@ -35,14 +35,23 @@ fn identical_seeds_identical_runs() {
     ] {
         let a = run_scheme(kind, &field, &init, &cfg(5));
         let b = run_scheme(kind, &field, &init, &cfg(5));
-        assert_eq!(a.coverage, b.coverage, "{kind} coverage must be deterministic");
-        assert_eq!(a.avg_move, b.avg_move, "{kind} movement must be deterministic");
+        assert_eq!(
+            a.coverage, b.coverage,
+            "{kind} coverage must be deterministic"
+        );
+        assert_eq!(
+            a.avg_move, b.avg_move,
+            "{kind} movement must be deterministic"
+        );
         assert_eq!(
             a.messages.total(),
             b.messages.total(),
             "{kind} messages must be deterministic"
         );
-        assert_eq!(a.positions, b.positions, "{kind} layout must be deterministic");
+        assert_eq!(
+            a.positions, b.positions,
+            "{kind} layout must be deterministic"
+        );
     }
 }
 

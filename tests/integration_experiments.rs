@@ -30,7 +30,10 @@ fn fig8_report_contains_all_scenarios() {
     let report = msn_bench::fig8::run(&tiny());
     assert!(report.contains("Figure 8"));
     assert!(report.contains("FLOOR"));
-    assert!(report.matches('%').count() >= 6, "coverage and paper columns");
+    assert!(
+        report.matches('%').count() >= 6,
+        "coverage and paper columns"
+    );
 }
 
 #[test]
@@ -54,7 +57,14 @@ fn fig10_lists_every_ratio_with_flags() {
 #[test]
 fn fig11_reports_six_schemes() {
     let report = msn_bench::fig11::run(&tiny());
-    for name in ["CPVF", "FLOOR", "VOR", "Minimax", "OPT(pattern)", "OPT(FLOOR)"] {
+    for name in [
+        "CPVF",
+        "FLOOR",
+        "VOR",
+        "Minimax",
+        "OPT(pattern)",
+        "OPT(FLOOR)",
+    ] {
         assert!(report.contains(name), "missing column {name}");
     }
 }

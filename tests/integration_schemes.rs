@@ -63,7 +63,10 @@ fn vd_baselines_fail_at_small_rc() {
     let cfg = SimConfig::paper(48.0, 60.0).with_coverage_cell(10.0); // rc/rs = 0.8
     for variant in [vd::VdVariant::Vor, vd::VdVariant::Minimax] {
         let r = vd::run(&field, &initial, variant, &vd::VdParams::default(), &cfg);
-        assert!(!r.connected, "{variant:?} cannot keep connectivity at rc/rs = 0.8");
+        assert!(
+            !r.connected,
+            "{variant:?} cannot keep connectivity at rc/rs = 0.8"
+        );
         assert!(
             r.flags.iter().any(|f| f == "Incorrect VD"),
             "{variant:?} must compute incorrect cells at rc/rs = 0.8"
