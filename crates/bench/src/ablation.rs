@@ -3,58 +3,92 @@
 //! expansion patterns contribute?
 //!
 //! §5.5.1 motivates the three patterns and ranks their priorities but
-//! never isolates their effect. This experiment re-runs the Figure 8
-//! scenarios with BLG and/or IFLG disabled.
+//! never isolates their effect. A thin client of the `msn-scenario`
+//! engine (bundled specs `scenarios/ablation-open.toml` /
+//! `ablation-obstacle.toml`): the four switch combinations are a
+//! parameter-variant sweep over the Figure 8 environments, so every
+//! variant starts from the identical scatter.
 
-use crate::{clustered_initial, fig3, pct, Profile};
-use msn_deploy::floor::{self, FloorParams};
+use crate::{fig3, pct, Profile};
+use msn_deploy::{FloorOverrides, SchemeKind, SchemeOverrides};
 use msn_metrics::Table;
+use msn_scenario::{BatchRunner, RadioSpec, ScenarioSpec};
 
-/// The ablation variants.
-pub fn variants() -> Vec<(&'static str, FloorParams)> {
-    let base = FloorParams::default();
-    vec![
-        ("full FLOOR", base.clone()),
-        (
-            "no BLG",
-            FloorParams {
-                enable_blg: false,
-                ..base.clone()
+/// The ablation variants: label, BLG enabled, IFLG enabled.
+pub const VARIANTS: [(&str, bool, bool); 4] = [
+    ("full FLOOR", true, true),
+    ("no BLG", false, true),
+    ("no IFLG", true, false),
+    ("FLG only", false, false),
+];
+
+fn with_variants(spec: ScenarioSpec) -> ScenarioSpec {
+    VARIANTS.iter().fold(spec, |spec, &(label, blg, iflg)| {
+        spec.with_variant(
+            label,
+            SchemeOverrides {
+                floor: FloorOverrides {
+                    enable_blg: Some(blg),
+                    enable_iflg: Some(iflg),
+                    ..Default::default()
+                },
+                ..Default::default()
             },
-        ),
-        (
-            "no IFLG",
-            FloorParams {
-                enable_iflg: false,
-                ..base.clone()
-            },
-        ),
-        (
-            "FLG only",
-            FloorParams {
-                enable_blg: false,
-                enable_iflg: false,
-                ..base
-            },
-        ),
-    ]
+        )
+    })
 }
 
-/// Runs the ablation and formats the report.
+/// The obstacle-free half of the ablation as a declarative spec.
+pub fn open_spec(profile: &Profile) -> ScenarioSpec {
+    with_variants(
+        fig3::open_spec(profile)
+            .with_schemes(vec![SchemeKind::Floor])
+            .with_description("Ablation (open field): FLOOR expansion-pattern switches"),
+    )
+    .with_name("ablation-open")
+}
+
+/// The two-obstacle half of the ablation as a declarative spec.
+pub fn obstacle_spec(profile: &Profile) -> ScenarioSpec {
+    with_variants(
+        fig3::obstacle_spec(profile)
+            .with_schemes(vec![SchemeKind::Floor])
+            .with_description("Ablation (two-obstacle): FLOOR expansion-pattern switches"),
+    )
+    .with_name("ablation-obstacle")
+}
+
+/// Runs the ablation (via the scenario engine) and formats the report.
 pub fn run(profile: &Profile) -> String {
     let mut out =
         String::from("Ablation — contribution of FLOOR's expansion patterns (extension)\n\n");
-    for (name, rc, rs, field) in fig3::scenarios() {
-        let initial = clustered_initial(&field, profile.n_base, profile.seed);
-        let cfg = profile.cfg(rc, rs);
+    let open = BatchRunner::new()
+        .run(&open_spec(profile))
+        .expect("ablation-open is valid");
+    let obstacle = BatchRunner::new()
+        .run(&obstacle_spec(profile))
+        .expect("ablation-obstacle is valid");
+    for (name, result, radio) in [
+        ("(a) rc=60 rs=40 open", &open, RadioSpec::new(60.0, 40.0)),
+        ("(b) rc=30 rs=40 open", &open, RadioSpec::new(30.0, 40.0)),
+        (
+            "(c) rc=60 rs=40 two-obstacle",
+            &obstacle,
+            RadioSpec::new(60.0, 40.0),
+        ),
+    ] {
+        let stats = result.cell_stats();
         let mut table = Table::new(vec!["variant", "coverage", "avg move (m)", "connected"]);
-        for (vname, params) in variants() {
-            let r = floor::run(&field, &initial, &params, &cfg);
+        for &(label, _, _) in &VARIANTS {
+            let cell = stats
+                .iter()
+                .find(|s| s.radio == radio && s.variant_label == label)
+                .expect("matrix covers every (radio, variant)");
             table.row(vec![
-                vname.to_string(),
-                pct(r.coverage),
-                format!("{:.0}", r.avg_move),
-                r.connected.to_string(),
+                label.to_string(),
+                pct(cell.coverage.mean()),
+                format!("{:.0}", cell.avg_move.mean()),
+                (cell.connected_runs == cell.runs.len()).to_string(),
             ]);
         }
         out.push_str(&format!("{name}\n{table}\n\n"));

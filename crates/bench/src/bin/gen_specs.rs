@@ -1,0 +1,68 @@
+//! Regenerates the bundled scenario specs that mirror the figure and
+//! table modules (`scenarios/fig*.toml`, `table1-*.toml`,
+//! `ablation-*.toml`, `uniform-init.toml`) from their full-scale
+//! in-code definitions, so the TOML files can never drift from the
+//! binaries. The hand-curated specs (`paper-field`, `campus-grid`,
+//! `corridor`, `disaster-zone`, `random-obstacle-sweep`,
+//! `campus-ttl-sweep`, `smoke`) are left alone.
+
+use msn_bench::{ablation, fig10, fig11, fig12, fig3, table1, uniform_init, Profile};
+use msn_scenario::ScenarioSpec;
+
+fn main() {
+    let profile = Profile::full();
+    let specs: Vec<(ScenarioSpec, &str)> = vec![
+        (
+            fig3::open_spec(&profile),
+            "Figures 3 and 8, panels (a) and (b): CPVF and FLOOR layouts on the\nopen 1 km x 1 km field at rc=60/rs=40 and rc=30/rs=40.",
+        ),
+        (
+            fig3::obstacle_spec(&profile),
+            "Figures 3 and 8, panel (c): CPVF and FLOOR layouts in the\ntwo-obstacle field at rc=60/rs=40.",
+        ),
+        (
+            fig10::spec(&profile),
+            "Figure 10: coverage of FLOOR, VOR and Minimax while rc/rs sweeps\n0.8..4 at rs = 60 m, with Disconn./Incorrect-VD annotations.",
+        ),
+        (
+            fig11::spec(&profile),
+            "Figure 11: average moving distance of all five schemes over the\nsensor-count sweep (the OPT(FLOOR) lower bound is derived by the\nfig11 binary from FLOOR's final positions).",
+        ),
+        (
+            fig12::spec(&profile),
+            "Figure 12: CPVF oscillation avoidance — one-step and two-step\ncancellation over delta in {1, 2, 4, 8, 16} as parameter variants.",
+        ),
+        (
+            table1::open_spec(&profile),
+            "Table 1, non-obstacle half: FLOOR protocol message totals over\nnetwork size x invitation TTL (ttl_frac variants: TTL = 0.1N..0.4N).",
+        ),
+        (
+            table1::obstacle_spec(&profile),
+            "Table 1, two-obstacle half: FLOOR protocol message totals over\nnetwork size x invitation TTL (ttl_frac variants: TTL = 0.1N..0.4N).",
+        ),
+        (
+            ablation::open_spec(&profile),
+            "Ablation (extension), open field: FLOOR's BLG/IFLG expansion\npatterns toggled as parameter variants over the Figure 8 panels.",
+        ),
+        (
+            ablation::obstacle_spec(&profile),
+            "Ablation (extension), two-obstacle field: FLOOR's BLG/IFLG\nexpansion patterns toggled as parameter variants.",
+        ),
+        (
+            uniform_init::spec(&profile),
+            "Uniform initial scatter (extension of Figures 9/11): CPVF vs FLOOR\nfrom a whole-field uniform start.",
+        ),
+    ];
+    for (spec, comment) in specs {
+        let path = format!("scenarios/{}.toml", spec.name);
+        let header: String = comment
+            .lines()
+            .map(|l| format!("# {l}\n"))
+            .collect::<String>();
+        let body = format!("{header}{}", spec.to_toml_string());
+        let parsed = ScenarioSpec::from_toml_str(&body).expect("generated spec parses");
+        assert_eq!(parsed, spec, "generated TOML round-trips");
+        std::fs::write(&path, body).expect("write spec");
+        println!("wrote {path}");
+    }
+}

@@ -5,22 +5,46 @@
 //! OPT strip pattern ("OPT(pattern)") and to reach FLOOR's *own* final
 //! layout ("OPT(FLOOR)").
 //!
+//! A thin client of the `msn-scenario` engine (bundled spec
+//! `scenarios/fig11.toml`): the five schemes ride the engine's run
+//! matrix; OPT(FLOOR) is computed after the fact from FLOOR's final
+//! positions (kept on each [`msn_scenario::RunRecord`]) and the
+//! cell's reconstructed initial scatter.
+//!
 //! Findings to reproduce in shape: VOR/Minimax pay a large explosion
 //! cost; CPVF more than doubles FLOOR's distance through oscillation;
 //! FLOOR lands between the two optima — below the cost of the strict
 //! OPT pattern but 15–40 % above the optimum for its own layout.
 
-use crate::{clustered_initial, Profile};
+use crate::Profile;
 use msn_assign::{hungarian, CostMatrix};
-use msn_deploy::{cpvf, floor, opt, vd};
-use msn_field::paper_field;
+use msn_deploy::SchemeKind;
 use msn_metrics::Table;
+use msn_scenario::{BatchRunner, ScenarioSpec};
 
-/// Runs Figure 11 and formats the report.
+/// The experiment as a declarative scenario spec.
+pub fn spec(profile: &Profile) -> ScenarioSpec {
+    ScenarioSpec::new("fig11")
+        .with_description("Figure 11: average moving distance of all schemes vs sensor count")
+        .with_schemes(vec![
+            SchemeKind::Cpvf,
+            SchemeKind::Floor,
+            SchemeKind::Vor,
+            SchemeKind::Minimax,
+            SchemeKind::Opt,
+        ])
+        .with_sensor_counts(profile.n_sweep.clone())
+        .with_radios(vec![(60.0, 40.0)])
+        .with_duration(profile.duration)
+        .with_coverage_cell(profile.coverage_cell)
+        .with_seed(profile.seed)
+}
+
+/// Runs Figure 11 (via the scenario engine) and formats the report.
 pub fn run(profile: &Profile) -> String {
     let mut out = String::from("Figure 11 — average moving distance (m), rc = 60 m, rs = 40 m\n\n");
-    let field = paper_field();
-    let (rc, rs) = (60.0, 40.0);
+    let spec = spec(profile);
+    let result = BatchRunner::new().run(&spec).expect("fig11 spec is valid");
     let mut table = Table::new(vec![
         "n",
         "CPVF",
@@ -31,38 +55,29 @@ pub fn run(profile: &Profile) -> String {
         "OPT(FLOOR)",
     ]);
     for &n in &profile.n_sweep {
-        let initial = clustered_initial(&field, n, profile.seed);
-        let cfg = profile.cfg(rc, rs);
-        let r_cpvf = cpvf::run(&field, &initial, &cpvf::CpvfParams::default(), &cfg);
-        let r_floor = floor::run(&field, &initial, &floor::FloorParams::default(), &cfg);
-        let r_vor = vd::run(
-            &field,
-            &initial,
-            vd::VdVariant::Vor,
-            &vd::VdParams::default(),
-            &cfg,
-        );
-        let r_mm = vd::run(
-            &field,
-            &initial,
-            vd::VdVariant::Minimax,
-            &vd::VdParams::default(),
-            &cfg,
-        );
-        let r_opt = opt::run(&field, &initial, &opt::OptParams::default(), &cfg);
-        // Hungarian optimum for reaching FLOOR's own layout.
+        let find = |scheme| {
+            result
+                .records
+                .iter()
+                .find(|r| r.cell.n == n && r.cell.scheme == scheme)
+                .expect("matrix covers every (n, scheme)")
+        };
+        let r_floor = find(SchemeKind::Floor);
+        // Hungarian optimum for reaching FLOOR's own layout, from the
+        // same initial scatter the schemes started at.
         let floor_lb = {
+            let (_, initial) = r_floor.cell.build_environment(&spec);
             let costs = CostMatrix::euclidean(&initial, &r_floor.positions);
             hungarian(&costs).total_cost / n as f64
         };
         table.row(vec![
             n.to_string(),
-            format!("{:.0}", r_cpvf.avg_move),
+            format!("{:.0}", find(SchemeKind::Cpvf).avg_move),
             format!("{:.0}", r_floor.avg_move),
-            format!("{:.0}", r_vor.avg_move),
-            format!("{:.0}", r_mm.avg_move),
-            format!("{:.0}", r_opt.avg_move),
-            format!("{:.0}", floor_lb),
+            format!("{:.0}", find(SchemeKind::Vor).avg_move),
+            format!("{:.0}", find(SchemeKind::Minimax).avg_move),
+            format!("{:.0}", find(SchemeKind::Opt).avg_move),
+            format!("{floor_lb:.0}"),
         ]);
     }
     out.push_str(&table.to_string());

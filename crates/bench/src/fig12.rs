@@ -1,52 +1,96 @@
 //! Figure 12: effect of the oscillation-avoidance factor δ on CPVF's
 //! moving distance and coverage.
 //!
+//! A thin client of the `msn-scenario` engine (bundled spec
+//! `scenarios/fig12.toml`): the eleven oscillation settings are a
+//! parameter-variant sweep — every variant faces the same initial
+//! scatter — and this module only formats the table.
+//!
 //! Both one-step and two-step avoidance trade coverage for moving
 //! distance: a small δ (aggressive cancellation) cuts distance sharply
 //! but freezes sensors before the layout spreads; large δ approaches
 //! plain CPVF.
 
-use crate::{clustered_initial, pct, Profile};
-use msn_deploy::cpvf::{self, CpvfParams, OscillationAvoidance};
-use msn_field::paper_field;
+use crate::{pct, Profile};
+use msn_deploy::cpvf::OscillationAvoidance;
+use msn_deploy::{CpvfOverrides, SchemeKind, SchemeOverrides};
 use msn_metrics::Table;
+use msn_scenario::{BatchRunner, ScenarioSpec};
 
 /// The δ values swept.
 pub const DELTAS: [f64; 5] = [1.0, 2.0, 4.0, 8.0, 16.0];
 
-/// Runs Figure 12 and formats the report.
+/// The variant rows in table order: label, human variant name and δ
+/// column text.
+fn variant_rows() -> Vec<(String, &'static str, String, OscillationAvoidance)> {
+    let mut rows = vec![(
+        "off".to_string(),
+        "off",
+        "-".to_string(),
+        OscillationAvoidance::Off,
+    )];
+    for delta in DELTAS {
+        rows.push((
+            format!("one-step-{delta}"),
+            "one-step",
+            format!("{delta}"),
+            OscillationAvoidance::OneStep { delta },
+        ));
+        rows.push((
+            format!("two-step-{delta}"),
+            "two-step",
+            format!("{delta}"),
+            OscillationAvoidance::TwoStep { delta },
+        ));
+    }
+    rows
+}
+
+/// The experiment as a declarative scenario spec.
+pub fn spec(profile: &Profile) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new("fig12")
+        .with_description("Figure 12: CPVF oscillation avoidance sweep (one-/two-step x delta)")
+        .with_schemes(vec![SchemeKind::Cpvf])
+        .with_sensor_counts(vec![profile.n_base])
+        .with_radios(vec![(60.0, 40.0)])
+        .with_duration(profile.duration)
+        .with_coverage_cell(profile.coverage_cell)
+        .with_seed(profile.seed);
+    for (label, _, _, osc) in variant_rows() {
+        spec = spec.with_variant(
+            label,
+            SchemeOverrides {
+                cpvf: CpvfOverrides {
+                    oscillation: Some(osc),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+    }
+    spec
+}
+
+/// Runs Figure 12 (via the scenario engine) and formats the report.
 pub fn run(profile: &Profile) -> String {
     let mut out =
         String::from("Figure 12 — oscillation avoidance for CPVF (rc = 60 m, rs = 40 m)\n\n");
-    let field = paper_field();
-    let initial = clustered_initial(&field, profile.n_base, profile.seed);
-    let cfg = profile.cfg(60.0, 40.0);
-
+    let result = BatchRunner::new()
+        .run(&spec(profile))
+        .expect("fig12 spec is valid");
+    let stats = result.cell_stats();
     let mut table = Table::new(vec!["variant", "delta", "avg move (m)", "coverage"]);
-    let baseline = cpvf::run(&field, &initial, &CpvfParams::default(), &cfg);
-    table.row(vec![
-        "off".into(),
-        "-".into(),
-        format!("{:.0}", baseline.avg_move),
-        pct(baseline.coverage),
-    ]);
-    for delta in DELTAS {
-        for (name, osc) in [
-            ("one-step", OscillationAvoidance::OneStep { delta }),
-            ("two-step", OscillationAvoidance::TwoStep { delta }),
-        ] {
-            let params = CpvfParams {
-                oscillation: osc,
-                ..CpvfParams::default()
-            };
-            let r = cpvf::run(&field, &initial, &params, &cfg);
-            table.row(vec![
-                name.into(),
-                format!("{delta}"),
-                format!("{:.0}", r.avg_move),
-                pct(r.coverage),
-            ]);
-        }
+    for (label, name, delta, _) in variant_rows() {
+        let cell = stats
+            .iter()
+            .find(|s| s.variant_label == label)
+            .expect("matrix covers every variant");
+        table.row(vec![
+            name.to_string(),
+            delta,
+            format!("{:.0}", cell.avg_move.mean()),
+            pct(cell.coverage.mean()),
+        ]);
     }
     out.push_str(&table.to_string());
     out.push('\n');

@@ -3,32 +3,99 @@
 //! (a) rc = 60 m, rs = 40 m, obstacle-free — paper: 74.5 % coverage;
 //! (b) rc = 30 m, rs = 40 m, obstacle-free — paper: 26.4 %;
 //! (c) rc = 60 m, rs = 40 m, two obstacles — paper: 37.1 %.
+//!
+//! Implemented as a thin client of the `msn-scenario` engine: the
+//! three panels are the CPVF slices of the two `fig38-*` bundled
+//! specs (shared with Figure 8, which runs FLOOR on the same
+//! environments); this module only formats the paper's table and
+//! layout snapshots from the per-run records.
 
-use crate::{clustered_initial, pct, Profile};
-use msn_deploy::cpvf::{self, CpvfParams};
-use msn_field::{ascii_layout, paper_field, two_obstacle_field, AsciiOptions, Field};
+use crate::{pct, Profile};
+use msn_deploy::SchemeKind;
+use msn_field::{ascii_layout, AsciiOptions};
 use msn_metrics::Table;
-
-/// The three scenarios shared by Figures 3 and 8.
-pub fn scenarios() -> Vec<(&'static str, f64, f64, Field)> {
-    vec![
-        ("(a) rc=60 rs=40 open", 60.0, 40.0, paper_field()),
-        ("(b) rc=30 rs=40 open", 30.0, 40.0, paper_field()),
-        (
-            "(c) rc=60 rs=40 two-obstacle",
-            60.0,
-            40.0,
-            two_obstacle_field(),
-        ),
-    ]
-}
+use msn_scenario::{BatchRunner, FieldSpec, RadioSpec, RunRecord, ScenarioSpec};
 
 /// Paper-reported coverages for Figure 3's three panels.
 pub const PAPER: [f64; 3] = [0.745, 0.264, 0.371];
 
-/// Runs Figure 3 and formats the report.
-pub fn run(profile: &Profile) -> String {
-    let mut out = String::from("Figure 3 — CPVF sensor layouts and coverage\n");
+/// The obstacle-free half of the Figure 3/8 panels (panels a and b),
+/// bundled as `scenarios/fig38-open.toml`.
+pub fn open_spec(profile: &Profile) -> ScenarioSpec {
+    ScenarioSpec::new("fig38-open")
+        .with_description(
+            "Figures 3/8 panels (a)+(b): CPVF and FLOOR layouts on the open paper field",
+        )
+        .with_schemes(vec![SchemeKind::Cpvf, SchemeKind::Floor])
+        .with_sensor_counts(vec![profile.n_base])
+        .with_radios(vec![(60.0, 40.0), (30.0, 40.0)])
+        .with_duration(profile.duration)
+        .with_coverage_cell(profile.coverage_cell)
+        .with_seed(profile.seed)
+}
+
+/// The two-obstacle half of the Figure 3/8 panels (panel c), bundled
+/// as `scenarios/fig38-obstacle.toml`.
+pub fn obstacle_spec(profile: &Profile) -> ScenarioSpec {
+    ScenarioSpec::new("fig38-obstacle")
+        .with_description("Figures 3/8 panel (c): CPVF and FLOOR layouts in the two-obstacle field")
+        .with_field(FieldSpec::TwoObstacle)
+        .with_schemes(vec![SchemeKind::Cpvf, SchemeKind::Floor])
+        .with_sensor_counts(vec![profile.n_base])
+        .with_radios(vec![(60.0, 40.0)])
+        .with_duration(profile.duration)
+        .with_coverage_cell(profile.coverage_cell)
+        .with_seed(profile.seed)
+}
+
+/// The three panels of Figures 3 and 8 for one scheme, in paper
+/// order: each entry is the panel name, its spec and the matching
+/// run record.
+pub fn panels(profile: &Profile, scheme: SchemeKind) -> Vec<(String, ScenarioSpec, RunRecord)> {
+    // Restricting the scheme set leaves environment seeds untouched
+    // (they derive from radio/count/rep coordinates only), so these
+    // slices are identical to the bundled specs' matching cells.
+    let open = open_spec(profile).with_schemes(vec![scheme]);
+    let obstacle = obstacle_spec(profile).with_schemes(vec![scheme]);
+    let open_result = BatchRunner::new().run(&open).expect("fig38-open is valid");
+    let obstacle_result = BatchRunner::new()
+        .run(&obstacle)
+        .expect("fig38-obstacle is valid");
+    let find = |result: &msn_scenario::BatchResult, radio: RadioSpec| -> RunRecord {
+        result
+            .records
+            .iter()
+            .find(|r| r.cell.radio == radio)
+            .expect("matrix covers the panel radio")
+            .clone()
+    };
+    vec![
+        (
+            "(a) rc=60 rs=40 open".into(),
+            open.clone(),
+            find(&open_result, RadioSpec::new(60.0, 40.0)),
+        ),
+        (
+            "(b) rc=30 rs=40 open".into(),
+            open,
+            find(&open_result, RadioSpec::new(30.0, 40.0)),
+        ),
+        (
+            "(c) rc=60 rs=40 two-obstacle".into(),
+            obstacle,
+            find(&obstacle_result, RadioSpec::new(60.0, 40.0)),
+        ),
+    ]
+}
+
+/// Formats the shared Figure 3/8 report body for one scheme.
+pub fn layout_report(
+    title: &str,
+    profile: &Profile,
+    scheme: SchemeKind,
+    paper: &[f64; 3],
+) -> String {
+    let mut out = format!("{title}\n");
     let mut table = Table::new(vec![
         "scenario",
         "coverage",
@@ -36,23 +103,21 @@ pub fn run(profile: &Profile) -> String {
         "avg move (m)",
         "connected",
     ]);
-    for (i, (name, rc, rs, field)) in scenarios().into_iter().enumerate() {
-        let initial = clustered_initial(&field, profile.n_base, profile.seed);
-        let cfg = profile.cfg(rc, rs);
-        let r = cpvf::run(&field, &initial, &CpvfParams::default(), &cfg);
+    for (i, (name, spec, record)) in panels(profile, scheme).into_iter().enumerate() {
         table.row(vec![
-            name.to_string(),
-            pct(r.coverage),
-            pct(PAPER[i]),
-            format!("{:.0}", r.avg_move),
-            r.connected.to_string(),
+            name.clone(),
+            pct(record.coverage),
+            pct(paper[i]),
+            format!("{:.0}", record.avg_move),
+            record.connected.to_string(),
         ]);
         if profile.layouts {
-            out.push_str(&format!("\n{name}: coverage {}\n", pct(r.coverage)));
+            let (field, _) = record.cell.build_environment(&spec);
+            out.push_str(&format!("\n{name}: coverage {}\n", pct(record.coverage)));
             out.push_str(&ascii_layout(
                 &field,
-                &r.positions,
-                rs,
+                &record.positions,
+                record.cell.radio.rs,
                 &AsciiOptions::default(),
             ));
             out.push('\n');
@@ -61,4 +126,14 @@ pub fn run(profile: &Profile) -> String {
     out.push_str(&table.to_string());
     out.push('\n');
     out
+}
+
+/// Runs Figure 3 (via the scenario engine) and formats the report.
+pub fn run(profile: &Profile) -> String {
+    layout_report(
+        "Figure 3 — CPVF sensor layouts and coverage",
+        profile,
+        SchemeKind::Cpvf,
+        &PAPER,
+    )
 }

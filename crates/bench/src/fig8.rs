@@ -4,48 +4,22 @@
 //! (a) rc = 60 m, rs = 40 m, obstacle-free — paper: 78.8 % coverage;
 //! (b) rc = 30 m, rs = 40 m, obstacle-free — paper: 46.2 %;
 //! (c) rc = 60 m, rs = 40 m, two obstacles — paper: 72.5 %.
+//!
+//! A thin client of the `msn-scenario` engine: runs the FLOOR slices
+//! of the shared `fig38-*` bundled specs (see [`crate::fig3`]).
 
-use crate::{clustered_initial, fig3, pct, Profile};
-use msn_deploy::floor::{self, FloorParams};
-use msn_field::{ascii_layout, AsciiOptions};
-use msn_metrics::Table;
+use crate::{fig3, Profile};
+use msn_deploy::SchemeKind;
 
 /// Paper-reported coverages for Figure 8's three panels.
 pub const PAPER: [f64; 3] = [0.788, 0.462, 0.725];
 
-/// Runs Figure 8 and formats the report.
+/// Runs Figure 8 (via the scenario engine) and formats the report.
 pub fn run(profile: &Profile) -> String {
-    let mut out = String::from("Figure 8 — FLOOR sensor layouts and coverage\n");
-    let mut table = Table::new(vec![
-        "scenario",
-        "coverage",
-        "paper",
-        "avg move (m)",
-        "connected",
-    ]);
-    for (i, (name, rc, rs, field)) in fig3::scenarios().into_iter().enumerate() {
-        let initial = clustered_initial(&field, profile.n_base, profile.seed);
-        let cfg = profile.cfg(rc, rs);
-        let r = floor::run(&field, &initial, &FloorParams::default(), &cfg);
-        table.row(vec![
-            name.to_string(),
-            pct(r.coverage),
-            pct(PAPER[i]),
-            format!("{:.0}", r.avg_move),
-            r.connected.to_string(),
-        ]);
-        if profile.layouts {
-            out.push_str(&format!("\n{name}: coverage {}\n", pct(r.coverage)));
-            out.push_str(&ascii_layout(
-                &field,
-                &r.positions,
-                rs,
-                &AsciiOptions::default(),
-            ));
-            out.push('\n');
-        }
-    }
-    out.push_str(&table.to_string());
-    out.push('\n');
-    out
+    fig3::layout_report(
+        "Figure 8 — FLOOR sensor layouts and coverage",
+        profile,
+        SchemeKind::Floor,
+        &PAPER,
+    )
 }

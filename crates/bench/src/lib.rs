@@ -1,9 +1,13 @@
 //! Experiment harness regenerating every table and figure of the
 //! paper's evaluation (§4.3, §5.6 and §6).
 //!
-//! Each `figN`/`table1` module exposes a `run(&Profile) -> String`
-//! that executes the experiment and returns the formatted report; the
-//! binaries in `src/bin/` run the full-scale versions and the
+//! Every `figN`/`table1`/`ablation` module is a thin client of the
+//! `msn-scenario` engine: it declares its sweep as a
+//! [`msn_scenario::ScenarioSpec`] (mirrored by a bundled TOML file
+//! under `scenarios/`), executes it through the parallel
+//! `BatchRunner`, and only formats the paper's tables from the
+//! aggregated result. Each module exposes `run(&Profile) -> String`;
+//! the binaries in `src/bin/` run the full-scale versions and the
 //! `benches/experiments.rs` bench target runs reduced
 //! [`Profile::quick`] versions so `cargo bench` regenerates every
 //! series.
@@ -20,12 +24,6 @@ pub mod fig8;
 pub mod fig9;
 pub mod table1;
 pub mod uniform_init;
-
-use msn_field::{scatter_clustered, Field};
-use msn_geom::{Point, Rect};
-use msn_sim::SimConfig;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 /// Experiment scale: `full` replicates the paper's parameters; `quick`
 /// shrinks sensor counts, durations and repetitions so the whole
@@ -74,29 +72,6 @@ impl Profile {
             layouts: false,
         }
     }
-
-    /// Simulation config at this profile's scale.
-    pub fn cfg(&self, rc: f64, rs: f64) -> SimConfig {
-        SimConfig::paper(rc, rs)
-            .with_duration(self.duration)
-            .with_coverage_cell(self.coverage_cell)
-            .with_seed(self.seed)
-    }
-}
-
-/// The paper's clustered initial distribution: sensors uniformly random
-/// in the lower-left quarter of the field (§6: `[0, 500]²` of the 1 km
-/// field), scaled to the field at hand.
-pub fn clustered_initial(field: &Field, n: usize, seed: u64) -> Vec<Point> {
-    let b = field.bounds();
-    let sub = Rect::new(
-        b.min.x,
-        b.min.y,
-        b.min.x + b.width() / 2.0,
-        b.min.y + b.height() / 2.0,
-    );
-    let mut rng = SmallRng::seed_from_u64(seed);
-    scatter_clustered(field, sub, n, &mut rng)
 }
 
 /// Formats a coverage fraction as the paper prints them.
@@ -126,7 +101,6 @@ pub fn save_report(name: &str, contents: &str) -> Option<std::path::PathBuf> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use msn_field::paper_field;
 
     #[test]
     fn profiles_are_sane() {
@@ -136,19 +110,6 @@ mod tests {
         let quick = Profile::quick();
         assert!(quick.n_base < full.n_base);
         assert!(quick.fig13_runs < full.fig13_runs);
-        let cfg = quick.cfg(60.0, 40.0);
-        assert_eq!(cfg.rc, 60.0);
-        assert_eq!(cfg.duration, 300.0);
-    }
-
-    #[test]
-    fn clustered_initial_is_in_lower_left_quarter() {
-        let field = paper_field();
-        let pts = clustered_initial(&field, 50, 1);
-        assert_eq!(pts.len(), 50);
-        for p in &pts {
-            assert!(p.x <= 500.0 && p.y <= 500.0);
-        }
     }
 
     #[test]

@@ -7,29 +7,41 @@
 //! (FLOOR ≥ CPVF) and the moving-distance gap must persist, with both
 //! schemes moving *less* than from the clustered start (sensors begin
 //! closer to their final spots).
+//!
+//! A thin client of the `msn-scenario` engine: the uniform half is
+//! the bundled `scenarios/uniform-init.toml`; the clustered
+//! comparison run is the same spec with the paper's clustered-quarter
+//! scatter swapped in.
 
-use crate::{clustered_initial, pct, Profile};
-use msn_deploy::{cpvf, floor};
-use msn_field::{paper_field, scatter_uniform};
+use crate::{pct, Profile};
+use msn_deploy::SchemeKind;
 use msn_metrics::Table;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use msn_scenario::{BatchRunner, ScatterSpec, ScenarioSpec};
 
-/// Runs the comparison and formats the report.
+/// The uniform-scatter experiment as a declarative spec.
+pub fn spec(profile: &Profile) -> ScenarioSpec {
+    ScenarioSpec::new("uniform-init")
+        .with_description("Uniform initial scatter: CPVF vs FLOOR (extension of Figures 9/11)")
+        .with_scatter(ScatterSpec::Uniform)
+        .with_schemes(vec![SchemeKind::Cpvf, SchemeKind::Floor])
+        .with_sensor_counts(vec![profile.n_base])
+        .with_radios(vec![(60.0, 40.0)])
+        .with_duration(profile.duration)
+        .with_coverage_cell(profile.coverage_cell)
+        .with_seed(profile.seed)
+}
+
+/// Runs the comparison (via the scenario engine) and formats the
+/// report.
 pub fn run(profile: &Profile) -> String {
     let mut out = String::from(
         "Uniform vs clustered initial distribution (extension; rc = 60 m, rs = 40 m)\n\n",
     );
-    let field = paper_field();
-    let cfg = profile.cfg(60.0, 40.0);
-    let n = profile.n_base;
-
-    let clustered = clustered_initial(&field, n, profile.seed);
-    let uniform = {
-        let mut rng = SmallRng::seed_from_u64(profile.seed);
-        scatter_uniform(&field, n, &mut rng)
-    };
-
+    let uniform = spec(profile);
+    let clustered = uniform
+        .clone()
+        .with_name("uniform-init-clustered")
+        .with_scatter(ScatterSpec::ClusteredQuarter);
     let mut table = Table::new(vec![
         "initial",
         "scheme",
@@ -37,16 +49,15 @@ pub fn run(profile: &Profile) -> String {
         "avg move (m)",
         "connected",
     ]);
-    for (dist_name, initial) in [("clustered", &clustered), ("uniform", &uniform)] {
-        let r_cpvf = cpvf::run(&field, initial, &cpvf::CpvfParams::default(), &cfg);
-        let r_floor = floor::run(&field, initial, &floor::FloorParams::default(), &cfg);
-        for r in [r_cpvf, r_floor] {
+    for (dist_name, spec) in [("clustered", clustered), ("uniform", uniform)] {
+        let result = BatchRunner::new().run(&spec).expect("spec is valid");
+        for record in &result.records {
             table.row(vec![
                 dist_name.to_string(),
-                r.scheme.clone(),
-                pct(r.coverage),
-                format!("{:.0}", r.avg_move),
-                r.connected.to_string(),
+                record.cell.scheme.name().to_string(),
+                pct(record.coverage),
+                format!("{:.0}", record.avg_move),
+                record.connected.to_string(),
             ]);
         }
     }

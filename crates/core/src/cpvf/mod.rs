@@ -35,7 +35,7 @@ use msn_sim::{RunResult, SimConfig, World};
 use rand::Rng;
 
 /// Tuning parameters of CPVF.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpvfParams {
     /// Virtual-force constants; `None` derives them from the
     /// configured ranges via [`ForceParams::for_ranges`].
@@ -94,13 +94,31 @@ impl Motion {
 ///
 /// See the [crate-level quickstart](crate).
 pub fn run(field: &Field, initial: &[Point], params: &CpvfParams, cfg: &SimConfig) -> RunResult {
+    run_with_grid(field, initial, params, cfg, None)
+}
+
+/// Runs CPVF reusing a pre-rasterized coverage grid.
+///
+/// `grid` must have been built for `field` at `cfg.coverage_cell`
+/// (the batch runner caches one per fixed field layout); `None`
+/// rasterizes a fresh grid.
+pub fn run_with_grid(
+    field: &Field,
+    initial: &[Point],
+    params: &CpvfParams,
+    cfg: &SimConfig,
+    grid: Option<&msn_field::CoverageGrid>,
+) -> RunResult {
     let n = initial.len();
     let mut world = World::new(field.clone(), cfg.clone(), initial.to_vec());
     let force_params = params
         .force
         .clone()
         .unwrap_or_else(|| ForceParams::for_ranges(cfg.rc, cfg.rs));
-    let cov_grid = world.coverage_grid();
+    let cov_grid = match grid {
+        Some(g) => g.clone(),
+        None => world.coverage_grid(),
+    };
     let max_step = cfg.max_step();
 
     // ---- Phase 1 setup: initial flood and tree construction. ----

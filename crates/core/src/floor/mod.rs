@@ -151,7 +151,22 @@ struct VirtualTip {
 /// assert!(r.coverage > 0.0);
 /// ```
 pub fn run(field: &Field, initial: &[Point], params: &FloorParams, cfg: &SimConfig) -> RunResult {
-    FloorSim::new(field, initial, params, cfg).run()
+    run_with_grid(field, initial, params, cfg, None)
+}
+
+/// Runs FLOOR reusing a pre-rasterized coverage grid.
+///
+/// `grid` must have been built for `field` at `cfg.coverage_cell`
+/// (the batch runner caches one per fixed field layout); `None`
+/// rasterizes a fresh grid.
+pub fn run_with_grid(
+    field: &Field,
+    initial: &[Point],
+    params: &FloorParams,
+    cfg: &SimConfig,
+    grid: Option<&msn_field::CoverageGrid>,
+) -> RunResult {
+    FloorSim::new(field, initial, params, cfg).run(grid)
 }
 
 struct FloorSim<'a> {
@@ -216,9 +231,12 @@ impl<'a> FloorSim<'a> {
     }
 
     #[allow(clippy::needless_range_loop)] // indexing several parallel state arrays
-    fn run(mut self) -> RunResult {
+    fn run(mut self, grid: Option<&msn_field::CoverageGrid>) -> RunResult {
         let n = self.world.n();
-        let cov_grid = self.world.coverage_grid();
+        let cov_grid = match grid {
+            Some(g) => g.clone(),
+            None => self.world.coverage_grid(),
+        };
         self.initial_flood();
         // Route the still-disconnected sensors per Algorithm 1.
         for i in 0..n {

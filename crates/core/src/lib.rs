@@ -52,11 +52,13 @@ pub mod cpvf;
 pub mod floor;
 mod lazy;
 pub mod opt;
+mod overrides;
 pub mod vd;
 
 pub use lazy::ConnectOutcome;
+pub use overrides::{CpvfOverrides, FloorOverrides, OptOverrides, SchemeOverrides, VdOverrides};
 
-use msn_field::Field;
+use msn_field::{CoverageGrid, Field};
 use msn_geom::Point;
 use msn_sim::{RunResult, SimConfig};
 
@@ -120,32 +122,61 @@ impl std::str::FromStr for SchemeKind {
 
 /// Runs `kind` with its default tuning parameters.
 ///
-/// For scheme-specific knobs use the per-module runners
-/// ([`cpvf::run`], [`floor::run`], [`vd::run`], [`opt::run`]) directly.
+/// For declarative knob overrides use [`run_scheme_with`]; for full
+/// control use the per-module runners ([`cpvf::run`], [`floor::run`],
+/// [`vd::run`], [`opt::run`]) directly.
 pub fn run_scheme(
     kind: SchemeKind,
     field: &Field,
     initial: &[Point],
     cfg: &SimConfig,
 ) -> RunResult {
+    run_scheme_with(kind, field, initial, cfg, &SchemeOverrides::default(), None)
+}
+
+/// Runs `kind` with declarative parameter overrides and an optional
+/// pre-rasterized coverage grid.
+///
+/// `overrides` resolves against the scheme's defaults (see
+/// [`SchemeOverrides`]); `grid`, when given, must have been built for
+/// `field` at `cfg.coverage_cell` — the batch runner caches one per
+/// fixed field layout so repeated runs skip re-rasterization.
+pub fn run_scheme_with(
+    kind: SchemeKind,
+    field: &Field,
+    initial: &[Point],
+    cfg: &SimConfig,
+    overrides: &SchemeOverrides,
+    grid: Option<&CoverageGrid>,
+) -> RunResult {
     match kind {
-        SchemeKind::Cpvf => cpvf::run(field, initial, &cpvf::CpvfParams::default(), cfg),
-        SchemeKind::Floor => floor::run(field, initial, &floor::FloorParams::default(), cfg),
-        SchemeKind::Vor => vd::run(
+        SchemeKind::Cpvf => {
+            cpvf::run_with_grid(field, initial, &overrides.cpvf_params(cfg), cfg, grid)
+        }
+        SchemeKind::Floor => floor::run_with_grid(
+            field,
+            initial,
+            &overrides.floor_params(initial.len()),
+            cfg,
+            grid,
+        ),
+        SchemeKind::Vor => vd::run_with_grid(
             field,
             initial,
             vd::VdVariant::Vor,
-            &vd::VdParams::default(),
+            &overrides.vd_params(),
             cfg,
+            grid,
         ),
-        SchemeKind::Minimax => vd::run(
+        SchemeKind::Minimax => vd::run_with_grid(
             field,
             initial,
             vd::VdVariant::Minimax,
-            &vd::VdParams::default(),
+            &overrides.vd_params(),
             cfg,
+            grid,
         ),
-        SchemeKind::Opt => opt::run(field, initial, &opt::OptParams::default(), cfg),
+        SchemeKind::Opt => opt::run_with_grid(field, initial, &overrides.opt_params(), cfg, grid),
     }
 }
 

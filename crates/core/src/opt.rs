@@ -127,6 +127,21 @@ pub fn strip_pattern(field: &Field, rc: f64, rs: f64, n: usize, params: &OptPara
 /// assert!(r.connected);
 /// ```
 pub fn run(field: &Field, initial: &[Point], params: &OptParams, cfg: &SimConfig) -> RunResult {
+    run_with_grid(field, initial, params, cfg, None)
+}
+
+/// Runs OPT reusing a pre-rasterized coverage grid.
+///
+/// `grid` must have been built for `field` at `cfg.coverage_cell`
+/// (the batch runner caches one per fixed field layout); `None`
+/// rasterizes a fresh grid.
+pub fn run_with_grid(
+    field: &Field,
+    initial: &[Point],
+    params: &OptParams,
+    cfg: &SimConfig,
+    grid: Option<&CoverageGrid>,
+) -> RunResult {
     let n = initial.len();
     assert!(n > 0, "at least one sensor required");
     let pattern = strip_pattern(field, cfg.rc, cfg.rs, n, params);
@@ -139,7 +154,10 @@ pub fn run(field: &Field, initial: &[Point], params: &OptParams, cfg: &SimConfig
         .map(|(i, &t)| initial[i].dist(pattern[t]))
         .collect();
     let positions: Vec<Point> = sol.assignment.iter().map(|&t| pattern[t]).collect();
-    let grid = CoverageGrid::new(field, cfg.coverage_cell);
+    let grid = match grid {
+        Some(g) => g.clone(),
+        None => CoverageGrid::new(field, cfg.coverage_cell),
+    };
     let coverage = grid.coverage(&positions, cfg.rs);
     let graph = DiskGraph::build(&positions, cfg.rc);
     let connected = graph.all_connected_to_base(&positions, cfg.base, cfg.rc);

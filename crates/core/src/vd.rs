@@ -97,10 +97,29 @@ pub fn run(
     params: &VdParams,
     cfg: &SimConfig,
 ) -> RunResult {
+    run_with_grid(field, initial, variant, params, cfg, None)
+}
+
+/// Runs VOR or Minimax reusing a pre-rasterized coverage grid.
+///
+/// `grid` must have been built for `field` at `cfg.coverage_cell`
+/// (the batch runner caches one per fixed field layout); `None`
+/// rasterizes a fresh grid.
+pub fn run_with_grid(
+    field: &Field,
+    initial: &[Point],
+    variant: VdVariant,
+    params: &VdParams,
+    cfg: &SimConfig,
+    grid: Option<&msn_field::CoverageGrid>,
+) -> RunResult {
     let n = initial.len();
     assert!(n > 0, "at least one sensor required");
     let bounds = field.bounds();
-    let cov_grid = msn_field::CoverageGrid::new(field, cfg.coverage_cell);
+    let cov_grid = match grid {
+        Some(g) => g.clone(),
+        None => msn_field::CoverageGrid::new(field, cfg.coverage_cell),
+    };
     let mut positions = initial.to_vec();
     let mut moved = vec![0.0f64; n];
     let mut timeline = Vec::new();

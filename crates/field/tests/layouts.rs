@@ -1,0 +1,170 @@
+//! Geometry invariants of the parametric layout constructors
+//! (`campus_grid_field`, `corridor_field`, `disaster_zone_field`):
+//! every obstacle polygon lies inside the field bounds and is
+//! non-degenerate, and the base station corner (the origin, where
+//! `SimConfig::paper` anchors `O`) stays in free space — a layout
+//! that buries the base would make every deployment scheme
+//! vacuously disconnected.
+
+use msn_field::{
+    campus_grid_field, corridor_field, disaster_zone_field, CampusGridParams, CorridorParams, Field,
+};
+use msn_geom::Point;
+
+/// The base-station reference point of `SimConfig::paper`.
+const BASE: Point = Point::ORIGIN;
+
+fn assert_layout_invariants(field: &Field, what: &str) {
+    let bounds = field.bounds();
+    assert!(
+        !field.obstacles().is_empty(),
+        "{what}: layouts must produce at least one obstacle"
+    );
+    for (i, polygon) in field.obstacles().iter().enumerate() {
+        assert!(
+            polygon.vertices().len() >= 3,
+            "{what}: obstacle {i} is not a polygon"
+        );
+        assert!(
+            polygon.area() > 0.0,
+            "{what}: obstacle {i} is degenerate (area {})",
+            polygon.area()
+        );
+        for v in polygon.vertices() {
+            assert!(
+                v.x >= bounds.min.x
+                    && v.x <= bounds.max.x
+                    && v.y >= bounds.min.y
+                    && v.y <= bounds.max.y,
+                "{what}: obstacle {i} vertex {v:?} escapes the bounds {bounds:?}"
+            );
+        }
+    }
+    assert!(
+        field.in_bounds(BASE),
+        "{what}: base station is outside the field"
+    );
+    assert!(
+        field.is_free(BASE),
+        "{what}: base station is buried in an obstacle"
+    );
+}
+
+#[test]
+fn campus_grid_default_geometry() {
+    let params = CampusGridParams::default();
+    let field = campus_grid_field(&params);
+    assert_layout_invariants(&field, "campus default");
+    assert_eq!(
+        field.obstacles().len(),
+        params.blocks_x * params.blocks_y,
+        "one building per block"
+    );
+    // every building is an axis-aligned square of the configured side
+    for building in field.obstacles() {
+        let area = building.area();
+        assert!(
+            (area - params.building * params.building).abs() < 1e-6,
+            "building area {area}"
+        );
+    }
+    // the street between the first two buildings is walkable
+    let street_x = params.margin + params.building + params.street / 2.0;
+    assert!(field.is_free(Point::new(street_x, params.margin + params.building / 2.0)));
+}
+
+#[test]
+fn campus_grid_parameter_sweep_stays_valid() {
+    for (blocks_x, blocks_y, building, street, margin) in [
+        (1, 1, 100.0, 50.0, 10.0),
+        (2, 4, 60.0, 30.0, 15.0),
+        (4, 2, 120.0, 40.0, 25.0),
+    ] {
+        let params = CampusGridParams {
+            width: 900.0,
+            height: 900.0,
+            blocks_x,
+            blocks_y,
+            building,
+            street,
+            margin,
+        };
+        let field = campus_grid_field(&params);
+        assert_layout_invariants(&field, &format!("campus {blocks_x}x{blocks_y}"));
+        assert_eq!(field.obstacles().len(), blocks_x * blocks_y);
+    }
+}
+
+#[test]
+#[should_panic(expected = "exceeds the field")]
+fn campus_grid_rejects_overflowing_grids() {
+    campus_grid_field(&CampusGridParams {
+        width: 300.0,
+        height: 300.0,
+        ..CampusGridParams::default()
+    });
+}
+
+#[test]
+fn corridor_default_geometry() {
+    let params = CorridorParams::default();
+    let field = corridor_field(&params);
+    assert_layout_invariants(&field, "corridor default");
+    assert_eq!(
+        field.obstacles().len(),
+        params.baffles,
+        "one wall per baffle"
+    );
+    // each baffle leaves its gap open: the free end of wall i is
+    // walkable at the wall's x position
+    let pitch = params.width / (params.baffles as f64 + 1.0);
+    for i in 1..=params.baffles {
+        let x = i as f64 * pitch;
+        let y_open = if i % 2 == 1 {
+            params.gap / 2.0 // attached to the top, open at the bottom
+        } else {
+            params.height - params.gap / 2.0
+        };
+        assert!(
+            field.is_free(Point::new(x, y_open)),
+            "baffle {i} gap at ({x}, {y_open}) is blocked"
+        );
+        let y_wall = if i % 2 == 1 {
+            params.height / 2.0 + params.gap / 2.0
+        } else {
+            params.height / 2.0 - params.gap / 2.0
+        };
+        assert!(
+            !field.is_free(Point::new(x, y_wall)),
+            "baffle {i} wall at ({x}, {y_wall}) is missing"
+        );
+    }
+}
+
+#[test]
+fn corridor_parameter_sweep_stays_valid() {
+    for (baffles, gap, thickness) in [(1, 50.0, 10.0), (2, 200.0, 60.0), (6, 80.0, 20.0)] {
+        let params = CorridorParams {
+            width: 1000.0,
+            height: 600.0,
+            baffles,
+            gap,
+            thickness,
+        };
+        let field = corridor_field(&params);
+        assert_layout_invariants(&field, &format!("corridor {baffles} baffles"));
+        assert_eq!(field.obstacles().len(), baffles);
+    }
+}
+
+#[test]
+fn disaster_zone_geometry() {
+    let field = disaster_zone_field();
+    assert_layout_invariants(&field, "disaster zone");
+    // mixed obstacle shapes: at least one non-quadrilateral
+    assert!(
+        field.obstacles().iter().any(|p| p.vertices().len() == 3),
+        "the debris pile triangle is part of the layout"
+    );
+    assert!(field.obstacles().len() >= 4, "buildings + pile + flood");
+}

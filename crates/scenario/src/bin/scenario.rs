@@ -1,8 +1,9 @@
-//! The `scenario` CLI: run, list and describe declarative scenario
-//! specs.
+//! The `scenario` CLI: run, resume, diff, list and describe
+//! declarative scenario specs.
 //!
 //! ```text
-//! scenario run <spec.toml> [--out DIR] [--threads N] [--quick]
+//! scenario run <spec.toml> [--out DIR] [--threads N] [--quick] [--resume]
+//! scenario diff <a/batch.json> <b/batch.json> [--tol T]
 //! scenario list [DIR]
 //! scenario describe <spec.toml>
 //! ```
@@ -11,27 +12,34 @@
 //! `batch.json`, `batch.csv` and `report.txt` under the output
 //! directory (default `results/scenario/<name>/`), printing the ASCII
 //! report. `--quick` shrinks duration/repetitions for a fast smoke
-//! pass. Rerunning with `RAYON_NUM_THREADS=1` (or `--threads 1`)
-//! produces byte-identical JSON.
+//! pass; `--resume` skips matrix cells already recorded in the output
+//! directory's `batch.json` (seed derivation is coordinate-based, so
+//! resumed output is byte-identical to an uninterrupted run).
+//! Rerunning with `RAYON_NUM_THREADS=1` (or `--threads 1`) produces
+//! byte-identical JSON. `diff` compares two batch files cell-by-cell
+//! within a relative tolerance and exits nonzero on any difference —
+//! the CI regression gate.
 
-use msn_scenario::{BatchRunner, ScenarioSpec};
+use msn_scenario::{diff_batches, BatchFile, BatchRunner, ScenarioSpec};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
-        Some("run") => cmd_run(&args[1..]),
-        Some("list") => cmd_list(&args[1..]),
-        Some("describe") => cmd_describe(&args[1..]),
+        Some("run") => cmd_run(&args[1..]).map(|_| true),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("list") => cmd_list(&args[1..]).map(|_| true),
+        Some("describe") => cmd_describe(&args[1..]).map(|_| true),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
-            Ok(())
+            Ok(true)
         }
         Some(other) => Err(format!("unknown command '{other}'\n{USAGE}")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
         Err(msg) => {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
@@ -43,7 +51,8 @@ const USAGE: &str = "\
 scenario — declarative experiment batches for the MSN deployment schemes
 
 USAGE:
-    scenario run <spec.toml> [--out DIR] [--threads N] [--quick]
+    scenario run <spec.toml> [--out DIR] [--threads N] [--quick] [--resume]
+    scenario diff <a/batch.json> <b/batch.json> [--tol T]
     scenario list [DIR]           (default DIR: scenarios/)
     scenario describe <spec.toml>
 
@@ -51,6 +60,12 @@ USAGE:
 (default results/scenario/<name>/) and prints the report.
 `--quick` caps duration at 100 s, repetitions at 2 and the coverage
 raster at >= 5 m for a fast smoke pass.
+`--resume` loads an existing batch.json from the output directory and
+skips every matrix cell it already records; the merged output is
+byte-identical to an uninterrupted run.
+`diff` compares two batch.json files cell-by-cell; numeric metrics
+must agree within the relative tolerance T (default 0 = exact) and
+the exit code is nonzero on any difference.
 ";
 
 fn load_spec(path: &str) -> Result<ScenarioSpec, String> {
@@ -63,6 +78,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut out_dir: Option<PathBuf> = None;
     let mut threads: Option<usize> = None;
     let mut quick = false;
+    let mut resume = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -79,6 +95,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 );
             }
             "--quick" => quick = true,
+            "--resume" => resume = true,
             other if !other.starts_with('-') && spec_path.is_none() => {
                 spec_path = Some(other);
             }
@@ -94,26 +111,74 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             .with_repetitions(spec.repetitions.min(2))
             .with_coverage_cell(spec.coverage_cell.max(5.0));
     }
+    let mut runner = BatchRunner::new();
+    if let Some(t) = threads {
+        runner = runner.with_threads(t);
+    }
+    let dir = out_dir.unwrap_or_else(|| Path::new("results/scenario").join(&spec.name));
+    let prior = if resume {
+        let path = dir.join("batch.json");
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let file = BatchFile::parse(&text)
+                    .map_err(|e| format!("cannot resume from {}: {e}", path.display()))?;
+                eprintln!(
+                    "resuming from {} ({} recorded run(s))",
+                    path.display(),
+                    file.run_count()
+                );
+                Some(file)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                eprintln!("nothing to resume ({} not found)", path.display());
+                None
+            }
+            Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+        }
+    } else {
+        None
+    };
     let matrix_size = spec.matrix().len();
+    let cached = prior.as_ref().map_or(0, |p| {
+        spec.matrix()
+            .iter()
+            .filter(|cell| {
+                p.lookup(
+                    cell.radio.rc,
+                    cell.radio.rs,
+                    cell.n,
+                    cell.scheme.name(),
+                    spec.variant_label(cell.variant),
+                    cell.rep,
+                )
+                .is_some()
+            })
+            .count()
+    });
     eprintln!(
-        "running '{}': {} runs ({} radios x {} counts x {} reps x {} schemes){}",
+        "running '{}': {} runs ({} radios x {} counts x {} reps x {} variants x {} schemes) \
+         on {} thread(s){}{}",
         spec.name,
         matrix_size,
         spec.radios.len(),
         spec.sensor_counts.len(),
         spec.repetitions,
+        spec.variant_count(),
         spec.schemes.len(),
+        runner.effective_threads(),
+        if cached > 0 {
+            format!(" [{cached} cached]")
+        } else {
+            String::new()
+        },
         if quick { " [quick]" } else { "" },
     );
-    let mut runner = BatchRunner::new();
-    if let Some(t) = threads {
-        runner = runner.with_threads(t);
-    }
     let started = std::time::Instant::now();
-    let result = runner.run(&spec).map_err(|e| e.to_string())?;
+    let result = runner
+        .run_resuming(&spec, prior.as_ref())
+        .map_err(|e| e.to_string())?;
     eprintln!("finished in {:.1} s", started.elapsed().as_secs_f64());
 
-    let dir = out_dir.unwrap_or_else(|| Path::new("results/scenario").join(&spec.name));
     std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
     let report = result.report();
     for (name, contents) in [
@@ -127,6 +192,45 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     println!("{report}");
     Ok(())
+}
+
+/// Compares two batch.json files; `Ok(false)` means they differ (the
+/// caller maps it to a nonzero exit code).
+fn cmd_diff(args: &[String]) -> Result<bool, String> {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut tol = 0.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tol" => {
+                let v = it.next().ok_or("--tol needs a number")?;
+                tol = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| t.is_finite() && *t >= 0.0)
+                    .ok_or_else(|| format!("invalid tolerance '{v}'"))?;
+            }
+            other if !other.starts_with('-') => paths.push(other),
+            other => return Err(format!("unexpected argument '{other}'\n{USAGE}")),
+        }
+    }
+    let [a_path, b_path] = paths[..] else {
+        return Err(format!("diff needs exactly two batch.json files\n{USAGE}"));
+    };
+    let load = |path: &str| -> Result<BatchFile, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        BatchFile::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let a = load(a_path)?;
+    let b = load(b_path)?;
+    let report = diff_batches(&a, &b, tol);
+    print!("{}", report.render());
+    if report.is_match() {
+        println!("MATCH (tol {tol})");
+    } else {
+        println!("DIFFER (tol {tol})");
+    }
+    Ok(report.is_match())
 }
 
 fn cmd_list(args: &[String]) -> Result<(), String> {
@@ -188,6 +292,19 @@ fn cmd_describe(args: &[String]) -> Result<(), String> {
     println!("coverage cell: {} m", spec.coverage_cell);
     println!("repetitions:   {}", spec.repetitions);
     println!("base seed:     {}", spec.seed);
+    if !spec.params.is_default() {
+        println!("params:        scenario-wide overrides set");
+    }
+    if !spec.variants.is_empty() {
+        println!(
+            "variants:      {}",
+            spec.variants
+                .iter()
+                .map(|v| v.label.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
     println!("matrix:        {} runs", spec.matrix().len());
     println!("randomized:    {}", spec.field.is_randomized());
     Ok(())

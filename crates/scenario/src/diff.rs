@@ -1,0 +1,442 @@
+//! Parsed `batch.json` files: batch resume and regression diffing.
+//!
+//! [`BatchFile`] reads the JSON a [`crate::BatchRunner`] writes back
+//! into per-cell, per-repetition records. Two consumers:
+//!
+//! * **resume** — `BatchRunner::run_resuming` skips matrix cells
+//!   whose records are already present in a prior file (floats parse
+//!   exactly from their shortest round-trippable form, so resumed
+//!   output stays byte-identical);
+//! * **diff** — [`diff_batches`] compares two files cell-by-cell
+//!   within a relative tolerance, for regression tracking across
+//!   refactors and machines.
+
+use crate::json::Json;
+use crate::runner::ScenarioError;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One repetition's record as stored in `batch.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FileRun {
+    /// Repetition number.
+    pub rep: usize,
+    /// Environment seed the run recorded (checked against the spec's
+    /// matrix on resume).
+    pub env_seed: u64,
+    /// Final coverage fraction.
+    pub coverage: f64,
+    /// Average moving distance (m).
+    pub avg_move: f64,
+    /// Maximum moving distance (m).
+    pub max_move: f64,
+    /// Total moving distance (m).
+    pub total_move: f64,
+    /// Total message transmissions.
+    pub messages: u64,
+    /// Whether the run ended fully connected.
+    pub connected: bool,
+    /// Time to reach 95 % of final coverage, if it converged.
+    pub convergence_time: Option<f64>,
+    /// Annotation flags.
+    pub flags: Vec<String>,
+}
+
+/// Identity of one aggregate cell: radio ranges (as exact bit
+/// patterns), sensor count, scheme and variant label.
+pub type CellKey = (u64, u64, usize, String, String);
+
+/// A parsed `batch.json`: header fields plus every cell's runs.
+#[derive(Debug, Clone)]
+pub struct BatchFile {
+    /// Scenario name from the header.
+    pub scenario: String,
+    /// Base seed from the header.
+    pub seed: u64,
+    /// Fingerprint of the spec that produced the file (absent in
+    /// files predating resume support); see
+    /// `ScenarioSpec::resume_digest`.
+    pub spec_digest: Option<String>,
+    /// Total runs claimed by the header.
+    pub total_runs: usize,
+    /// Cells in file order, with their runs keyed by repetition.
+    pub cells: Vec<(CellKey, BTreeMap<usize, FileRun>)>,
+}
+
+fn need<'a>(obj: &'a Json, key: &str, ctx: &str) -> Result<&'a Json, ScenarioError> {
+    obj.get(key)
+        .ok_or_else(|| ScenarioError(format!("batch.json: missing '{key}' in {ctx}")))
+}
+
+fn need_f64(obj: &Json, key: &str, ctx: &str) -> Result<f64, ScenarioError> {
+    need(obj, key, ctx)?
+        .as_f64()
+        .ok_or_else(|| ScenarioError(format!("batch.json: '{key}' in {ctx} must be numeric")))
+}
+
+fn need_u64(obj: &Json, key: &str, ctx: &str) -> Result<u64, ScenarioError> {
+    need(obj, key, ctx)?
+        .as_u64()
+        .ok_or_else(|| ScenarioError(format!("batch.json: '{key}' in {ctx} must be an integer")))
+}
+
+impl BatchFile {
+    /// Parses the JSON document a `BatchRunner` wrote.
+    pub fn parse(text: &str) -> Result<BatchFile, ScenarioError> {
+        let root = Json::parse(text).map_err(|e| ScenarioError(e.to_string()))?;
+        let scenario = need(&root, "scenario", "header")?
+            .as_str()
+            .ok_or_else(|| ScenarioError("batch.json: 'scenario' must be a string".into()))?
+            .to_string();
+        let seed = need_u64(&root, "seed", "header")?;
+        let spec_digest = match root.get("spec_digest") {
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| {
+                        ScenarioError("batch.json: 'spec_digest' must be a string".into())
+                    })?
+                    .to_string(),
+            ),
+            None => None,
+        };
+        let total_runs = need_u64(&root, "total_runs", "header")? as usize;
+        let mut cells = Vec::new();
+        let cell_items = need(&root, "cells", "header")?
+            .as_array()
+            .ok_or_else(|| ScenarioError("batch.json: 'cells' must be an array".into()))?;
+        for cell in cell_items {
+            let ctx = "cell";
+            let rc = need_f64(cell, "rc", ctx)?;
+            let rs = need_f64(cell, "rs", ctx)?;
+            let n = need_u64(cell, "n", ctx)? as usize;
+            let scheme = need(cell, "scheme", ctx)?
+                .as_str()
+                .ok_or_else(|| ScenarioError("batch.json: cell 'scheme' must be a string".into()))?
+                .to_string();
+            let variant = match cell.get("variant") {
+                Some(v) => v
+                    .as_str()
+                    .ok_or_else(|| {
+                        ScenarioError("batch.json: cell 'variant' must be a string".into())
+                    })?
+                    .to_string(),
+                None => String::new(),
+            };
+            let key: CellKey = (rc.to_bits(), rs.to_bits(), n, scheme, variant);
+            let mut runs = BTreeMap::new();
+            let run_items = need(cell, "runs", ctx)?
+                .as_array()
+                .ok_or_else(|| ScenarioError("batch.json: cell 'runs' must be an array".into()))?;
+            for run in run_items {
+                let ctx = "run";
+                let rep = need_u64(run, "rep", ctx)? as usize;
+                let convergence_time = match need(run, "convergence_time", ctx)? {
+                    Json::Null => None,
+                    v => Some(v.as_f64().ok_or_else(|| {
+                        ScenarioError("batch.json: 'convergence_time' must be numeric".into())
+                    })?),
+                };
+                let flags = match run.get("flags") {
+                    None => Vec::new(),
+                    Some(v) => v
+                        .as_array()
+                        .ok_or_else(|| {
+                            ScenarioError("batch.json: run 'flags' must be an array".into())
+                        })?
+                        .iter()
+                        .map(|f| {
+                            f.as_str().map(str::to_string).ok_or_else(|| {
+                                ScenarioError("batch.json: flags must be strings".into())
+                            })
+                        })
+                        .collect::<Result<_, _>>()?,
+                };
+                let record = FileRun {
+                    rep,
+                    env_seed: need_u64(run, "env_seed", ctx)?,
+                    coverage: need_f64(run, "coverage", ctx)?,
+                    avg_move: need_f64(run, "avg_move", ctx)?,
+                    max_move: need_f64(run, "max_move", ctx)?,
+                    total_move: need_f64(run, "total_move", ctx)?,
+                    messages: need_u64(run, "messages", ctx)?,
+                    connected: need(run, "connected", ctx)?.as_bool().ok_or_else(|| {
+                        ScenarioError("batch.json: 'connected' must be a boolean".into())
+                    })?,
+                    convergence_time,
+                    flags,
+                };
+                if runs.insert(rep, record).is_some() {
+                    return Err(ScenarioError(format!(
+                        "batch.json: duplicate rep {rep} in a cell"
+                    )));
+                }
+            }
+            cells.push((key, runs));
+        }
+        Ok(BatchFile {
+            scenario,
+            seed,
+            spec_digest,
+            total_runs,
+            cells,
+        })
+    }
+
+    /// Looks up one repetition's record by cell coordinates.
+    pub fn lookup(
+        &self,
+        rc: f64,
+        rs: f64,
+        n: usize,
+        scheme: &str,
+        variant: &str,
+        rep: usize,
+    ) -> Option<&FileRun> {
+        let key = (rc.to_bits(), rs.to_bits(), n, scheme, variant);
+        self.cells
+            .iter()
+            .find(|(k, _)| (k.0, k.1, k.2, k.3.as_str(), k.4.as_str()) == key)
+            .and_then(|(_, runs)| runs.get(&rep))
+    }
+
+    /// Total number of run records in the file.
+    pub fn run_count(&self) -> usize {
+        self.cells.iter().map(|(_, runs)| runs.len()).sum()
+    }
+}
+
+/// The outcome of comparing two batch files.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Human-readable difference lines, in file order.
+    pub lines: Vec<String>,
+    /// Number of compared (cell, rep) records present in both files.
+    pub compared: usize,
+    /// Number of out-of-tolerance or structural differences.
+    pub mismatches: usize,
+}
+
+impl DiffReport {
+    /// Whether the files agree within tolerance.
+    pub fn is_match(&self) -> bool {
+        self.mismatches == 0
+    }
+
+    /// Formats the report (summary line plus differences).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            let _ = writeln!(out, "{line}");
+        }
+        let _ = writeln!(
+            out,
+            "{} record(s) compared, {} difference(s)",
+            self.compared, self.mismatches
+        );
+        out
+    }
+}
+
+/// Relative closeness: `|a - b| <= tol · max(|a|, |b|)`. `tol = 0`
+/// demands exact equality.
+fn within(a: f64, b: f64, tol: f64) -> bool {
+    a == b || (a - b).abs() <= tol * a.abs().max(b.abs())
+}
+
+fn key_label(key: &CellKey) -> String {
+    let (rc_bits, rs_bits, n, scheme, variant) = key;
+    let variant = if variant.is_empty() {
+        String::new()
+    } else {
+        format!(" variant '{variant}'")
+    };
+    format!(
+        "rc={} rs={} n={n} {scheme}{variant}",
+        f64::from_bits(*rc_bits),
+        f64::from_bits(*rs_bits),
+    )
+}
+
+/// Compares two parsed batch files cell-by-cell and rep-by-rep within
+/// a relative tolerance `tol` on every numeric metric (messages
+/// included); `connected`, flags and the environment seeds compare
+/// exactly. Cells or repetitions present on one side only are
+/// differences.
+pub fn diff_batches(a: &BatchFile, b: &BatchFile, tol: f64) -> DiffReport {
+    let mut lines = Vec::new();
+    let mut compared = 0;
+    let mut mismatches = 0;
+    if a.scenario != b.scenario {
+        lines.push(format!(
+            "note: comparing different scenarios '{}' vs '{}'",
+            a.scenario, b.scenario
+        ));
+    }
+    for (key, runs_a) in &a.cells {
+        let Some((_, runs_b)) = a_find(b, key) else {
+            mismatches += 1;
+            lines.push(format!("cell missing from right file: {}", key_label(key)));
+            continue;
+        };
+        for (rep, ra) in runs_a {
+            let Some(rb) = runs_b.get(rep) else {
+                mismatches += 1;
+                lines.push(format!(
+                    "rep {rep} missing from right file: {}",
+                    key_label(key)
+                ));
+                continue;
+            };
+            compared += 1;
+            let mut diffs: Vec<String> = Vec::new();
+            if ra.env_seed != rb.env_seed {
+                diffs.push(format!("env_seed {} vs {}", ra.env_seed, rb.env_seed));
+            }
+            for (metric, va, vb) in [
+                ("coverage", ra.coverage, rb.coverage),
+                ("avg_move", ra.avg_move, rb.avg_move),
+                ("max_move", ra.max_move, rb.max_move),
+                ("total_move", ra.total_move, rb.total_move),
+                ("messages", ra.messages as f64, rb.messages as f64),
+            ] {
+                if !within(va, vb, tol) {
+                    diffs.push(format!("{metric} {va} vs {vb}"));
+                }
+            }
+            match (ra.convergence_time, rb.convergence_time) {
+                (Some(ta), Some(tb)) if within(ta, tb, tol) => {}
+                (None, None) => {}
+                (ta, tb) => diffs.push(format!("convergence_time {ta:?} vs {tb:?}")),
+            }
+            if ra.connected != rb.connected {
+                diffs.push(format!("connected {} vs {}", ra.connected, rb.connected));
+            }
+            if ra.flags != rb.flags {
+                diffs.push(format!("flags {:?} vs {:?}", ra.flags, rb.flags));
+            }
+            if !diffs.is_empty() {
+                mismatches += 1;
+                lines.push(format!(
+                    "{} rep {rep}: {}",
+                    key_label(key),
+                    diffs.join(", ")
+                ));
+            }
+        }
+        // reps only on the right side
+        for rep in runs_b.keys() {
+            if !runs_a.contains_key(rep) {
+                mismatches += 1;
+                lines.push(format!(
+                    "rep {rep} missing from left file: {}",
+                    key_label(key)
+                ));
+            }
+        }
+    }
+    for (key, _) in &b.cells {
+        if a_find(a, key).is_none() {
+            mismatches += 1;
+            lines.push(format!("cell missing from left file: {}", key_label(key)));
+        }
+    }
+    DiffReport {
+        lines,
+        compared,
+        mismatches,
+    }
+}
+
+fn a_find<'a>(
+    file: &'a BatchFile,
+    key: &CellKey,
+) -> Option<&'a (CellKey, BTreeMap<usize, FileRun>)> {
+    file.cells.iter().find(|(k, _)| k == key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::BatchRunner;
+    use crate::spec::ScenarioSpec;
+    use msn_deploy::SchemeKind;
+
+    fn tiny_result_json() -> String {
+        let spec = ScenarioSpec::new("difftest")
+            .with_schemes(vec![SchemeKind::Opt])
+            .with_sensor_counts(vec![10])
+            .with_duration(10.0)
+            .with_coverage_cell(30.0)
+            .with_repetitions(2);
+        BatchRunner::new()
+            .with_threads(1)
+            .run(&spec)
+            .unwrap()
+            .to_json()
+    }
+
+    #[test]
+    fn parse_reads_back_what_the_runner_wrote() {
+        let json = tiny_result_json();
+        let file = BatchFile::parse(&json).unwrap();
+        assert_eq!(file.scenario, "difftest");
+        assert_eq!(file.seed, 42);
+        assert_eq!(file.total_runs, 2);
+        assert_eq!(file.cells.len(), 1);
+        assert_eq!(file.run_count(), 2);
+        let run = file.lookup(60.0, 40.0, 10, "OPT", "", 0).expect("rep 0");
+        assert!(run.coverage > 0.0);
+        assert!(file.lookup(60.0, 40.0, 10, "OPT", "", 7).is_none());
+        assert!(file.lookup(60.0, 40.0, 10, "FLOOR", "", 0).is_none());
+    }
+
+    #[test]
+    fn identical_files_diff_clean() {
+        let json = tiny_result_json();
+        let a = BatchFile::parse(&json).unwrap();
+        let b = BatchFile::parse(&json).unwrap();
+        let report = diff_batches(&a, &b, 0.0);
+        assert!(report.is_match(), "{}", report.render());
+        assert_eq!(report.compared, 2);
+    }
+
+    #[test]
+    fn tolerance_separates_noise_from_regression() {
+        let json = tiny_result_json();
+        let a = BatchFile::parse(&json).unwrap();
+        let mut b = BatchFile::parse(&json).unwrap();
+        let run = b.cells[0].1.get_mut(&0).unwrap();
+        run.coverage *= 1.005; // 0.5 % drift
+        let strict = diff_batches(&a, &b, 0.0);
+        assert!(!strict.is_match());
+        assert_eq!(strict.mismatches, 1);
+        assert!(strict.render().contains("coverage"), "{}", strict.render());
+        let lenient = diff_batches(&a, &b, 0.01);
+        assert!(lenient.is_match(), "{}", lenient.render());
+    }
+
+    #[test]
+    fn structural_differences_are_reported() {
+        let json = tiny_result_json();
+        let a = BatchFile::parse(&json).unwrap();
+        let mut b = BatchFile::parse(&json).unwrap();
+        b.cells[0].1.remove(&1);
+        let report = diff_batches(&a, &b, 0.5);
+        assert!(!report.is_match());
+        assert!(
+            report.render().contains("rep 1 missing from right file"),
+            "{}",
+            report.render()
+        );
+        // and the reverse direction
+        let report = diff_batches(&b, &a, 0.5);
+        assert!(report.render().contains("rep 1 missing from left file"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(BatchFile::parse("not json").is_err());
+        assert!(BatchFile::parse("{}").is_err());
+        assert!(BatchFile::parse("{\"scenario\": \"x\", \"seed\": 1}").is_err());
+    }
+}

@@ -38,12 +38,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod diff;
 mod json;
 mod runner;
 mod spec;
 mod toml;
 
-pub use json::Json;
+pub use diff::{diff_batches, BatchFile, CellKey, DiffReport, FileRun};
+pub use json::{Json, JsonError};
 pub use runner::{BatchResult, BatchRunner, CellStats, RunRecord, ScenarioError};
-pub use spec::{derive_seed, FieldSpec, RadioSpec, RunCell, ScatterSpec, ScenarioSpec};
+pub use spec::{
+    derive_seed, FieldSpec, ParamVariant, RadioSpec, RunCell, ScatterSpec, ScenarioSpec,
+};
 pub use toml::{TomlError, TomlValue};

@@ -12,11 +12,15 @@
 //! matrix order on collect, so results — including the serialized
 //! JSON — are byte-identical at any thread count.
 
+use crate::diff::BatchFile;
 use crate::json::Json;
 use crate::spec::{RunCell, ScenarioSpec};
-use msn_deploy::run_scheme;
+use msn_deploy::run_scheme_with;
+use msn_field::{CoverageGrid, Field};
 use msn_metrics::{to_csv, Summary, Table};
 use msn_sim::SimConfig;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use rayon::prelude::*;
 use std::fmt;
 
@@ -51,6 +55,12 @@ pub struct RunRecord {
     pub connected: bool,
     /// Time to reach 95 % of final coverage, if the run converged.
     pub convergence_time: Option<f64>,
+    /// Annotations such as `Disconn.` / `Incorrect VD` (Figure 10).
+    pub flags: Vec<String>,
+    /// Final sensor positions. Kept in memory for layout rendering
+    /// and movement lower bounds; *not* serialized to `batch.json`,
+    /// so records restored by batch resume carry an empty vector.
+    pub positions: Vec<msn_geom::Point>,
 }
 
 /// Aggregated statistics of one (radio, n, scheme) cell over its
@@ -63,6 +73,13 @@ pub struct CellStats {
     pub n: usize,
     /// Scheme.
     pub scheme: msn_deploy::SchemeKind,
+    /// Variant slot index (0 when the spec declares no variants).
+    pub variant: usize,
+    /// Variant label (empty when the spec declares no variants).
+    pub variant_label: String,
+    /// Union of run flags, in first-seen order (Figure 10's
+    /// `Disconn.` / `Incorrect VD` annotations).
+    pub flags: Vec<String>,
     /// Coverage over repetitions.
     pub coverage: Summary,
     /// Average moving distance over repetitions.
@@ -97,20 +114,131 @@ impl BatchRunner {
         self
     }
 
+    /// The number of workers a run will actually use.
+    pub fn effective_threads(&self) -> usize {
+        self.threads
+            .unwrap_or_else(rayon::current_num_threads)
+            .max(1)
+    }
+
     /// Expands `spec` into its run matrix and executes every run.
     pub fn run(&self, spec: &ScenarioSpec) -> Result<BatchResult, ScenarioError> {
+        self.run_resuming(spec, None)
+    }
+
+    /// Like [`BatchRunner::run`], but skips matrix cells whose
+    /// records are already present in `prior` (a parsed `batch.json`
+    /// from an earlier, possibly interrupted, run of the same spec).
+    ///
+    /// Skipped records are restored from the prior file; seed
+    /// derivation is coordinate-based, so the merged result — and its
+    /// serialized JSON — is byte-identical to an uninterrupted run.
+    /// A prior run whose environment seeds disagree with the spec's
+    /// matrix (different base seed or sweep axes) is rejected.
+    pub fn run_resuming(
+        &self,
+        spec: &ScenarioSpec,
+        prior: Option<&BatchFile>,
+    ) -> Result<BatchResult, ScenarioError> {
         spec.validate().map_err(ScenarioError)?;
+        if let Some(prior) = prior {
+            // The digest covers everything but the repetition count
+            // (duration, coverage cell, params, variant overrides,
+            // axes, seed), so records computed under an edited spec
+            // can never be silently merged into its output.
+            match &prior.spec_digest {
+                Some(digest) if *digest == spec.resume_digest() => {}
+                Some(digest) => {
+                    return Err(ScenarioError(format!(
+                        "prior batch was produced by a different spec (digest {digest}, \
+                         this spec is {}): the edit would not take effect on restored \
+                         records; delete the stale batch.json to run from scratch",
+                        spec.resume_digest(),
+                    )));
+                }
+                None => {
+                    return Err(ScenarioError(
+                        "prior batch.json has no spec_digest (written before resume \
+                         support); delete it to run from scratch"
+                            .into(),
+                    ));
+                }
+            }
+        }
         let cells = spec.matrix();
-        let records: Vec<RunRecord> = match self.threads {
-            Some(1) => cells.into_iter().map(|cell| execute(spec, cell)).collect(),
-            Some(threads) => run_pinned(spec, cells, threads),
+        let mut restored: Vec<Option<RunRecord>> = vec![None; cells.len()];
+        let mut to_run = Vec::new();
+        for cell in cells {
+            match prior.and_then(|p| {
+                p.lookup(
+                    cell.radio.rc,
+                    cell.radio.rs,
+                    cell.n,
+                    cell.scheme.name(),
+                    spec.variant_label(cell.variant),
+                    cell.rep,
+                )
+            }) {
+                Some(run) => {
+                    if run.env_seed != cell.env_seed {
+                        return Err(ScenarioError(format!(
+                            "prior batch does not match this spec: cell (rc={} rs={} n={} {} rep {}) \
+                             recorded env_seed {} but the matrix derives {} — different base seed \
+                             or sweep axes; delete the stale batch.json to run from scratch",
+                            cell.radio.rc,
+                            cell.radio.rs,
+                            cell.n,
+                            cell.scheme.name(),
+                            cell.rep,
+                            run.env_seed,
+                            cell.env_seed,
+                        )));
+                    }
+                    restored[cell.index] = Some(RunRecord {
+                        cell,
+                        coverage: run.coverage,
+                        avg_move: run.avg_move,
+                        max_move: run.max_move,
+                        total_move: run.total_move,
+                        messages: run.messages,
+                        connected: run.connected,
+                        convergence_time: run.convergence_time,
+                        flags: run.flags.clone(),
+                        positions: Vec::new(),
+                    });
+                }
+                None => to_run.push(cell),
+            }
+        }
+        // Fixed field layouts are rasterized once and shared by every
+        // run; randomized fields are drawn per-cell from the env seed.
+        let shared = (!spec.field.is_randomized()).then(|| {
+            let mut unused_rng = SmallRng::seed_from_u64(0);
+            let field = spec.field.build(&mut unused_rng);
+            let grid = CoverageGrid::new(&field, spec.coverage_cell);
+            (field, grid)
+        });
+        let shared = shared.as_ref();
+        let executed: Vec<RunRecord> = match self.threads {
+            Some(1) => to_run
+                .into_iter()
+                .map(|cell| execute(spec, cell, shared))
+                .collect(),
+            Some(threads) => run_pinned(spec, to_run, threads, shared),
             // The rayon shim preserves input order on collect, so the
             // record order below is the matrix order at any pool size.
-            None => cells
+            None => to_run
                 .into_par_iter()
-                .map(|cell| execute(spec, cell))
+                .map(|cell| execute(spec, cell, shared))
                 .collect(),
         };
+        let mut executed = executed.into_iter();
+        let records: Vec<RunRecord> = restored
+            .into_iter()
+            .map(|slot| {
+                slot.unwrap_or_else(|| executed.next().expect("one executed record per empty slot"))
+            })
+            .collect();
         Ok(BatchResult {
             spec: spec.clone(),
             records,
@@ -119,22 +247,27 @@ impl BatchRunner {
 }
 
 /// Executes the matrix on exactly `threads` scoped workers (bypassing
-/// the shared rayon pool), writing results back by matrix index so
-/// record order still equals matrix order.
-fn run_pinned(spec: &ScenarioSpec, cells: Vec<RunCell>, threads: usize) -> Vec<RunRecord> {
+/// the shared rayon pool), writing results back by position so record
+/// order still equals input order.
+fn run_pinned(
+    spec: &ScenarioSpec,
+    cells: Vec<RunCell>,
+    threads: usize,
+    shared: Option<&(Field, CoverageGrid)>,
+) -> Vec<RunRecord> {
     use std::collections::VecDeque;
     use std::sync::Mutex;
     let n = cells.len();
-    let queue: Mutex<VecDeque<RunCell>> = Mutex::new(cells.into());
+    let queue: Mutex<VecDeque<(usize, RunCell)>> =
+        Mutex::new(cells.into_iter().enumerate().collect());
     let slots: Vec<Mutex<Option<RunRecord>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads.min(n) {
             scope.spawn(|| loop {
                 let job = queue.lock().unwrap().pop_front();
                 match job {
-                    Some(cell) => {
-                        let i = cell.index;
-                        let record = execute(spec, cell);
+                    Some((i, cell)) => {
+                        let record = execute(spec, cell, shared);
                         *slots[i].lock().unwrap() = Some(record);
                     }
                     None => break,
@@ -152,14 +285,28 @@ fn run_pinned(spec: &ScenarioSpec, cells: Vec<RunCell>, threads: usize) -> Vec<R
         .collect()
 }
 
-/// Executes one cell of the matrix.
-fn execute(spec: &ScenarioSpec, cell: RunCell) -> RunRecord {
-    let (field, initial) = cell.build_environment(spec);
+/// Executes one cell of the matrix. `shared` carries the pre-built
+/// field and coverage raster when the field layout is fixed.
+fn execute(
+    spec: &ScenarioSpec,
+    cell: RunCell,
+    shared: Option<&(Field, CoverageGrid)>,
+) -> RunRecord {
     let cfg = SimConfig::paper(cell.radio.rc, cell.radio.rs)
         .with_duration(spec.duration)
         .with_coverage_cell(spec.coverage_cell)
         .with_seed(cell.sim_seed());
-    let r = run_scheme(cell.scheme, &field, &initial, &cfg);
+    let overrides = spec.effective_overrides(cell.variant);
+    let r = match shared {
+        Some((field, grid)) => {
+            let initial = cell.build_scatter(spec, field);
+            run_scheme_with(cell.scheme, field, &initial, &cfg, &overrides, Some(grid))
+        }
+        None => {
+            let (field, initial) = cell.build_environment(spec);
+            run_scheme_with(cell.scheme, &field, &initial, &cfg, &overrides, None)
+        }
+    };
     RunRecord {
         cell,
         coverage: r.coverage,
@@ -169,6 +316,8 @@ fn execute(spec: &ScenarioSpec, cell: RunCell) -> RunRecord {
         messages: r.messages.total(),
         connected: r.connected,
         convergence_time: r.convergence_time,
+        flags: r.flags,
+        positions: r.positions,
     }
 }
 
@@ -183,15 +332,18 @@ pub struct BatchResult {
 }
 
 impl BatchResult {
-    /// Groups records into per-(radio, n, scheme) aggregates, in
-    /// matrix order.
+    /// Groups records into per-(radio, n, variant, scheme)
+    /// aggregates, in matrix order.
     pub fn cell_stats(&self) -> Vec<CellStats> {
         let mut stats: Vec<CellStats> = Vec::new();
         for record in &self.records {
             let cell = &record.cell;
-            let existing = stats
-                .iter_mut()
-                .find(|s| s.radio == cell.radio && s.n == cell.n && s.scheme == cell.scheme);
+            let existing = stats.iter_mut().find(|s| {
+                s.radio == cell.radio
+                    && s.n == cell.n
+                    && s.scheme == cell.scheme
+                    && s.variant == cell.variant
+            });
             let slot = match existing {
                 Some(slot) => slot,
                 None => {
@@ -199,6 +351,9 @@ impl BatchResult {
                         radio: cell.radio,
                         n: cell.n,
                         scheme: cell.scheme,
+                        variant: cell.variant,
+                        variant_label: self.spec.variant_label(cell.variant).to_string(),
+                        flags: Vec::new(),
                         coverage: Summary::new(),
                         avg_move: Summary::new(),
                         messages: Summary::new(),
@@ -212,6 +367,11 @@ impl BatchResult {
             slot.avg_move.add(record.avg_move);
             slot.messages.add(record.messages as f64);
             slot.connected_runs += usize::from(record.connected);
+            for flag in &record.flags {
+                if !slot.flags.contains(flag) {
+                    slot.flags.push(flag.clone());
+                }
+            }
             slot.runs.push(record.clone());
         }
         stats
@@ -230,6 +390,7 @@ impl BatchResult {
     /// per-cell aggregates and the raw per-run samples.
     pub fn to_json(&self) -> String {
         let spec = &self.spec;
+        let has_variants = !spec.variants.is_empty();
         let cells: Vec<Json> = self
             .cell_stats()
             .into_iter()
@@ -238,7 +399,7 @@ impl BatchResult {
                     .runs
                     .iter()
                     .map(|r| {
-                        Json::obj()
+                        let mut run = Json::obj()
                             .field("rep", r.cell.rep)
                             .field("env_seed", r.cell.env_seed)
                             .field("coverage", r.coverage)
@@ -250,15 +411,25 @@ impl BatchResult {
                             .field(
                                 "convergence_time",
                                 r.convergence_time.filter(|t| t.is_finite()),
-                            )
+                            );
+                        if !r.flags.is_empty() {
+                            run = run.field(
+                                "flags",
+                                Json::Arr(r.flags.iter().map(|f| f.as_str().into()).collect()),
+                            );
+                        }
+                        run
                     })
                     .collect();
-                Json::obj()
+                let mut cell = Json::obj()
                     .field("rc", s.radio.rc)
                     .field("rs", s.radio.rs)
                     .field("n", s.n)
-                    .field("scheme", s.scheme.name())
-                    .field("coverage", summary_json(&s.coverage))
+                    .field("scheme", s.scheme.name());
+                if has_variants {
+                    cell = cell.field("variant", s.variant_label.as_str());
+                }
+                cell.field("coverage", summary_json(&s.coverage))
                     .field("avg_move", summary_json(&s.avg_move))
                     .field("messages", summary_json(&s.messages))
                     .field("connected_runs", s.connected_runs)
@@ -271,6 +442,7 @@ impl BatchResult {
             .field("field", spec.field.kind())
             .field("scatter", spec.scatter.kind())
             .field("seed", spec.seed)
+            .field("spec_digest", spec.resume_digest())
             .field("repetitions", spec.repetitions)
             .field("duration", spec.duration)
             .field("coverage_cell", spec.coverage_cell)
@@ -287,6 +459,7 @@ impl BatchResult {
             "rs",
             "n",
             "scheme",
+            "variant",
             "reps",
             "coverage_mean",
             "coverage_ci95",
@@ -310,6 +483,7 @@ impl BatchResult {
                     format!("{:?}", s.radio.rs),
                     s.n.to_string(),
                     s.scheme.name().to_string(),
+                    s.variant_label.clone(),
                     s.coverage.count().to_string(),
                     format!("{:.6}", s.coverage.mean()),
                     format!("{:.6}", s.coverage.ci95_half_width()),
@@ -342,9 +516,13 @@ impl BatchResult {
             out.push_str(&format!("{}\n", spec.description));
         }
         let stats = self.cell_stats();
+        let has_variants = !spec.variants.is_empty();
         for radio in &spec.radios {
             out.push_str(&format!("\n{radio}\n"));
             let mut headers = vec!["n".to_string()];
+            if has_variants {
+                headers.push("variant".to_string());
+            }
             for scheme in &spec.schemes {
                 headers.push(format!("{scheme} cov"));
             }
@@ -353,20 +531,27 @@ impl BatchResult {
             }
             let mut table = Table::new(headers);
             for &n in &spec.sensor_counts {
-                let mut row = vec![n.to_string()];
-                for &scheme in &spec.schemes {
-                    let cell = stats
-                        .iter()
-                        .find(|s| s.radio == *radio && s.n == n && s.scheme == scheme);
-                    row.push(cell.map_or("-".into(), |s| fmt_pct(&s.coverage)));
+                for variant in 0..spec.variant_count() {
+                    let mut row = vec![n.to_string()];
+                    if has_variants {
+                        row.push(spec.variant_label(variant).to_string());
+                    }
+                    let find = |scheme| {
+                        stats.iter().find(|s| {
+                            s.radio == *radio
+                                && s.n == n
+                                && s.scheme == scheme
+                                && s.variant == variant
+                        })
+                    };
+                    for &scheme in &spec.schemes {
+                        row.push(find(scheme).map_or("-".into(), |s| fmt_pct(&s.coverage)));
+                    }
+                    for &scheme in &spec.schemes {
+                        row.push(find(scheme).map_or("-".into(), |s| fmt_move(&s.avg_move)));
+                    }
+                    table.row(row);
                 }
-                for &scheme in &spec.schemes {
-                    let cell = stats
-                        .iter()
-                        .find(|s| s.radio == *radio && s.n == n && s.scheme == scheme);
-                    row.push(cell.map_or("-".into(), |s| fmt_move(&s.avg_move)));
-                }
-                table.row(row);
             }
             out.push_str(&format!("{table}\n"));
         }
@@ -480,6 +665,136 @@ mod tests {
     fn invalid_spec_is_rejected() {
         let bad = tiny_spec().with_schemes(vec![]);
         assert!(BatchRunner::new().run(&bad).is_err());
+    }
+
+    #[test]
+    fn resume_reproduces_uninterrupted_output_byte_for_byte() {
+        let full_spec = tiny_spec();
+        let full = BatchRunner::new().with_threads(1).run(&full_spec).unwrap();
+        // "interrupt" after the first repetition: run the same spec
+        // with fewer reps, persist, then resume at the full rep count
+        let partial_spec = full_spec.clone().with_repetitions(1);
+        let partial = BatchRunner::new()
+            .with_threads(1)
+            .run(&partial_spec)
+            .unwrap();
+        let prior = BatchFile::parse(&partial.to_json()).unwrap();
+        let resumed = BatchRunner::new()
+            .with_threads(1)
+            .run_resuming(&full_spec, Some(&prior))
+            .unwrap();
+        assert_eq!(resumed.to_json(), full.to_json());
+        assert_eq!(resumed.to_csv(), full.to_csv());
+    }
+
+    #[test]
+    fn resume_actually_skips_cached_cells() {
+        let spec = tiny_spec();
+        let full = BatchRunner::new().with_threads(1).run(&spec).unwrap();
+        let mut prior = BatchFile::parse(&full.to_json()).unwrap();
+        // poison one cached record; if resume re-executed the cell the
+        // poisoned value could not survive into the merged output
+        prior.cells[0].1.get_mut(&0).unwrap().coverage = 0.123456789;
+        let resumed = BatchRunner::new()
+            .with_threads(1)
+            .run_resuming(&spec, Some(&prior))
+            .unwrap();
+        assert!(
+            resumed.to_json().contains("0.123456789"),
+            "cached record was re-executed instead of restored"
+        );
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_seed_policy() {
+        let spec = tiny_spec();
+        let full = BatchRunner::new().with_threads(1).run(&spec).unwrap();
+        let prior = BatchFile::parse(&full.to_json()).unwrap();
+        let reseeded = spec.with_seed(4242);
+        let err = BatchRunner::new()
+            .with_threads(1)
+            .run_resuming(&reseeded, Some(&prior))
+            .unwrap_err();
+        assert!(err.0.contains("different spec"), "{}", err.0);
+    }
+
+    #[test]
+    fn resume_rejects_edited_durations_and_params() {
+        use msn_deploy::{FloorOverrides, SchemeOverrides};
+        let spec = tiny_spec();
+        let full = BatchRunner::new().with_threads(1).run(&spec).unwrap();
+        let prior = BatchFile::parse(&full.to_json()).unwrap();
+        // env seeds are untouched by these edits, but the digest
+        // catches them: restored records would not reflect the edit
+        let quickened = spec.clone().with_duration(10.0);
+        assert!(BatchRunner::new()
+            .run_resuming(&quickened, Some(&prior))
+            .is_err());
+        let reparam = spec.clone().with_params(SchemeOverrides {
+            floor: FloorOverrides {
+                ttl: Some(3),
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        assert!(BatchRunner::new()
+            .run_resuming(&reparam, Some(&prior))
+            .is_err());
+        // extending repetitions stays allowed
+        assert!(BatchRunner::new()
+            .run_resuming(&spec.with_repetitions(3), Some(&prior))
+            .is_ok());
+    }
+
+    #[test]
+    fn variant_sweep_runs_and_labels_cells() {
+        use msn_deploy::{FloorOverrides, SchemeOverrides};
+        let spec = ScenarioSpec::new("ttl-sweep")
+            .with_schemes(vec![SchemeKind::Floor])
+            .with_sensor_counts(vec![12])
+            .with_duration(30.0)
+            .with_coverage_cell(20.0)
+            .with_variant("ttl-1", {
+                SchemeOverrides {
+                    floor: FloorOverrides {
+                        ttl: Some(1),
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                }
+            })
+            .with_variant("ttl-frac", {
+                SchemeOverrides {
+                    floor: FloorOverrides {
+                        ttl_frac: Some(0.5),
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                }
+            });
+        let result = BatchRunner::new().with_threads(1).run(&spec).unwrap();
+        assert_eq!(result.records.len(), 2);
+        let stats = result.cell_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].variant_label, "ttl-1");
+        assert_eq!(stats[1].variant_label, "ttl-frac");
+        let json = result.to_json();
+        assert!(json.contains("\"variant\": \"ttl-1\""), "{json}");
+        let csv = result.to_csv();
+        assert!(csv.lines().next().unwrap().contains("variant"));
+        let report = result.report();
+        assert!(report.contains("ttl-1"), "{report}");
+    }
+
+    #[test]
+    fn fixed_field_grid_cache_matches_uncached_environments() {
+        // the shared-field path must reproduce build_environment's
+        // scatter exactly (independent RNG streams)
+        let spec = tiny_spec();
+        let cells = spec.matrix();
+        let (field, initial) = cells[0].build_environment(&spec);
+        let scatter_only = cells[0].build_scatter(&spec, &field);
+        assert_eq!(initial, scatter_only);
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //! expands a spec into the flat run matrix the batch runner executes.
 
 use crate::toml::{TomlError, TomlValue};
-use msn_deploy::SchemeKind;
+use msn_deploy::cpvf::OscillationAvoidance;
+use msn_deploy::{
+    CpvfOverrides, FloorOverrides, OptOverrides, SchemeKind, SchemeOverrides, VdOverrides,
+};
 use msn_field::{
     campus_grid_field, corridor_field, disaster_zone_field, paper_field, random_obstacle_field,
     scatter_clustered, scatter_uniform, two_obstacle_field, CampusGridParams, CorridorParams,
@@ -144,6 +147,31 @@ impl ScatterSpec {
     }
 }
 
+/// One labeled cell of a parameter sweep: a partial override set that
+/// stacks on the scenario's base [`ScenarioSpec::params`].
+///
+/// Variants form an extra matrix axis between repetitions and schemes,
+/// so every variant competes on the same environments — Table 1's
+/// `TTL = 0.1N ... 0.4N` columns and the BLG/IFLG ablation are
+/// variant sweeps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamVariant {
+    /// Display label (unique within a spec), e.g. `"TTL=0.2N"`.
+    pub label: String,
+    /// The overrides this variant applies on top of the base params.
+    pub overrides: SchemeOverrides,
+}
+
+impl ParamVariant {
+    /// A new labeled variant.
+    pub fn new(label: impl Into<String>, overrides: SchemeOverrides) -> Self {
+        ParamVariant {
+            label: label.into(),
+            overrides,
+        }
+    }
+}
+
 /// A declarative description of one experiment batch.
 ///
 /// # Examples
@@ -188,6 +216,13 @@ pub struct ScenarioSpec {
     /// Base seed; per-run seeds are derived deterministically from it
     /// and the run's matrix coordinates (never from thread timing).
     pub seed: u64,
+    /// Scheme parameter overrides applied to every run (TOML
+    /// `[params.floor]`, `[params.cpvf]`, ...).
+    pub params: SchemeOverrides,
+    /// Parameter sweep cells (TOML `[[variants]]`); each stacks on
+    /// [`ScenarioSpec::params`]. Empty means one unlabeled default
+    /// variant.
+    pub variants: Vec<ParamVariant>,
 }
 
 impl ScenarioSpec {
@@ -207,7 +242,16 @@ impl ScenarioSpec {
             coverage_cell: 2.5,
             repetitions: 1,
             seed: 42,
+            params: SchemeOverrides::default(),
+            variants: Vec::new(),
         }
+    }
+
+    /// Sets the name.
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
     }
 
     /// Sets the description.
@@ -283,6 +327,41 @@ impl ScenarioSpec {
         self
     }
 
+    /// Sets the scenario-wide parameter overrides.
+    #[must_use]
+    pub fn with_params(mut self, params: SchemeOverrides) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Appends a labeled parameter-sweep variant.
+    #[must_use]
+    pub fn with_variant(mut self, label: impl Into<String>, overrides: SchemeOverrides) -> Self {
+        self.variants.push(ParamVariant::new(label, overrides));
+        self
+    }
+
+    /// Number of variant slots in the matrix (at least 1: a spec
+    /// without explicit variants has one unlabeled default).
+    pub fn variant_count(&self) -> usize {
+        self.variants.len().max(1)
+    }
+
+    /// The label of variant slot `idx` (empty for the implicit
+    /// default variant).
+    pub fn variant_label(&self, idx: usize) -> &str {
+        self.variants.get(idx).map_or("", |v| v.label.as_str())
+    }
+
+    /// The fully merged overrides of variant slot `idx`: the
+    /// variant's own overrides stacked on the base params.
+    pub fn effective_overrides(&self, idx: usize) -> SchemeOverrides {
+        match self.variants.get(idx) {
+            Some(v) => v.overrides.merged_over(&self.params),
+            None => self.params.clone(),
+        }
+    }
+
     /// Checks the spec is executable, returning the first problem.
     pub fn validate(&self) -> Result<(), String> {
         if self.name.is_empty() {
@@ -316,28 +395,74 @@ impl ScenarioSpec {
                 );
             }
         }
+        self.params.validate().map_err(|e| format!("params: {e}"))?;
+        for (i, v) in self.variants.iter().enumerate() {
+            if v.label.is_empty() {
+                return Err(format!("variant {i} has an empty label"));
+            }
+            if self.variants[..i].iter().any(|p| p.label == v.label) {
+                return Err(format!("duplicate variant label '{}'", v.label));
+            }
+            v.overrides
+                .validate()
+                .map_err(|e| format!("variant '{}': {e}", v.label))?;
+            // the merge onto the base params must also be coherent
+            self.effective_overrides(i)
+                .validate()
+                .map_err(|e| format!("variant '{}' merged over params: {e}", v.label))?;
+        }
         Ok(())
     }
 
+    /// A stable fingerprint of everything that determines run results
+    /// except the repetition count — field, scatter, sweep axes,
+    /// durations, params, variants, schemes and the base seed.
+    /// Recorded in `batch.json` and checked by batch resume, so
+    /// records computed under an edited spec (changed duration,
+    /// override values, ...) are never silently merged; repetitions
+    /// are excluded because resume explicitly supports extending
+    /// them.
+    pub fn resume_digest(&self) -> String {
+        let normalized = self.clone().with_repetitions(1).to_toml_string();
+        // FNV-1a, 64-bit: stable, dependency-free, good enough for a
+        // consistency check (not a security boundary).
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in normalized.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{hash:016x}")
+    }
+
     /// Expands the spec into its flat run matrix, in deterministic
-    /// order: radios × sensor counts × repetitions × schemes.
+    /// order: radios × sensor counts × repetitions × variants ×
+    /// schemes. Variants and schemes share the environment of their
+    /// (radio, n, rep) slice, so parameter cells compete on identical
+    /// fields and scatters.
     pub fn matrix(&self) -> Vec<RunCell> {
         let mut cells = Vec::with_capacity(
-            self.radios.len() * self.sensor_counts.len() * self.repetitions * self.schemes.len(),
+            self.radios.len()
+                * self.sensor_counts.len()
+                * self.repetitions
+                * self.variant_count()
+                * self.schemes.len(),
         );
         for (radio_idx, &radio) in self.radios.iter().enumerate() {
             for (n_idx, &n) in self.sensor_counts.iter().enumerate() {
                 for rep in 0..self.repetitions {
                     let env_seed = derive_seed(self.seed, radio_idx, n_idx, rep);
-                    for &scheme in &self.schemes {
-                        cells.push(RunCell {
-                            index: cells.len(),
-                            radio,
-                            n,
-                            scheme,
-                            rep,
-                            env_seed,
-                        });
+                    for variant in 0..self.variant_count() {
+                        for &scheme in &self.schemes {
+                            cells.push(RunCell {
+                                index: cells.len(),
+                                radio,
+                                n,
+                                scheme,
+                                variant,
+                                rep,
+                                env_seed,
+                            });
+                        }
                     }
                 }
             }
@@ -389,6 +514,15 @@ impl ScenarioSpec {
         root.insert("seed".into(), TomlValue::from_u64(self.seed));
         root.insert("field".into(), field_to_toml(&self.field));
         root.insert("scatter".into(), scatter_to_toml(&self.scatter));
+        if let Some(params) = overrides_to_toml(&self.params) {
+            root.insert("params".into(), params);
+        }
+        if !self.variants.is_empty() {
+            root.insert(
+                "variants".into(),
+                TomlValue::Array(self.variants.iter().map(variant_to_toml).collect()),
+            );
+        }
         TomlValue::Table(root).to_toml_string()
     }
 
@@ -476,6 +610,19 @@ impl ScenarioSpec {
         if let Some(v) = root.get("scatter") {
             spec.scatter = scatter_from_toml(v)?;
         }
+        if let Some(v) = root.get("params") {
+            check_keys(v, "params", &["floor", "cpvf", "vd", "opt"])?;
+            spec.params = overrides_from_toml(v)?;
+        }
+        if let Some(v) = root.get("variants") {
+            let items = v
+                .as_array()
+                .ok_or_else(|| TomlError("'variants' must be an array of tables".into()))?;
+            spec.variants = items
+                .iter()
+                .map(variant_from_toml)
+                .collect::<Result<_, _>>()?;
+        }
         spec.validate().map_err(TomlError)?;
         Ok(spec)
     }
@@ -492,6 +639,9 @@ pub struct RunCell {
     pub n: usize,
     /// Scheme under test.
     pub scheme: SchemeKind,
+    /// Variant slot index (0 when the spec declares no variants); see
+    /// [`ScenarioSpec::variant_label`] / [`ScenarioSpec::effective_overrides`].
+    pub variant: usize,
     /// Repetition number within the cell.
     pub rep: usize,
     /// Environment seed shared by every scheme in this
@@ -506,9 +656,18 @@ impl RunCell {
     pub fn build_environment(&self, spec: &ScenarioSpec) -> (Field, Vec<Point>) {
         let mut field_rng = SmallRng::seed_from_u64(stream_seed(self.env_seed, 1));
         let field = spec.field.build(&mut field_rng);
-        let mut scatter_rng = SmallRng::seed_from_u64(stream_seed(self.env_seed, 2));
-        let initial = spec.scatter.place(&field, self.n, &mut scatter_rng);
+        let initial = self.build_scatter(spec, &field);
         (field, initial)
+    }
+
+    /// Just the initial positions, for a pre-built `field`. The
+    /// scatter RNG stream is independent of the field stream, so this
+    /// is byte-identical to [`RunCell::build_environment`] when the
+    /// field is deterministic (the batch runner builds fixed fields
+    /// once and re-scatters per cell).
+    pub fn build_scatter(&self, spec: &ScenarioSpec, field: &Field) -> Vec<Point> {
+        let mut scatter_rng = SmallRng::seed_from_u64(stream_seed(self.env_seed, 2));
+        spec.scatter.place(field, self.n, &mut scatter_rng)
     }
 
     /// The seed for the in-run RNG (message backoff, random walks).
@@ -647,6 +806,353 @@ fn field_from_toml(v: &TomlValue) -> Result<FieldSpec, TomlError> {
             "unknown field kind '{other}' (expected paper, two-obstacle, campus-grid, corridor, disaster-zone or random-obstacles)"
         ))),
     }
+}
+
+/// Inserts `key = value` when the override is set.
+fn put<T, F: FnOnce(T) -> TomlValue>(
+    t: &mut BTreeMap<String, TomlValue>,
+    key: &str,
+    v: Option<T>,
+    wrap: F,
+) {
+    if let Some(v) = v {
+        t.insert(key.into(), wrap(v));
+    }
+}
+
+/// Serializes an override set as its `[params]`-style table, or
+/// `None` when nothing is overridden.
+fn overrides_to_toml(o: &SchemeOverrides) -> Option<TomlValue> {
+    let mut root = BTreeMap::new();
+    let mut floor = BTreeMap::new();
+    put(&mut floor, "ttl", o.floor.ttl, |v| TomlValue::Int(v as i64));
+    put(&mut floor, "ttl_frac", o.floor.ttl_frac, TomlValue::Float);
+    put(&mut floor, "quorum", o.floor.quorum, |v| {
+        TomlValue::Int(v as i64)
+    });
+    put(&mut floor, "patience", o.floor.patience, |v| {
+        TomlValue::Int(v as i64)
+    });
+    put(
+        &mut floor,
+        "movable_threshold",
+        o.floor.movable_threshold,
+        TomlValue::Float,
+    );
+    put(
+        &mut floor,
+        "phase1_timeout_frac",
+        o.floor.phase1_timeout_frac,
+        TomlValue::Float,
+    );
+    put(
+        &mut floor,
+        "max_invites_per_ep",
+        o.floor.max_invites_per_ep,
+        |v| TomlValue::Int(v as i64),
+    );
+    put(
+        &mut floor,
+        "max_concurrent_eps",
+        o.floor.max_concurrent_eps,
+        |v| TomlValue::Int(v as i64),
+    );
+    put(
+        &mut floor,
+        "idle_stop_periods",
+        o.floor.idle_stop_periods,
+        |v| TomlValue::Int(v as i64),
+    );
+    put(
+        &mut floor,
+        "enable_blg",
+        o.floor.enable_blg,
+        TomlValue::Bool,
+    );
+    put(
+        &mut floor,
+        "enable_iflg",
+        o.floor.enable_iflg,
+        TomlValue::Bool,
+    );
+    if !floor.is_empty() {
+        root.insert("floor".into(), TomlValue::Table(floor));
+    }
+    let mut cpvf = BTreeMap::new();
+    put(
+        &mut cpvf,
+        "backoff_max",
+        o.cpvf.backoff_max,
+        TomlValue::Float,
+    );
+    put(
+        &mut cpvf,
+        "allow_parent_change",
+        o.cpvf.allow_parent_change,
+        TomlValue::Bool,
+    );
+    if let Some(osc) = o.cpvf.oscillation {
+        let (name, delta) = match osc {
+            OscillationAvoidance::Off => ("off", None),
+            OscillationAvoidance::OneStep { delta } => ("one-step", Some(delta)),
+            OscillationAvoidance::TwoStep { delta } => ("two-step", Some(delta)),
+        };
+        cpvf.insert("oscillation".into(), TomlValue::Str(name.into()));
+        put(&mut cpvf, "delta", delta, TomlValue::Float);
+    }
+    put(
+        &mut cpvf,
+        "neighbor_threshold",
+        o.cpvf.neighbor_threshold,
+        TomlValue::Float,
+    );
+    put(
+        &mut cpvf,
+        "neighbor_gain",
+        o.cpvf.neighbor_gain,
+        TomlValue::Float,
+    );
+    put(
+        &mut cpvf,
+        "obstacle_range",
+        o.cpvf.obstacle_range,
+        TomlValue::Float,
+    );
+    put(
+        &mut cpvf,
+        "obstacle_gain",
+        o.cpvf.obstacle_gain,
+        TomlValue::Float,
+    );
+    put(
+        &mut cpvf,
+        "boundary_range",
+        o.cpvf.boundary_range,
+        TomlValue::Float,
+    );
+    put(
+        &mut cpvf,
+        "boundary_gain",
+        o.cpvf.boundary_gain,
+        TomlValue::Float,
+    );
+    put(&mut cpvf, "min_force", o.cpvf.min_force, TomlValue::Float);
+    if !cpvf.is_empty() {
+        root.insert("cpvf".into(), TomlValue::Table(cpvf));
+    }
+    let mut vd = BTreeMap::new();
+    put(&mut vd, "rounds", o.vd.rounds, |v| TomlValue::Int(v as i64));
+    put(
+        &mut vd,
+        "step_cap_frac",
+        o.vd.step_cap_frac,
+        TomlValue::Float,
+    );
+    put(&mut vd, "explode", o.vd.explode, TomlValue::Bool);
+    if !vd.is_empty() {
+        root.insert("vd".into(), TomlValue::Table(vd));
+    }
+    let mut opt = BTreeMap::new();
+    put(
+        &mut opt,
+        "connector_slack",
+        o.opt.connector_slack,
+        TomlValue::Float,
+    );
+    if !opt.is_empty() {
+        root.insert("opt".into(), TomlValue::Table(opt));
+    }
+    if root.is_empty() {
+        None
+    } else {
+        Some(TomlValue::Table(root))
+    }
+}
+
+fn opt_f64(t: &TomlValue, key: &str) -> Result<Option<f64>, TomlError> {
+    match t.get(key) {
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| TomlError(format!("'{key}' must be numeric"))),
+        None => Ok(None),
+    }
+}
+
+fn opt_usize(t: &TomlValue, key: &str) -> Result<Option<usize>, TomlError> {
+    match t.get(key) {
+        Some(v) => v
+            .as_usize()
+            .map(Some)
+            .ok_or_else(|| TomlError(format!("'{key}' must be a non-negative integer"))),
+        None => Ok(None),
+    }
+}
+
+fn opt_u32(t: &TomlValue, key: &str) -> Result<Option<u32>, TomlError> {
+    opt_usize(t, key)?
+        .map(|v| {
+            u32::try_from(v)
+                .map_err(|_| TomlError(format!("'{key}' must fit in 32 bits (got {v})")))
+        })
+        .transpose()
+}
+
+fn opt_bool(t: &TomlValue, key: &str) -> Result<Option<bool>, TomlError> {
+    match t.get(key) {
+        Some(v) => v
+            .as_bool()
+            .map(Some)
+            .ok_or_else(|| TomlError(format!("'{key}' must be a boolean"))),
+        None => Ok(None),
+    }
+}
+
+/// Rejects unknown keys so a typo in a spec fails loudly instead of
+/// silently running with defaults.
+fn check_keys(t: &TomlValue, section: &str, allowed: &[&str]) -> Result<(), TomlError> {
+    let TomlValue::Table(map) = t else {
+        return Err(TomlError(format!("'{section}' must be a table")));
+    };
+    for key in map.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(TomlError(format!(
+                "unknown key '{key}' in [{section}] (expected one of {})",
+                allowed.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Parses a `[params]`-style override table (callers have already
+/// checked the table's own keys).
+fn overrides_from_toml(v: &TomlValue) -> Result<SchemeOverrides, TomlError> {
+    let mut o = SchemeOverrides::default();
+    if let Some(t) = v.get("floor") {
+        check_keys(
+            t,
+            "params.floor",
+            &[
+                "ttl",
+                "ttl_frac",
+                "quorum",
+                "patience",
+                "movable_threshold",
+                "phase1_timeout_frac",
+                "max_invites_per_ep",
+                "max_concurrent_eps",
+                "idle_stop_periods",
+                "enable_blg",
+                "enable_iflg",
+            ],
+        )?;
+        o.floor = FloorOverrides {
+            ttl: opt_usize(t, "ttl")?,
+            ttl_frac: opt_f64(t, "ttl_frac")?,
+            quorum: opt_usize(t, "quorum")?,
+            patience: opt_u32(t, "patience")?,
+            movable_threshold: opt_f64(t, "movable_threshold")?,
+            phase1_timeout_frac: opt_f64(t, "phase1_timeout_frac")?,
+            max_invites_per_ep: opt_u32(t, "max_invites_per_ep")?,
+            max_concurrent_eps: opt_usize(t, "max_concurrent_eps")?,
+            idle_stop_periods: opt_u32(t, "idle_stop_periods")?,
+            enable_blg: opt_bool(t, "enable_blg")?,
+            enable_iflg: opt_bool(t, "enable_iflg")?,
+        };
+    }
+    if let Some(t) = v.get("cpvf") {
+        check_keys(
+            t,
+            "params.cpvf",
+            &[
+                "backoff_max",
+                "allow_parent_change",
+                "oscillation",
+                "delta",
+                "neighbor_threshold",
+                "neighbor_gain",
+                "obstacle_range",
+                "obstacle_gain",
+                "boundary_range",
+                "boundary_gain",
+                "min_force",
+            ],
+        )?;
+        let oscillation = match t.get("oscillation") {
+            None => {
+                if t.get("delta").is_some() {
+                    return Err(TomlError("'delta' requires 'oscillation' to be set".into()));
+                }
+                None
+            }
+            Some(kind) => {
+                let kind = kind
+                    .as_str()
+                    .ok_or_else(|| TomlError("'oscillation' must be a string".into()))?;
+                let delta = opt_f64(t, "delta")?;
+                Some(match (kind, delta) {
+                    ("off", None) => OscillationAvoidance::Off,
+                    ("off", Some(_)) => {
+                        return Err(TomlError("oscillation 'off' takes no delta".into()))
+                    }
+                    ("one-step", Some(delta)) => OscillationAvoidance::OneStep { delta },
+                    ("two-step", Some(delta)) => OscillationAvoidance::TwoStep { delta },
+                    ("one-step" | "two-step", None) => {
+                        return Err(TomlError(format!("oscillation '{kind}' needs a 'delta'")))
+                    }
+                    (other, _) => {
+                        return Err(TomlError(format!(
+                            "unknown oscillation '{other}' (expected off, one-step or two-step)"
+                        )))
+                    }
+                })
+            }
+        };
+        o.cpvf = CpvfOverrides {
+            backoff_max: opt_f64(t, "backoff_max")?,
+            allow_parent_change: opt_bool(t, "allow_parent_change")?,
+            oscillation,
+            neighbor_threshold: opt_f64(t, "neighbor_threshold")?,
+            neighbor_gain: opt_f64(t, "neighbor_gain")?,
+            obstacle_range: opt_f64(t, "obstacle_range")?,
+            obstacle_gain: opt_f64(t, "obstacle_gain")?,
+            boundary_range: opt_f64(t, "boundary_range")?,
+            boundary_gain: opt_f64(t, "boundary_gain")?,
+            min_force: opt_f64(t, "min_force")?,
+        };
+    }
+    if let Some(t) = v.get("vd") {
+        check_keys(t, "params.vd", &["rounds", "step_cap_frac", "explode"])?;
+        o.vd = VdOverrides {
+            rounds: opt_usize(t, "rounds")?,
+            step_cap_frac: opt_f64(t, "step_cap_frac")?,
+            explode: opt_bool(t, "explode")?,
+        };
+    }
+    if let Some(t) = v.get("opt") {
+        check_keys(t, "params.opt", &["connector_slack"])?;
+        o.opt = OptOverrides {
+            connector_slack: opt_f64(t, "connector_slack")?,
+        };
+    }
+    Ok(o)
+}
+
+fn variant_to_toml(v: &ParamVariant) -> TomlValue {
+    let mut t = match overrides_to_toml(&v.overrides) {
+        Some(TomlValue::Table(t)) => t,
+        _ => BTreeMap::new(),
+    };
+    t.insert("label".into(), TomlValue::Str(v.label.clone()));
+    TomlValue::Table(t)
+}
+
+fn variant_from_toml(v: &TomlValue) -> Result<ParamVariant, TomlError> {
+    check_keys(v, "variants", &["label", "floor", "cpvf", "vd", "opt"])?;
+    let label = require_str(v, "label")
+        .map_err(|_| TomlError("each [[variants]] entry needs a string 'label'".into()))?;
+    Ok(ParamVariant::new(label, overrides_from_toml(v)?))
 }
 
 fn scatter_to_toml(scatter: &ScatterSpec) -> TomlValue {
@@ -808,6 +1314,152 @@ mod tests {
                 .validate()
                 .is_err());
         }
+    }
+
+    #[test]
+    fn variants_extend_the_matrix_and_share_environments() {
+        let no_blg = SchemeOverrides {
+            floor: msn_deploy::FloorOverrides {
+                enable_blg: Some(false),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let spec = ScenarioSpec::new("v")
+            .with_schemes(vec![SchemeKind::Floor])
+            .with_sensor_counts(vec![10])
+            .with_repetitions(2)
+            .with_variant("full", SchemeOverrides::default())
+            .with_variant("no-blg", no_blg.clone());
+        let cells = spec.matrix();
+        assert_eq!(cells.len(), 2 * 2, "reps x variants");
+        // variants within one rep share the environment
+        assert_eq!(cells[0].env_seed, cells[1].env_seed);
+        assert_eq!(cells[0].variant, 0);
+        assert_eq!(cells[1].variant, 1);
+        assert_eq!(spec.variant_label(1), "no-blg");
+        assert_eq!(spec.effective_overrides(1), no_blg);
+        // a spec without variants has exactly one slot with no overrides
+        let plain = ScenarioSpec::new("p");
+        assert_eq!(plain.variant_count(), 1);
+        assert_eq!(plain.variant_label(0), "");
+        assert!(plain.effective_overrides(0).is_default());
+    }
+
+    #[test]
+    fn variants_stack_on_base_params() {
+        let base = SchemeOverrides {
+            floor: msn_deploy::FloorOverrides {
+                quorum: Some(3),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let ttl = SchemeOverrides {
+            floor: msn_deploy::FloorOverrides {
+                ttl: Some(12),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let spec = ScenarioSpec::new("s")
+            .with_params(base)
+            .with_variant("ttl-12", ttl);
+        let eff = spec.effective_overrides(0);
+        assert_eq!(eff.floor.quorum, Some(3));
+        assert_eq!(eff.floor.ttl, Some(12));
+    }
+
+    #[test]
+    fn params_and_variants_roundtrip_toml() {
+        let spec = ScenarioSpec::new("sweep")
+            .with_schemes(vec![SchemeKind::Cpvf, SchemeKind::Floor])
+            .with_params(SchemeOverrides {
+                floor: msn_deploy::FloorOverrides {
+                    quorum: Some(3),
+                    enable_iflg: Some(true),
+                    ..Default::default()
+                },
+                cpvf: msn_deploy::CpvfOverrides {
+                    backoff_max: Some(5.0),
+                    obstacle_gain: Some(2.5),
+                    ..Default::default()
+                },
+                vd: msn_deploy::VdOverrides {
+                    rounds: Some(8),
+                    ..Default::default()
+                },
+                opt: msn_deploy::OptOverrides {
+                    connector_slack: Some(0.9),
+                },
+            })
+            .with_variant("off", SchemeOverrides::default())
+            .with_variant(
+                "two-step-4",
+                SchemeOverrides {
+                    cpvf: msn_deploy::CpvfOverrides {
+                        oscillation: Some(OscillationAvoidance::TwoStep { delta: 4.0 }),
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            )
+            .with_variant(
+                "ttl-frac",
+                SchemeOverrides {
+                    floor: msn_deploy::FloorOverrides {
+                        ttl_frac: Some(0.2),
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            );
+        let text = spec.to_toml_string();
+        let parsed = ScenarioSpec::from_toml_str(&text).unwrap();
+        assert_eq!(parsed, spec, "round-trip failed for:\n{text}");
+        assert!(text.contains("[[variants]]"), "{text}");
+        assert!(text.contains("[params.floor]"), "{text}");
+    }
+
+    #[test]
+    fn bad_params_are_rejected_with_context() {
+        let e =
+            ScenarioSpec::from_toml_str("name = \"x\"\n[params.floor]\nttl = 5\nttl_frac = 0.2\n")
+                .unwrap_err();
+        assert!(e.0.contains("mutually exclusive"), "{}", e.0);
+        let e =
+            ScenarioSpec::from_toml_str("name = \"x\"\n[params.floor]\nttll = 5\n").unwrap_err();
+        assert!(e.0.contains("unknown key 'ttll'"), "{}", e.0);
+        let e =
+            ScenarioSpec::from_toml_str("name = \"x\"\n[params.cpvf]\ndelta = 2.0\n").unwrap_err();
+        assert!(e.0.contains("oscillation"), "{}", e.0);
+        let e = ScenarioSpec::from_toml_str(
+            "name = \"x\"\n[[variants]]\nlabel = \"a\"\n[[variants]]\nlabel = \"a\"\n",
+        )
+        .unwrap_err();
+        assert!(e.0.contains("duplicate variant label"), "{}", e.0);
+        let e = ScenarioSpec::from_toml_str("name = \"x\"\n[[variants]]\nfloor = 1\n").unwrap_err();
+        assert!(e.0.contains("label"), "{}", e.0);
+        // u32 fields reject values that would truncate
+        let e =
+            ScenarioSpec::from_toml_str("name = \"x\"\n[params.floor]\npatience = 4294967296\n")
+                .unwrap_err();
+        assert!(e.0.contains("32 bits"), "{}", e.0);
+    }
+
+    #[test]
+    fn digest_tracks_content_but_not_repetitions() {
+        let spec = ScenarioSpec::new("d");
+        let base = spec.resume_digest();
+        assert_eq!(spec.clone().with_repetitions(5).resume_digest(), base);
+        assert_ne!(spec.clone().with_seed(7).resume_digest(), base);
+        assert_ne!(spec.clone().with_duration(10.0).resume_digest(), base);
+        assert_ne!(
+            spec.clone()
+                .with_variant("v", SchemeOverrides::default())
+                .resume_digest(),
+            base
+        );
     }
 
     #[test]

@@ -3,9 +3,10 @@
 //! The build environment has no crates.io access, so scenario specs
 //! are (de)serialized with this hand-rolled subset of TOML instead of
 //! serde + the `toml` crate. Supported: `[table]` / `[a.b]` headers,
-//! `key = value` pairs, strings with `\"`/`\\`/`\n`/`\t` escapes,
-//! integers, floats, booleans, and (nested, possibly multi-line)
-//! arrays. Unsupported: array-of-tables (`[[x]]`), inline tables,
+//! array-of-tables (`[[x]]`, including sub-tables of the latest
+//! element via `[x.sub]`), `key = value` pairs, strings with
+//! `\"`/`\\`/`\n`/`\t` escapes, integers, floats, booleans, and
+//! (nested, possibly multi-line) arrays. Unsupported: inline tables,
 //! datetimes, literal/multiline strings.
 
 use std::collections::BTreeMap;
@@ -60,14 +61,18 @@ impl TomlValue {
                 continue;
             }
             if let Some(header) = line.strip_prefix('[') {
-                if header.starts_with('[') {
-                    return err(format!(
-                        "line {}: array-of-tables is not supported",
-                        lineno + 1
-                    ));
-                }
-                let Some(header) = header.strip_suffix(']') else {
-                    return err(format!("line {}: unterminated table header", lineno + 1));
+                let is_array = header.starts_with('[');
+                let header = if is_array { &header[1..] } else { header };
+                let header = if is_array {
+                    let Some(h) = header.strip_suffix("]]") else {
+                        return err(format!("line {}: unterminated table header", lineno + 1));
+                    };
+                    h
+                } else {
+                    let Some(h) = header.strip_suffix(']') else {
+                        return err(format!("line {}: unterminated table header", lineno + 1));
+                    };
+                    h
                 };
                 path = header
                     .split('.')
@@ -76,8 +81,30 @@ impl TomlValue {
                 if path.iter().any(String::is_empty) {
                     return err(format!("line {}: empty table-name segment", lineno + 1));
                 }
-                // Materialize the table so empty tables round-trip.
-                table_at(&mut root, &path, lineno + 1)?;
+                if is_array {
+                    // `[[x]]` appends a fresh element; later `[x.sub]`
+                    // headers and `key = value` lines address it via
+                    // the last-element rule in `table_at`.
+                    let (last, parent_path) = path.split_last().expect("path is non-empty");
+                    let parent = table_at(&mut root, parent_path, lineno + 1)?;
+                    let entry = parent
+                        .entry(last.clone())
+                        .or_insert_with(|| TomlValue::Array(Vec::new()));
+                    match entry {
+                        TomlValue::Array(items) => {
+                            items.push(TomlValue::Table(BTreeMap::new()));
+                        }
+                        _ => {
+                            return err(format!(
+                                "line {}: '{last}' is not an array of tables",
+                                lineno + 1
+                            ))
+                        }
+                    }
+                } else {
+                    // Materialize the table so empty tables round-trip.
+                    table_at(&mut root, &path, lineno + 1)?;
+                }
                 continue;
             }
             let Some(eq) = line.find('=') else {
@@ -222,7 +249,10 @@ fn bracket_depth(text: &str) -> Result<i32, TomlError> {
     Ok(depth)
 }
 
-/// Walks (creating as needed) to the table at `path`.
+/// Walks (creating as needed) to the table at `path`. A segment that
+/// names an array-of-tables descends into its *latest* element, per
+/// the TOML rule that `[x.sub]` after `[[x]]` addresses the element
+/// the `[[x]]` header opened.
 fn table_at<'a>(
     root: &'a mut BTreeMap<String, TomlValue>,
     path: &[String],
@@ -235,6 +265,10 @@ fn table_at<'a>(
             .or_insert_with(|| TomlValue::Table(BTreeMap::new()));
         match entry {
             TomlValue::Table(map) => current = map,
+            TomlValue::Array(items) => match items.last_mut() {
+                Some(TomlValue::Table(map)) => current = map,
+                _ => return err(format!("line {lineno}: '{seg}' is not an array of tables")),
+            },
             _ => return err(format!("line {lineno}: '{seg}' is not a table")),
         }
     }
@@ -358,17 +392,28 @@ fn parse_scalar(token: &str, lineno: usize) -> Result<TomlValue, TomlError> {
     err(format!("line {lineno}: cannot parse value '{token}'"))
 }
 
+/// Whether a value must be written as `[[key]]` blocks rather than an
+/// inline array (non-empty arrays whose elements are all tables).
+fn is_array_of_tables(value: &TomlValue) -> bool {
+    match value {
+        TomlValue::Array(items) => {
+            !items.is_empty() && items.iter().all(|i| matches!(i, TomlValue::Table(_)))
+        }
+        _ => false,
+    }
+}
+
 fn write_table(out: &mut String, table: &BTreeMap<String, TomlValue>, path: &mut Vec<String>) {
-    // Scalars and arrays first...
+    // Scalars and plain arrays first...
     for (key, value) in table {
-        if !matches!(value, TomlValue::Table(_)) {
+        if !matches!(value, TomlValue::Table(_)) && !is_array_of_tables(value) {
             out.push_str(key);
             out.push_str(" = ");
             write_value(out, value);
             out.push('\n');
         }
     }
-    // ...then sub-tables with their headers.
+    // ...then sub-tables and arrays-of-tables with their headers.
     for (key, value) in table {
         if let TomlValue::Table(sub) = value {
             path.push(key.clone());
@@ -379,6 +424,24 @@ fn write_table(out: &mut String, table: &BTreeMap<String, TomlValue>, path: &mut
             out.push_str(&path.join("."));
             out.push_str("]\n");
             write_table(out, sub, path);
+            path.pop();
+        } else if is_array_of_tables(value) {
+            let TomlValue::Array(items) = value else {
+                unreachable!()
+            };
+            path.push(key.clone());
+            for item in items {
+                let TomlValue::Table(sub) = item else {
+                    unreachable!()
+                };
+                if !out.is_empty() {
+                    out.push('\n');
+                }
+                out.push_str("[[");
+                out.push_str(&path.join("."));
+                out.push_str("]]\n");
+                write_table(out, sub, path);
+            }
             path.pop();
         }
     }
@@ -502,7 +565,49 @@ k = "v"
         assert!(TomlValue::parse("x = [1, 2").is_err());
         assert!(TomlValue::parse("x = zebra").is_err());
         assert!(TomlValue::parse("x = 1\nx = 2").is_err());
-        assert!(TomlValue::parse("[[aot]]\nx = 1").is_err());
+        assert!(TomlValue::parse("[[aot").is_err());
+        assert!(TomlValue::parse("x = 1\n[[x]]\ny = 2").is_err());
+        assert!(TomlValue::parse("x = 1\n[x.sub]\ny = 2").is_err());
+    }
+
+    #[test]
+    fn array_of_tables_roundtrip() {
+        let doc = r#"
+name = "variants-demo"
+
+[[variants]]
+label = "off"
+
+[[variants]]
+label = "one-step"
+delta = 4.0
+
+[variants.floor]
+enable_blg = false
+
+[[variants]]
+label = "two-step"
+"#;
+        let v = TomlValue::parse(doc).unwrap();
+        let items = v.get("variants").unwrap().as_array().unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].get("label").unwrap().as_str(), Some("off"));
+        assert_eq!(items[1].get("delta").unwrap().as_f64(), Some(4.0));
+        // [variants.floor] binds to the latest [[variants]] element
+        assert_eq!(
+            items[1]
+                .get("floor")
+                .unwrap()
+                .get("enable_blg")
+                .unwrap()
+                .as_bool(),
+            Some(false)
+        );
+        assert_eq!(items[2].get("label").unwrap().as_str(), Some("two-step"));
+        let text = v.to_toml_string();
+        assert_eq!(TomlValue::parse(&text).unwrap(), v, "{text}");
+        // deterministic output
+        assert_eq!(text, TomlValue::parse(&text).unwrap().to_toml_string());
     }
 
     #[test]

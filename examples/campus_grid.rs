@@ -3,30 +3,32 @@
 //! street canyons, and the operator wants to tune the invitation TTL
 //! for message budget vs. deployment speed.
 //!
+//! The sweep itself is the bundled `scenarios/campus-ttl-sweep.toml`
+//! spec — the TTL settings are parameter variants, so every TTL faces
+//! the identical drop — and this example just runs it through the
+//! scenario engine and reads off the trade-off:
+//!
 //! ```text
 //! cargo run --release --example campus_grid
+//! # equivalently:
+//! cargo run --release -p msn-scenario -- run scenarios/campus-ttl-sweep.toml
 //! ```
 
-use msn_deploy::floor::{run, FloorParams};
-use msn_field::{campus_grid_field, scatter_clustered, CampusGridParams};
-use msn_geom::Rect;
 use msn_metrics::Table;
-use msn_sim::SimConfig;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use msn_scenario::{BatchRunner, ScenarioSpec};
 
 fn main() {
-    // A 3x3 grid of buildings with 80 m streets between them — the
-    // same layout `scenarios/campus-grid.toml` drives declaratively.
-    let field = campus_grid_field(&CampusGridParams::default());
-    let mut rng = SmallRng::seed_from_u64(11);
-    let initial = scatter_clustered(&field, Rect::new(0.0, 0.0, 130.0, 130.0), 100, &mut rng);
-    let cfg = SimConfig::paper(55.0, 35.0)
-        .with_duration(500.0)
-        .with_coverage_cell(4.0);
+    let text = std::fs::read_to_string("scenarios/campus-ttl-sweep.toml")
+        .expect("run from the repository root so scenarios/ is visible");
+    let spec = ScenarioSpec::from_toml_str(&text).expect("bundled spec parses");
+    let n = spec.sensor_counts[0] as f64;
+    let duration = spec.duration;
 
-    println!("campus with {} buildings\n", field.obstacles().len());
-    println!("Tuning the invitation TTL (fraction of N = 100 sensors):\n");
+    println!("campus TTL sweep: {} runs\n", spec.matrix().len());
+    println!("Tuning the invitation TTL (N = {n} sensors):\n");
+    let result = BatchRunner::new()
+        .run(&spec)
+        .expect("bundled spec is valid");
     let mut table = Table::new(vec![
         "TTL",
         "coverage",
@@ -34,19 +36,17 @@ fn main() {
         "msgs/node/s",
         "avg move (m)",
     ]);
-    for ttl in [5usize, 10, 20, 40] {
-        let params = FloorParams {
-            invitation_ttl: Some(ttl),
-            ..FloorParams::default()
-        };
-        let r = run(&field, &initial, &params, &cfg);
-        let per_node_per_s = r.messages.total() as f64 / 100.0 / cfg.duration;
+    for cell in result.cell_stats() {
+        let msgs = cell.messages.mean();
         table.row(vec![
-            ttl.to_string(),
-            format!("{:.1}%", r.coverage * 100.0),
-            format!("{:.0}", r.messages.total() as f64 / 1000.0),
-            format!("{per_node_per_s:.1}"),
-            format!("{:.0}", r.avg_move),
+            cell.variant_label
+                .strip_prefix("ttl-")
+                .unwrap_or(&cell.variant_label)
+                .to_string(),
+            format!("{:.1}%", cell.coverage.mean() * 100.0),
+            format!("{:.0}", msgs / 1000.0),
+            format!("{:.1}", msgs / n / duration),
+            format!("{:.0}", cell.avg_move.mean()),
         ]);
     }
     println!("{table}");

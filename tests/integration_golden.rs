@@ -1,0 +1,71 @@
+//! Golden-output gate: the bundled `smoke` spec must reproduce the
+//! committed `tests/fixtures/smoke-batch.json` byte-for-byte at any
+//! thread count, and a resumed (interrupted) run must merge to the
+//! same bytes. CI runs the same comparison through the `scenario`
+//! CLI (`run` + `diff`), so a format or determinism regression fails
+//! both here and there.
+
+use msn_scenario::{diff_batches, BatchFile, BatchRunner, ScenarioSpec};
+use std::path::PathBuf;
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+fn smoke_spec() -> ScenarioSpec {
+    let text = std::fs::read_to_string(repo_path("scenarios/smoke.toml")).unwrap();
+    ScenarioSpec::from_toml_str(&text).unwrap()
+}
+
+fn golden() -> String {
+    std::fs::read_to_string(repo_path("tests/fixtures/smoke-batch.json")).unwrap()
+}
+
+#[test]
+fn smoke_spec_reproduces_the_committed_fixture() {
+    let result = BatchRunner::new().run(&smoke_spec()).unwrap();
+    assert_eq!(
+        result.to_json(),
+        golden(),
+        "batch.json drifted from tests/fixtures/smoke-batch.json; if the change is \
+         intentional, regenerate the fixture (see the comment in scenarios/smoke.toml)"
+    );
+}
+
+#[test]
+fn smoke_output_is_thread_count_invariant() {
+    let result = BatchRunner::new()
+        .with_threads(3)
+        .run(&smoke_spec())
+        .unwrap();
+    assert_eq!(result.to_json(), golden());
+}
+
+#[test]
+fn diff_accepts_the_fixture_against_a_fresh_run() {
+    let fresh = BatchRunner::new().run(&smoke_spec()).unwrap().to_json();
+    let a = BatchFile::parse(&golden()).unwrap();
+    let b = BatchFile::parse(&fresh).unwrap();
+    let report = diff_batches(&a, &b, 0.0);
+    assert!(report.is_match(), "{}", report.render());
+    assert_eq!(report.compared, 8);
+}
+
+#[test]
+fn interrupted_then_resumed_run_matches_the_fixture() {
+    let spec = smoke_spec();
+    // simulate an interrupted sweep: only the first repetition made it
+    // to disk before the batch stopped
+    let partial = BatchRunner::new()
+        .run(&spec.clone().with_repetitions(1))
+        .unwrap();
+    let prior = BatchFile::parse(&partial.to_json()).unwrap();
+    let resumed = BatchRunner::new()
+        .run_resuming(&spec, Some(&prior))
+        .unwrap();
+    assert_eq!(
+        resumed.to_json(),
+        golden(),
+        "resume must merge cached and fresh cells into byte-identical output"
+    );
+}
