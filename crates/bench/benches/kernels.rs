@@ -1,14 +1,21 @@
 //! Criterion micro-benchmarks of the computational kernels every
 //! experiment leans on: Voronoi cell construction, Hungarian matching,
-//! minimum enclosing circles, coverage rasters, BUG2 navigation and
-//! disk-graph construction.
+//! minimum enclosing circles, coverage rasters (full, scratch-reuse
+//! and incremental-tracker paths), BUG2 navigation and disk-graph
+//! construction.
+//!
+//! Besides printing per-iteration times, the harness exports the
+//! measurements as a machine-readable perf record: `BENCH_pr3.json`
+//! in the working directory, or wherever `MSN_BENCH_OUT` points (CI
+//! uploads it as an artifact to seed the repo's perf trajectory).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{BatchSize, Criterion};
 use msn_assign::{hungarian, CostMatrix};
-use msn_field::{CoverageGrid, Field};
+use msn_field::{CoverageGrid, CoverageTracker, Field};
 use msn_geom::{min_enclosing_circle, Point, Rect};
 use msn_nav::{Hand, Navigator};
 use msn_net::DiskGraph;
+use msn_scenario::Json;
 use msn_voronoi::VoronoiDiagram;
 use std::hint::black_box;
 
@@ -61,6 +68,37 @@ fn bench_coverage(c: &mut Criterion) {
     c.bench_function("coverage_grid_240_sensors_rs40", |b| {
         b.iter(|| grid.coverage(black_box(&pts), 40.0))
     });
+    c.bench_function("covered_mask_240_sensors_rs40", |b| {
+        b.iter(|| grid.covered_mask(black_box(&pts), 40.0))
+    });
+    // the reusable-scratch variant the hot paths use
+    let mut scratch = Vec::new();
+    c.bench_function("covered_mask_into_reused_scratch", |b| {
+        b.iter(|| grid.covered_mask_into(black_box(&pts), 40.0, &mut scratch))
+    });
+}
+
+fn bench_tracker(c: &mut Criterion) {
+    let field = Field::open(1000.0, 1000.0);
+    let grid = CoverageGrid::new(&field, 2.5);
+    let pts = sites(240);
+    let mut tracker = CoverageTracker::new(grid, &pts, 40.0);
+    // Settle the initial stamps, then measure the steady state: one
+    // sensor moved per query — the O(disk) path that replaces the
+    // O(N·disk) full rasterization.
+    tracker.coverage();
+    let mut step = 0u64;
+    c.bench_function("tracker_move_one_sensor_and_query", |b| {
+        b.iter(|| {
+            step = step.wrapping_add(1);
+            let wobble = (step % 16) as f64;
+            tracker.set_sensor(
+                (step % 240) as usize,
+                Point::new(500.0 + wobble, 500.0 - wobble),
+            );
+            black_box(tracker.coverage())
+        })
+    });
 }
 
 fn bench_bug2(c: &mut Criterion) {
@@ -95,13 +133,37 @@ fn bench_diskgraph(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    kernels,
-    bench_voronoi,
-    bench_hungarian,
-    bench_mec,
-    bench_coverage,
-    bench_bug2,
-    bench_diskgraph
-);
-criterion_main!(kernels);
+/// Runs every kernel group and writes the perf record. A hand-rolled
+/// `main` (instead of `criterion_main!`) so the collected
+/// measurements can be serialized after the run.
+fn main() {
+    let mut c = Criterion::default();
+    bench_voronoi(&mut c);
+    bench_hungarian(&mut c);
+    bench_mec(&mut c);
+    bench_coverage(&mut c);
+    bench_tracker(&mut c);
+    bench_bug2(&mut c);
+    bench_diskgraph(&mut c);
+
+    let kernels: Vec<Json> = c
+        .results()
+        .iter()
+        .map(|r| {
+            Json::obj()
+                .field("name", r.name.as_str())
+                .field("ns_per_iter", r.ns_per_iter)
+                .field("iters", r.iters)
+        })
+        .collect();
+    let record = Json::obj()
+        .field("record", "BENCH_pr3")
+        .field("suite", "kernels")
+        .field("kernels", Json::Arr(kernels))
+        .pretty();
+    let out = std::env::var("MSN_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr3.json".into());
+    match std::fs::write(&out, record) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("warning: cannot write {out}: {e}"),
+    }
+}

@@ -64,10 +64,15 @@ pub fn run(profile: &Profile) -> String {
         };
         let r_floor = find(SchemeKind::Floor);
         // Hungarian optimum for reaching FLOOR's own layout, from the
-        // same initial scatter the schemes started at.
+        // same initial scatter the schemes started at. Restored
+        // (resumed) records carry no layout — computing the bound from
+        // an empty vector would silently degenerate it to zero.
+        let floor_positions = r_floor
+            .require_positions()
+            .unwrap_or_else(|e| panic!("cannot compute OPT(FLOOR) lower bound: {e}"));
         let floor_lb = {
             let (_, initial) = r_floor.cell.build_environment(&spec);
-            let costs = CostMatrix::euclidean(&initial, &r_floor.positions);
+            let costs = CostMatrix::euclidean(&initial, floor_positions);
             hungarian(&costs).total_cost / n as f64
         };
         table.row(vec![

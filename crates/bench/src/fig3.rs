@@ -112,11 +112,16 @@ pub fn layout_report(
             record.connected.to_string(),
         ]);
         if profile.layouts {
+            // restored (resumed) records carry no layouts; rendering
+            // them would silently print a blank field
+            let positions = record
+                .require_positions()
+                .unwrap_or_else(|e| panic!("cannot render layout snapshot: {e}"));
             let (field, _) = record.cell.build_environment(&spec);
             out.push_str(&format!("\n{name}: coverage {}\n", pct(record.coverage)));
             out.push_str(&ascii_layout(
                 &field,
-                &record.positions,
+                positions,
                 record.cell.radio.rs,
                 &AsciiOptions::default(),
             ));

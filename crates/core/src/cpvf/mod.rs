@@ -30,7 +30,7 @@ use crate::lazy::{lazy_plan_step, ConnectOutcome, LazyMover, Route};
 use msn_field::Field;
 use msn_geom::{Point, Segment, Vec2};
 use msn_nav::{Hand, Navigator};
-use msn_net::{MsgKind, Parent, SpatialGrid, Tree};
+use msn_net::{within_range, MsgKind, Parent, SpatialGrid, Tree};
 use msn_sim::{RunResult, SimConfig, World};
 use rand::Rng;
 
@@ -115,10 +115,14 @@ pub fn run_with_grid(
         .force
         .clone()
         .unwrap_or_else(|| ForceParams::for_ranges(cfg.rc, cfg.rs));
+    // Incremental coverage: timeline samples cost O(moved sensors)
+    // instead of a full re-rasterization (identical values; sensors at
+    // force equilibrium stop feeding the tracker entirely).
     let cov_grid = match grid {
         Some(g) => g.clone(),
         None => world.coverage_grid(),
     };
+    world.track_coverage(cov_grid);
     let max_step = cfg.max_step();
 
     // ---- Phase 1 setup: initial flood and tree construction. ----
@@ -146,7 +150,7 @@ pub fn run_with_grid(
     let mut prev_plan_pos: Vec<Option<Point>> = vec![None; n];
 
     let snap_ticks = (params.snapshot_every / cfg.dt()).round().max(1.0) as u64;
-    let mut timeline = vec![(0.0, world.coverage(&cov_grid))];
+    let mut timeline = vec![(0.0, world.coverage_tracked())];
 
     for _ in 0..cfg.total_ticks() {
         // ---- Decisions at period boundaries. ----
@@ -223,7 +227,7 @@ pub fn run_with_grid(
 
         world.advance_tick();
         if world.tick().is_multiple_of(snap_ticks) {
-            timeline.push((world.time(), world.coverage(&cov_grid)));
+            timeline.push((world.time(), world.coverage_tracked()));
         }
         // Invariant check (always on in debug builds, opt-in via the
         // MSN_CHECK_LINKS env var in release): every tree link must
@@ -251,7 +255,7 @@ pub fn run_with_grid(
         }
     }
 
-    let coverage = world.coverage(&cov_grid);
+    let coverage = world.coverage_tracked();
     let all_connected = world
         .graph()
         .all_connected_to_base(world.positions(), cfg.base, cfg.rc);
@@ -462,10 +466,10 @@ fn max_valid_step(
             let me_at_tp = pos + my_vel * (t_prime - now).max(0.0).min(cfg.period);
             other_candidates.iter().all(|other_at_tp| {
                 // Condition 1: within rc at the neighbor's period end.
-                me_at_tp.dist(*other_at_tp) <= cfg.rc + 1e-9
+                within_range(me_at_tp, *other_at_tp, cfg.rc)
                     // Condition 2: the neighbor's position at t′ is
                     // within rc of my own period end.
-                    && other_at_tp.dist(end) <= cfg.rc + 1e-9
+                    && within_range(*other_at_tp, end, cfg.rc)
             })
         });
         if ok {

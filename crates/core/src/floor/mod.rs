@@ -237,6 +237,10 @@ impl<'a> FloorSim<'a> {
             Some(g) => g.clone(),
             None => self.world.coverage_grid(),
         };
+        // Incremental coverage: once the vine is mostly fixed nodes,
+        // a timeline sample costs O(relocating recruits) disk stamps
+        // instead of re-rasterizing all N sensors.
+        self.world.track_coverage(cov_grid);
         self.initial_flood();
         // Route the still-disconnected sensors per Algorithm 1.
         for i in 0..n {
@@ -254,7 +258,7 @@ impl<'a> FloorSim<'a> {
         let snap_ticks = (self.params.snapshot_every / self.cfg.dt())
             .round()
             .max(1.0) as u64;
-        let mut timeline = vec![(0.0, self.world.coverage(&cov_grid))];
+        let mut timeline = vec![(0.0, self.world.coverage_tracked())];
         let classify_deadline = self.params.phase1_timeout_frac * self.cfg.duration;
 
         for _ in 0..self.cfg.total_ticks() {
@@ -299,11 +303,11 @@ impl<'a> FloorSim<'a> {
             self.absorb_connections();
             self.world.advance_tick();
             if self.world.tick().is_multiple_of(snap_ticks) {
-                timeline.push((self.world.time(), self.world.coverage(&cov_grid)));
+                timeline.push((self.world.time(), self.world.coverage_tracked()));
             }
         }
 
-        let coverage = self.world.coverage(&cov_grid);
+        let coverage = self.world.coverage_tracked();
         let connected = self.world.graph().all_connected_to_base(
             self.world.positions(),
             self.cfg.base,

@@ -108,37 +108,85 @@ impl CoverageGrid {
         )
     }
 
-    /// Marks every free cell within `rs` of any sensor and returns the
-    /// boolean mask (row-major, `ny` rows of `nx`).
-    pub fn covered_mask(&self, sensors: &[Point], rs: f64) -> Vec<bool> {
-        let mut covered = vec![false; self.nx * self.ny];
+    /// Calls `f` with the flat index of every *free* cell whose center
+    /// lies within `rs` of `s`.
+    ///
+    /// This is the one disk-rasterization kernel behind
+    /// [`CoverageGrid::covered_mask`], [`CoverageGrid::covered_count`]
+    /// and the incremental [`crate::CoverageTracker`]: the visited set
+    /// is exactly `{free (ix, iy) : dist(center, s) <= rs}`, so every
+    /// consumer agrees with the others bit-for-bit. Rows outside the
+    /// disk are skipped and each row's column scan is clipped to the
+    /// chord (plus a conservative margin; the per-cell distance test
+    /// stays authoritative).
+    #[inline]
+    pub(crate) fn disk_free_cells(&self, s: Point, rs: f64, f: &mut impl FnMut(usize)) {
         let r_cells = (rs / self.cell).ceil() as isize + 1;
         let rs_sq = rs * rs;
-        for s in sensors {
-            let cx = ((s.x - self.origin.x) / self.cell - 0.5).round() as isize;
-            let cy = ((s.y - self.origin.y) / self.cell - 0.5).round() as isize;
-            for dy in -r_cells..=r_cells {
-                let iy = cy + dy;
-                if iy < 0 || iy >= self.ny as isize {
+        let cx = ((s.x - self.origin.x) / self.cell - 0.5).round() as isize;
+        let cy = ((s.y - self.origin.y) / self.cell - 0.5).round() as isize;
+        for dy in -r_cells..=r_cells {
+            let iy = cy + dy;
+            if iy < 0 || iy >= self.ny as isize {
+                continue;
+            }
+            let center_y = self.origin.y + (iy as f64 + 0.5) * self.cell;
+            let rem = rs_sq - (center_y - s.y) * (center_y - s.y);
+            if rem < 0.0 {
+                continue; // the whole row lies outside the disk
+            }
+            // Chord half-width in cells, padded so float rounding can
+            // never exclude a center the distance test would accept.
+            let half = (rem.sqrt() / self.cell) as isize + 2;
+            let lo = (cx - half.min(r_cells)).max(0);
+            let hi = (cx + half.min(r_cells)).min(self.nx as isize - 1);
+            let row = iy as usize * self.nx;
+            for ix in lo..=hi {
+                let idx = row + ix as usize;
+                if !self.free[idx] {
                     continue;
                 }
-                for dx in -r_cells..=r_cells {
-                    let ix = cx + dx;
-                    if ix < 0 || ix >= self.nx as isize {
-                        continue;
-                    }
-                    let idx = iy as usize * self.nx + ix as usize;
-                    if covered[idx] || !self.free[idx] {
-                        continue;
-                    }
-                    let c = self.cell_center(ix as usize, iy as usize);
-                    if c.dist_sq(*s) <= rs_sq {
-                        covered[idx] = true;
-                    }
+                let c = self.cell_center(ix as usize, iy as usize);
+                if c.dist_sq(s) <= rs_sq {
+                    f(idx);
                 }
             }
         }
+    }
+
+    /// Marks every free cell within `rs` of any sensor and returns the
+    /// boolean mask (row-major, `ny` rows of `nx`).
+    pub fn covered_mask(&self, sensors: &[Point], rs: f64) -> Vec<bool> {
+        let mut mask = Vec::new();
+        self.covered_mask_into(sensors, rs, &mut mask);
+        mask
+    }
+
+    /// Like [`CoverageGrid::covered_mask`], but reuses `mask` as the
+    /// scratch buffer (cleared and resized to `nx · ny`) and returns
+    /// the number of covered free cells, so hot callers measure
+    /// coverage without any per-measurement allocation or a second
+    /// pass over the raster.
+    pub fn covered_mask_into(&self, sensors: &[Point], rs: f64, mask: &mut Vec<bool>) -> usize {
+        mask.clear();
+        mask.resize(self.nx * self.ny, false);
+        let mut covered = 0usize;
+        for s in sensors {
+            self.disk_free_cells(*s, rs, &mut |idx| {
+                if !mask[idx] {
+                    mask[idx] = true;
+                    covered += 1;
+                }
+            });
+        }
         covered
+    }
+
+    /// Number of free cells covered by at least one sensing disk of
+    /// radius `rs` centered at `sensors`.
+    pub fn covered_count(&self, sensors: &[Point], rs: f64) -> usize {
+        let mut mask = Vec::new();
+        self.covered_mask_into(sensors, rs, &mut mask)
     }
 
     /// Fraction of free cells covered by at least one sensing disk of
@@ -149,13 +197,7 @@ impl CoverageGrid {
         if self.free_count == 0 {
             return 0.0;
         }
-        let mask = self.covered_mask(sensors, rs);
-        let covered = mask
-            .iter()
-            .zip(&self.free)
-            .filter(|&(&c, &f)| c && f)
-            .count();
-        covered as f64 / self.free_count as f64
+        self.covered_count(sensors, rs) as f64 / self.free_count as f64
     }
 }
 
@@ -228,5 +270,46 @@ mod tests {
         let g = CoverageGrid::new(&f, 2.0);
         let cov = g.coverage(&[Point::new(-10.0, 50.0)], 20.0);
         assert!(cov > 0.0);
+    }
+
+    #[test]
+    fn mask_count_and_reused_scratch_agree() {
+        let f = Field::with_obstacles(
+            200.0,
+            200.0,
+            vec![Rect::new(40.0, 40.0, 120.0, 90.0).to_polygon()],
+        );
+        let g = CoverageGrid::new(&f, 4.0);
+        let sensors = vec![
+            Point::new(10.0, 10.0),
+            Point::new(150.0, 60.0),
+            Point::new(-5.0, 190.0), // off-field sensor clips cleanly
+        ];
+        let mask = g.covered_mask(&sensors, 35.0);
+        let brute = mask.iter().filter(|&&c| c).count();
+        assert_eq!(g.covered_count(&sensors, 35.0), brute);
+        // reusing a dirty, wrongly-sized scratch must not leak state
+        let mut scratch = vec![true; 3];
+        let count = g.covered_mask_into(&sensors, 35.0, &mut scratch);
+        assert_eq!(count, brute);
+        assert_eq!(scratch, mask);
+    }
+
+    #[test]
+    fn covered_cells_are_always_free() {
+        let f = Field::with_obstacles(
+            100.0,
+            100.0,
+            vec![Rect::new(20.0, 20.0, 80.0, 80.0).to_polygon()],
+        );
+        let g = CoverageGrid::new(&f, 5.0);
+        let mask = g.covered_mask(&[Point::new(50.0, 50.0)], 60.0);
+        for iy in 0..g.ny() {
+            for ix in 0..g.nx() {
+                if mask[iy * g.nx() + ix] {
+                    assert!(g.is_free_cell(ix, iy));
+                }
+            }
+        }
     }
 }

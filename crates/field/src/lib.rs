@@ -10,6 +10,8 @@
 //!   first-obstacle-hit sweeps);
 //! * [`CoverageGrid`] — raster coverage measurement over free area
 //!   (the paper's *coverage* metric);
+//! * [`CoverageTracker`] — incremental per-sensor coverage counts that
+//!   match the raster oracle bit-for-bit at `O(disk)` per move;
 //! * [`free_space_connected`] — flood-fill check that obstacles do not
 //!   partition the field (required by §3.1 and by the random-obstacle
 //!   workload of §6.4);
@@ -33,6 +35,7 @@ mod field;
 mod freespace;
 mod layouts;
 mod random_obstacles;
+mod tracker;
 
 pub use ascii::{ascii_layout, AsciiOptions};
 pub use coverage::CoverageGrid;
@@ -43,6 +46,7 @@ pub use layouts::{
     campus_grid_field, corridor_field, disaster_zone_field, CampusGridParams, CorridorParams,
 };
 pub use random_obstacles::{random_obstacle_field, RandomObstacleParams};
+pub use tracker::CoverageTracker;
 
 /// Standard field used throughout the paper's evaluation:
 /// 1000 m × 1000 m, obstacle-free.

@@ -1,0 +1,259 @@
+//! Incremental coverage tracking.
+
+use crate::CoverageGrid;
+use msn_geom::Point;
+
+/// Incremental counterpart of [`CoverageGrid::covered_count`]: keeps a
+/// per-cell count of covering sensors so that moving one sensor costs
+/// two disk stamps (`O(disk)`) instead of a full `O(N · disk)`
+/// re-rasterization.
+///
+/// Moves are recorded lazily ([`CoverageTracker::set_sensor`] is
+/// `O(1)`) and reconciled on the next query: if few sensors moved
+/// since the last query the tracker stamps their old disks out and
+/// their new disks in; if most of the fleet moved it rebuilds the
+/// counts outright, so a query is never more expensive than the full
+/// rasterization it replaces.
+///
+/// Exactness: the stamps use the same disk kernel and the same
+/// center-distance predicate as [`CoverageGrid::covered_mask`], so
+/// [`CoverageTracker::coverage`] equals
+/// [`CoverageGrid::coverage`] *bit-for-bit* at every instant —
+/// `covered_mask` remains the reference oracle (property-tested in
+/// `tests/properties.rs`). Sensors may sit outside the field; their
+/// disks clip to the raster exactly as the oracle's do.
+///
+/// # Examples
+///
+/// ```
+/// use msn_field::{CoverageGrid, CoverageTracker, Field};
+/// use msn_geom::Point;
+///
+/// let field = Field::open(100.0, 100.0);
+/// let grid = CoverageGrid::new(&field, 2.0);
+/// let mut sensors = vec![Point::new(20.0, 20.0), Point::new(80.0, 80.0)];
+/// let mut tracker = CoverageTracker::new(grid.clone(), &sensors, 15.0);
+/// assert_eq!(tracker.coverage(), grid.coverage(&sensors, 15.0));
+/// sensors[0] = Point::new(50.0, 50.0);
+/// tracker.set_sensor(0, sensors[0]);
+/// assert_eq!(tracker.coverage(), grid.coverage(&sensors, 15.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoverageTracker {
+    grid: CoverageGrid,
+    rs: f64,
+    /// Per-cell count of sensors covering it (free cells only).
+    counts: Vec<u32>,
+    /// Number of free cells with a positive count.
+    covered: usize,
+    /// Positions the counts currently reflect.
+    synced: Vec<Point>,
+    /// Latest positions reported via `set_sensor`.
+    current: Vec<Point>,
+    /// Sensors whose `current` may differ from `synced`.
+    dirty: Vec<u32>,
+    is_dirty: Vec<bool>,
+}
+
+impl CoverageTracker {
+    /// Builds counts for `sensors` on `grid` with sensing radius `rs`.
+    pub fn new(grid: CoverageGrid, sensors: &[Point], rs: f64) -> Self {
+        let mut tracker = CoverageTracker {
+            counts: vec![0; grid.nx() * grid.ny()],
+            covered: 0,
+            synced: sensors.to_vec(),
+            current: sensors.to_vec(),
+            dirty: Vec::new(),
+            is_dirty: vec![false; sensors.len()],
+            grid,
+            rs,
+        };
+        for i in 0..tracker.synced.len() {
+            let p = tracker.synced[i];
+            tracker.stamp(p, 1);
+        }
+        tracker
+    }
+
+    /// The raster the tracker measures on.
+    #[inline]
+    pub fn grid(&self) -> &CoverageGrid {
+        &self.grid
+    }
+
+    /// The sensing radius.
+    #[inline]
+    pub fn rs(&self) -> f64 {
+        self.rs
+    }
+
+    /// Number of tracked sensors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.current.len()
+    }
+
+    /// Whether the tracker follows zero sensors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.current.is_empty()
+    }
+
+    /// Records sensor `i`'s new position. `O(1)`: the disk stamps are
+    /// deferred to the next coverage query.
+    #[inline]
+    pub fn set_sensor(&mut self, i: usize, p: Point) {
+        self.current[i] = p;
+        if !self.is_dirty[i] {
+            self.is_dirty[i] = true;
+            self.dirty.push(i as u32);
+        }
+    }
+
+    /// Adds or removes one sensor's disk from the counts.
+    fn stamp(&mut self, p: Point, delta: i32) {
+        let grid = &self.grid;
+        let counts = &mut self.counts;
+        let covered = &mut self.covered;
+        grid.disk_free_cells(p, self.rs, &mut |idx| {
+            if delta > 0 {
+                counts[idx] += 1;
+                if counts[idx] == 1 {
+                    *covered += 1;
+                }
+            } else {
+                counts[idx] -= 1;
+                if counts[idx] == 0 {
+                    *covered -= 1;
+                }
+            }
+        });
+    }
+
+    /// Applies pending moves: incremental re-stamps when few sensors
+    /// moved, a full rebuild when stamping out + in would cost more.
+    fn sync(&mut self) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        if 2 * self.dirty.len() >= self.current.len() {
+            self.counts.fill(0);
+            self.covered = 0;
+            for i in 0..self.current.len() {
+                let p = self.current[i];
+                self.stamp(p, 1);
+                self.is_dirty[i] = false;
+            }
+            self.synced.copy_from_slice(&self.current);
+            self.dirty.clear();
+        } else {
+            while let Some(i) = self.dirty.pop() {
+                let i = i as usize;
+                self.is_dirty[i] = false;
+                let (from, to) = (self.synced[i], self.current[i]);
+                if from != to {
+                    self.stamp(from, -1);
+                    self.stamp(to, 1);
+                    self.synced[i] = to;
+                }
+            }
+        }
+    }
+
+    /// Number of covered free cells at the current positions.
+    pub fn covered_cells(&mut self) -> usize {
+        self.sync();
+        self.covered
+    }
+
+    /// Coverage fraction at the current positions — equal to
+    /// `self.grid().coverage(&positions, self.rs())` bit-for-bit.
+    ///
+    /// Returns 0 when the field has no free cells.
+    pub fn coverage(&mut self) -> f64 {
+        self.sync();
+        if self.grid.free_cells() == 0 {
+            return 0.0;
+        }
+        self.covered as f64 / self.grid.free_cells() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Field;
+    use msn_geom::Rect;
+
+    fn obstacle_grid() -> (Field, CoverageGrid) {
+        let field = Field::with_obstacles(
+            300.0,
+            300.0,
+            vec![Rect::new(80.0, 80.0, 180.0, 140.0).to_polygon()],
+        );
+        let grid = CoverageGrid::new(&field, 5.0);
+        (field, grid)
+    }
+
+    #[test]
+    fn matches_oracle_after_single_moves() {
+        let (_, grid) = obstacle_grid();
+        let mut sensors = vec![
+            Point::new(30.0, 30.0),
+            Point::new(200.0, 200.0),
+            Point::new(150.0, 60.0),
+        ];
+        let mut tracker = CoverageTracker::new(grid.clone(), &sensors, 40.0);
+        assert_eq!(tracker.coverage(), grid.coverage(&sensors, 40.0));
+        for (i, to) in [
+            (0, Point::new(260.0, 40.0)),
+            (2, Point::new(150.0, 250.0)),
+            (1, Point::new(-20.0, 150.0)), // leaves the field
+            (1, Point::new(150.0, 110.0)), // re-enters, inside the obstacle
+        ] {
+            sensors[i] = to;
+            tracker.set_sensor(i, to);
+            assert_eq!(tracker.coverage(), grid.coverage(&sensors, 40.0));
+            assert_eq!(tracker.covered_cells(), grid.covered_count(&sensors, 40.0));
+        }
+    }
+
+    #[test]
+    fn batched_moves_trigger_rebuild_and_stay_exact() {
+        let (_, grid) = obstacle_grid();
+        let mut sensors: Vec<Point> = (0..10)
+            .map(|i| Point::new(15.0 + 28.0 * i as f64, 20.0))
+            .collect();
+        let mut tracker = CoverageTracker::new(grid.clone(), &sensors, 35.0);
+        // move everyone before querying: the sync path is a rebuild
+        for (i, s) in sensors.iter_mut().enumerate() {
+            *s = Point::new(s.x, 240.0 - 10.0 * i as f64);
+            tracker.set_sensor(i, *s);
+        }
+        assert_eq!(tracker.coverage(), grid.coverage(&sensors, 35.0));
+    }
+
+    #[test]
+    fn redundant_sets_are_noops() {
+        let (_, grid) = obstacle_grid();
+        let sensors = vec![Point::new(100.0, 200.0)];
+        let mut tracker = CoverageTracker::new(grid.clone(), &sensors, 50.0);
+        let before = tracker.coverage();
+        for _ in 0..5 {
+            tracker.set_sensor(0, sensors[0]);
+        }
+        assert_eq!(tracker.coverage(), before);
+        assert_eq!(tracker.len(), 1);
+        assert!(!tracker.is_empty());
+        assert_eq!(tracker.rs(), 50.0);
+        assert_eq!(tracker.grid().free_cells(), grid.free_cells());
+    }
+
+    #[test]
+    fn empty_tracker_reports_zero() {
+        let (_, grid) = obstacle_grid();
+        let mut tracker = CoverageTracker::new(grid, &[], 40.0);
+        assert_eq!(tracker.coverage(), 0.0);
+        assert!(tracker.is_empty());
+    }
+}

@@ -2,7 +2,7 @@
 
 use msn_field::{
     free_space_connected, random_obstacle_field, scatter_clustered, scatter_uniform, CoverageGrid,
-    Field, RandomObstacleParams,
+    CoverageTracker, Field, RandomObstacleParams,
 };
 use msn_geom::{Point, Rect, Segment};
 use proptest::prelude::*;
@@ -112,6 +112,40 @@ proptest! {
         for p in &pts {
             prop_assert!(sub.contains(*p));
         }
+    }
+
+    #[test]
+    fn incremental_tracker_equals_full_rasterization_oracle(
+        starts in prop::collection::vec((0.0..600.0f64, 0.0..600.0f64), 1..20),
+        // moves may land outside the field (sensors leaving and
+        // re-entering): the tracker must clip exactly like the oracle
+        moves in prop::collection::vec(
+            (0usize..20, -150.0..750.0f64, -150.0..750.0f64, prop::bool::ANY),
+            1..60,
+        ),
+        rs in 15.0..90.0f64,
+    ) {
+        let field = obstacle_field(&[(150.0, 150.0, 180.0, 120.0), (400.0, 50.0, 90.0, 300.0)]);
+        let grid = CoverageGrid::new(&field, 10.0);
+        let mut sensors: Vec<Point> =
+            starts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let mut tracker = CoverageTracker::new(grid.clone(), &sensors, rs);
+        prop_assert_eq!(tracker.coverage(), grid.coverage(&sensors, rs));
+        for &(i, x, y, query) in &moves {
+            let i = i % sensors.len();
+            sensors[i] = Point::new(x, y);
+            tracker.set_sensor(i, sensors[i]);
+            // querying only sometimes exercises both sync paths:
+            // incremental re-stamps and whole-fleet rebuilds
+            if query {
+                let oracle_mask = grid.covered_mask(&sensors, rs);
+                let oracle_count = oracle_mask.iter().filter(|&&c| c).count();
+                prop_assert_eq!(tracker.covered_cells(), oracle_count);
+                prop_assert_eq!(tracker.coverage(), grid.coverage(&sensors, rs));
+            }
+        }
+        let oracle = grid.coverage(&sensors, rs);
+        prop_assert_eq!(tracker.coverage(), oracle, "final positions diverged from oracle");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Unit-disk communication graphs.
 
-use crate::SpatialGrid;
+use crate::{within_range, SpatialGrid};
 use msn_geom::Point;
 use std::collections::VecDeque;
 
@@ -92,9 +92,13 @@ impl DiskGraph {
     /// base station start the flood; the returned mask marks every
     /// sensor that (transitively) received it, i.e. the *connected*
     /// sensors.
+    ///
+    /// Base links use the same [`crate::within_range`] rule as the
+    /// graph's own edges, so a sensor pair and a base link at equal
+    /// distance always get the same verdict.
     pub fn flood_from_base(&self, points: &[Point], base: Point, rc: f64) -> Vec<bool> {
         let seeds: Vec<usize> = (0..points.len())
-            .filter(|&i| points[i].dist(base) <= rc + 1e-9)
+            .filter(|&i| within_range(points[i], base, rc))
             .collect();
         self.reach_from(seeds)
     }
@@ -225,6 +229,37 @@ mod tests {
         let mut two_hop = g.k_hop_neighbors(2, 2);
         two_hop.sort_unstable();
         assert_eq!(two_hop, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn boundary_links_agree_between_edges_and_base_flood() {
+        use crate::RANGE_EPS;
+        // Three collinear points at the same pairwise spacing, chosen
+        // inside the tolerance window where the old squared-distance
+        // epsilon disagreed with the base-link epsilon: the base link
+        // and the sensor-sensor edge must now get the same verdict.
+        let rc = 10.0;
+        let spacing = rc + 0.5 * RANGE_EPS;
+        let base = Point::new(0.0, 0.0);
+        let pts = vec![Point::new(spacing, 0.0), Point::new(2.0 * spacing, 0.0)];
+        let g = DiskGraph::build(&pts, rc);
+        assert_eq!(
+            g.neighbors(0),
+            &[1],
+            "sensor pair at base-link distance must be an edge"
+        );
+        assert_eq!(g.flood_from_base(&pts, base, rc), vec![true, true]);
+        // just past the slack, both verdicts flip together
+        let spacing = rc + 3.0 * RANGE_EPS;
+        let pts = vec![Point::new(spacing, 0.0), Point::new(2.0 * spacing, 0.0)];
+        let g = DiskGraph::build(&pts, rc);
+        assert!(g.neighbors(0).is_empty());
+        assert_eq!(g.flood_from_base(&pts, base, rc), vec![false, false]);
+        // and exactly at range, both admit
+        let pts = vec![Point::new(rc, 0.0), Point::new(2.0 * rc, 0.0)];
+        let g = DiskGraph::build(&pts, rc);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.flood_from_base(&pts, base, rc), vec![true, true]);
     }
 
     #[test]

@@ -5,7 +5,11 @@
 //! of each other, and the base station at the reference point is
 //! reachable by multi-hop paths. This crate provides that substrate:
 //!
-//! * [`SpatialGrid`] — hash-grid index for `O(1)`-ish range queries;
+//! * [`SpatialGrid`] — flat-grid index for `O(1)`-ish range queries
+//!   (falls back to hash buckets for pathologically spread points);
+//! * [`within_range`] / [`RANGE_EPS`] — the single range-tolerance
+//!   rule every link test shares (graph edges, base links, range
+//!   queries), so equal distances always get equal verdicts;
 //! * [`DiskGraph`] — the `rc`-disk graph with BFS flooding
 //!   ([`DiskGraph::flood_from_base`], modeling §4.1's connectivity
 //!   flood) and component labeling;
@@ -23,11 +27,13 @@
 mod diskgraph;
 mod messages;
 mod randomwalk;
+mod range;
 mod spatial;
 mod tree;
 
 pub use diskgraph::DiskGraph;
 pub use messages::{MessageCounter, MsgKind};
 pub use randomwalk::random_walk;
+pub use range::{within_range, RANGE_EPS};
 pub use spatial::SpatialGrid;
 pub use tree::{Parent, Tree};

@@ -1,12 +1,23 @@
-//! Hash-grid spatial index.
+//! Grid spatial index.
 
+use crate::within_range;
 use msn_geom::Point;
 use std::collections::HashMap;
 
-/// A uniform hash grid over point indices for fast range queries.
+/// A uniform grid over point indices for fast range queries.
 ///
 /// Rebuilt once per simulation tick (a few hundred points), then
 /// queried many times; both operations are `O(points in range)`.
+///
+/// The index is a flat CSR layout over the points' bounding cell
+/// range — no hashing on the per-tick hot path. When the points are
+/// spread so thin that a flat grid would waste memory (cell count far
+/// beyond the point count), it falls back to the previous hash-bucket
+/// scheme. Both layouts scan candidate cells in the same order and
+/// keep indices ascending within a cell, so query results are
+/// identical (order included) regardless of the layout chosen.
+///
+/// Range tests use the shared [`crate::within_range`] rule.
 ///
 /// # Examples
 ///
@@ -22,7 +33,24 @@ use std::collections::HashMap;
 #[derive(Debug, Clone)]
 pub struct SpatialGrid {
     cell: f64,
-    buckets: HashMap<(i64, i64), Vec<usize>>,
+    index: Index,
+}
+
+#[derive(Debug, Clone)]
+enum Index {
+    /// CSR buckets over the dense cell range `[ox, ox+nx) × [oy, oy+ny)`:
+    /// cell `(gx, gy)` holds `items[starts[c]..starts[c+1]]` with
+    /// `c = (gx - ox) * ny + (gy - oy)`.
+    Dense {
+        ox: i64,
+        oy: i64,
+        nx: i64,
+        ny: i64,
+        starts: Vec<u32>,
+        items: Vec<u32>,
+    },
+    /// Hash buckets for point sets too spread out to flatten.
+    Sparse(HashMap<(i64, i64), Vec<usize>>),
 }
 
 impl SpatialGrid {
@@ -36,12 +64,72 @@ impl SpatialGrid {
     /// finite.
     pub fn build(points: &[Point], cell: f64) -> Self {
         assert!(cell > 0.0, "cell size must be positive");
-        let mut buckets: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
-        for (i, p) in points.iter().enumerate() {
-            assert!(p.x.is_finite() && p.y.is_finite(), "non-finite point {i}");
-            buckets.entry(Self::key(*p, cell)).or_default().push(i);
-        }
-        SpatialGrid { cell, buckets }
+        let keys: Vec<(i64, i64)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                assert!(p.x.is_finite() && p.y.is_finite(), "non-finite point {i}");
+                Self::key(*p, cell)
+            })
+            .collect();
+        let extent = keys
+            .iter()
+            .skip(1)
+            .fold(keys.first().map(|&(x, y)| (x, y, x, y)), |acc, &(x, y)| {
+                acc.map(|(x0, y0, x1, y1)| (x0.min(x), y0.min(y), x1.max(x), y1.max(y)))
+            });
+        let dense = extent.and_then(|(x0, y0, x1, y1)| {
+            // i128 throughout: extreme finite coordinates saturate the
+            // i64 cell keys, and MAX - MIN + 1 would overflow i64.
+            let nx = x1 as i128 - x0 as i128 + 1;
+            let ny = y1 as i128 - y0 as i128 + 1;
+            let cells = nx.checked_mul(ny)?;
+            // Flatten only while the grid stays proportional to the
+            // point count; simulated fleets always do, but the index
+            // must not allocate gigabytes for adversarial spreads.
+            if cells <= (4 * points.len() as i128).max(64) {
+                Some((x0, y0, nx as i64, ny as i64, cells as usize))
+            } else {
+                None
+            }
+        });
+        let index = match dense {
+            Some((ox, oy, nx, ny, cells)) => {
+                let cell_of = |&(x, y): &(i64, i64)| ((x - ox) * ny + (y - oy)) as usize;
+                let mut starts = vec![0u32; cells + 1];
+                for key in &keys {
+                    starts[cell_of(key) + 1] += 1;
+                }
+                for c in 0..cells {
+                    starts[c + 1] += starts[c];
+                }
+                let mut cursor = starts.clone();
+                let mut items = vec![0u32; keys.len()];
+                // filling in index order keeps each bucket ascending —
+                // the same order the hash buckets have always produced
+                for (i, key) in keys.iter().enumerate() {
+                    let c = cell_of(key);
+                    items[cursor[c] as usize] = i as u32;
+                    cursor[c] += 1;
+                }
+                Index::Dense {
+                    ox,
+                    oy,
+                    nx,
+                    ny,
+                    starts,
+                    items,
+                }
+            }
+            None => {
+                let mut buckets: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+                for (i, key) in keys.into_iter().enumerate() {
+                    buckets.entry(key).or_default().push(i);
+                }
+                Index::Sparse(buckets)
+            }
+        };
+        SpatialGrid { cell, index }
     }
 
     #[inline]
@@ -49,19 +137,56 @@ impl SpatialGrid {
         ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
     }
 
-    /// Indices of all points within `r` of `center` (inclusive),
-    /// including any point equal to `center` itself.
+    /// Indices of all points within `r` of `center` (inclusive, under
+    /// the shared [`crate::RANGE_EPS`] slack), including any point
+    /// equal to `center` itself.
     pub fn within(&self, points: &[Point], center: Point, r: f64) -> Vec<usize> {
         let mut out = Vec::new();
-        let span = (r / self.cell).ceil() as i64;
-        let (cx, cy) = Self::key(center, self.cell);
-        let r_sq = r * r;
-        for gx in (cx - span)..=(cx + span) {
-            for gy in (cy - span)..=(cy + span) {
-                if let Some(bucket) = self.buckets.get(&(gx, gy)) {
-                    for &i in bucket {
-                        if points[i].dist_sq(center) <= r_sq + 1e-9 {
-                            out.push(i);
+        // Exact cell bounds of the slack-padded reach: every point
+        // within_range admits lies in [center - reach, center + reach]
+        // per axis, so its cell is inside this window. Computing the
+        // bounds from the padded coordinates (instead of a cell-count
+        // span around the center's cell) keeps the window minimal AND
+        // covers the RANGE_EPS slack — a span of ceil(r / cell) cells
+        // misses admissible points just past a cell boundary when r is
+        // an exact multiple of the cell size.
+        let reach = r + crate::RANGE_EPS;
+        let (cx_lo, cy_lo) = Self::key(Point::new(center.x - reach, center.y - reach), self.cell);
+        let (cx_hi, cy_hi) = Self::key(Point::new(center.x + reach, center.y + reach), self.cell);
+        match &self.index {
+            Index::Dense {
+                ox,
+                oy,
+                nx,
+                ny,
+                starts,
+                items,
+            } => {
+                let gx_lo = cx_lo.max(*ox);
+                let gx_hi = cx_hi.min(ox + nx - 1);
+                let gy_lo = cy_lo.max(*oy);
+                let gy_hi = cy_hi.min(oy + ny - 1);
+                for gx in gx_lo..=gx_hi {
+                    for gy in gy_lo..=gy_hi {
+                        let c = ((gx - ox) * ny + (gy - oy)) as usize;
+                        for &i in &items[starts[c] as usize..starts[c + 1] as usize] {
+                            let i = i as usize;
+                            if within_range(points[i], center, r) {
+                                out.push(i);
+                            }
+                        }
+                    }
+                }
+            }
+            Index::Sparse(buckets) => {
+                for gx in cx_lo..=cx_hi {
+                    for gy in cy_lo..=cy_hi {
+                        if let Some(bucket) = buckets.get(&(gx, gy)) {
+                            for &i in bucket {
+                                if within_range(points[i], center, r) {
+                                    out.push(i);
+                                }
+                            }
                         }
                     }
                 }
@@ -138,5 +263,56 @@ mod tests {
         let grid = SpatialGrid::build(&pts, 4.0);
         let near = grid.within(&pts, Point::new(-13.0, -7.0), 3.0);
         assert_eq!(near.len(), 2);
+    }
+
+    #[test]
+    fn extreme_finite_coordinates_fall_back_to_hash_buckets() {
+        // cell keys saturate i64 here; the extent arithmetic must not
+        // overflow and the index must quietly take the sparse path
+        let pts = vec![
+            Point::new(1.0e300, -1.0e300),
+            Point::new(-1.0e300, 1.0e300),
+            Point::new(3.0, 4.0),
+        ];
+        let grid = SpatialGrid::build(&pts, 2.0);
+        assert!(matches!(grid.index, Index::Sparse(_)));
+        assert_eq!(grid.within(&pts, Point::new(3.0, 4.0), 5.0), vec![2]);
+    }
+
+    #[test]
+    fn slack_window_points_are_found_across_cell_boundaries() {
+        // center right below a cell boundary, neighbor admitted only by
+        // the RANGE_EPS slack and sitting two cells away: a span of
+        // ceil(r / cell) cells would never scan its cell
+        let r = 10.0;
+        let center = Point::new(19.9999999995, 5.0);
+        let pts = vec![center, Point::new(30.0, 5.0)];
+        assert!(crate::within_range(pts[0], pts[1], r));
+        for cell in [r, 3.3] {
+            let grid = SpatialGrid::build(&pts, cell);
+            assert_eq!(grid.within(&pts, center, r), vec![0, 1], "cell size {cell}");
+            assert_eq!(grid.neighbors(&pts, 0, r), vec![1]);
+        }
+    }
+
+    #[test]
+    fn sparse_fallback_matches_dense_results_and_order() {
+        // A huge spread with a tiny cell forces the hash fallback; the
+        // same points with a field-sized cell use the flat layout. Both
+        // must report identical indices in identical order.
+        let mut pts = grid_points();
+        pts.push(Point::new(1.0e9, 1.0e9)); // outlier blows up the flat extent
+        let sparse = SpatialGrid::build(&pts, 10.0);
+        assert!(matches!(sparse.index, Index::Sparse(_)));
+        let dense = SpatialGrid::build(&grid_points(), 10.0);
+        assert!(matches!(dense.index, Index::Dense { .. }));
+        for r in [3.0, 12.0, 40.0] {
+            let center = Point::new(41.0, 58.0);
+            assert_eq!(
+                sparse.within(&pts, center, r),
+                dense.within(&grid_points(), center, r),
+                "radius {r}"
+            );
+        }
     }
 }

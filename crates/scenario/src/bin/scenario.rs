@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! scenario run <spec.toml> [--out DIR] [--threads N] [--quick] [--resume]
+//!                          [--checkpoint-every N]
 //! scenario diff <a/batch.json> <b/batch.json> [--tol T]
 //! scenario list [DIR]
 //! scenario describe <spec.toml>
@@ -15,6 +16,9 @@
 //! pass; `--resume` skips matrix cells already recorded in the output
 //! directory's `batch.json` (seed derivation is coordinate-based, so
 //! resumed output is byte-identical to an uninterrupted run).
+//! Completed runs are checkpointed to `batch.json` atomically every
+//! `--checkpoint-every` runs (default 25; `0` disables), so
+//! `--resume` also survives a hard kill mid-batch.
 //! Rerunning with `RAYON_NUM_THREADS=1` (or `--threads 1`) produces
 //! byte-identical JSON. `diff` compares two batch files cell-by-cell
 //! within a relative tolerance and exits nonzero on any difference —
@@ -52,6 +56,7 @@ scenario — declarative experiment batches for the MSN deployment schemes
 
 USAGE:
     scenario run <spec.toml> [--out DIR] [--threads N] [--quick] [--resume]
+                             [--checkpoint-every N]
     scenario diff <a/batch.json> <b/batch.json> [--tol T]
     scenario list [DIR]           (default DIR: scenarios/)
     scenario describe <spec.toml>
@@ -63,6 +68,9 @@ raster at >= 5 m for a fast smoke pass.
 `--resume` loads an existing batch.json from the output directory and
 skips every matrix cell it already records; the merged output is
 byte-identical to an uninterrupted run.
+`--checkpoint-every N` flushes completed runs to batch.json (atomic
+write-then-rename) every N runs, so a hard-killed batch resumes from
+the last checkpoint instead of from scratch; default 25, 0 disables.
 `diff` compares two batch.json files cell-by-cell; numeric metrics
 must agree within the relative tolerance T (default 0 = exact) and
 the exit code is nonzero on any difference.
@@ -79,6 +87,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut threads: Option<usize> = None;
     let mut quick = false;
     let mut resume = false;
+    let mut checkpoint_every: usize = 25;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -93,6 +102,12 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                         .map_err(|_| format!("invalid thread count '{v}'"))?
                         .max(1),
                 );
+            }
+            "--checkpoint-every" => {
+                let v = it.next().ok_or("--checkpoint-every needs a number")?;
+                checkpoint_every = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid checkpoint interval '{v}'"))?;
             }
             "--quick" => quick = true,
             "--resume" => resume = true,
@@ -116,6 +131,12 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         runner = runner.with_threads(t);
     }
     let dir = out_dir.unwrap_or_else(|| Path::new("results/scenario").join(&spec.name));
+    if checkpoint_every > 0 {
+        // the checkpoint lands where the final batch.json will, so a
+        // killed run resumes transparently with --resume
+        std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+        runner = runner.with_checkpoint(dir.join("batch.json"), checkpoint_every);
+    }
     let prior = if resume {
         let path = dir.join("batch.json");
         match std::fs::read_to_string(&path) {
@@ -186,8 +207,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         ("batch.csv", result.to_csv()),
         ("report.txt", report.clone()),
     ] {
+        // Atomic write-then-rename, like the mid-run checkpoints: a
+        // kill during the final write must not replace the last good
+        // batch.json with a torn file.
         let path = dir.join(name);
-        std::fs::write(&path, contents).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, contents)
+            .and_then(|()| std::fs::rename(&tmp, &path))
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
         eprintln!("wrote {}", path.display());
     }
     println!("{report}");

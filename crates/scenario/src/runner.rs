@@ -1,16 +1,27 @@
 //! Parallel batch execution of scenario specs.
 //!
 //! [`BatchRunner`] expands a [`ScenarioSpec`] into its run matrix and
-//! executes every run — in parallel via rayon by default — collecting
-//! a [`BatchResult`] that aggregates per-cell statistics and exports
-//! JSON, CSV and the ASCII report tables the older `figN` harness
-//! prints.
+//! executes every run — on a scoped worker pool, one worker per core
+//! by default — collecting a [`BatchResult`] that aggregates per-cell
+//! statistics and exports JSON, CSV and the ASCII report tables the
+//! older `figN` harness prints.
 //!
 //! Determinism: every run's randomness derives from the spec's base
 //! seed and the run's matrix coordinates (see
-//! [`crate::spec::derive_seed`]), and the parallel map preserves
-//! matrix order on collect, so results — including the serialized
+//! [`crate::spec::derive_seed`]), and every record is written back to
+//! its matrix slot by index, so results — including the serialized
 //! JSON — are byte-identical at any thread count.
+//!
+//! Environments are materialized once per consumer group: fixed field
+//! layouts are rasterized a single time for the whole batch, and
+//! randomized (`random-obstacles`) fields once per (radio, n, rep)
+//! slice — every scheme and variant of the slice shares the drawn
+//! field and its [`CoverageGrid`] instead of re-rasterizing it.
+//!
+//! With [`BatchRunner::with_checkpoint`], completed runs are
+//! periodically flushed to `batch.json` through an atomic
+//! write-then-rename, so `--resume` can pick up after a hard kill
+//! mid-batch, not just after a partial-repetition run.
 
 use crate::diff::BatchFile;
 use crate::json::Json;
@@ -21,8 +32,9 @@ use msn_metrics::{to_csv, Summary, Table};
 use msn_sim::SimConfig;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use rayon::prelude::*;
 use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 /// A scenario that failed validation before execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,8 +71,38 @@ pub struct RunRecord {
     pub flags: Vec<String>,
     /// Final sensor positions. Kept in memory for layout rendering
     /// and movement lower bounds; *not* serialized to `batch.json`,
-    /// so records restored by batch resume carry an empty vector.
+    /// so records restored by batch resume carry an empty vector —
+    /// consumers must go through [`RunRecord::require_positions`].
     pub positions: Vec<msn_geom::Point>,
+}
+
+impl RunRecord {
+    /// The run's final sensor positions, or a descriptive error when
+    /// the record was restored from a `batch.json` (resume does not
+    /// serialize layouts, so restored records carry none).
+    ///
+    /// Layout rendering (fig3/fig8) and movement lower bounds (fig11)
+    /// must use this instead of reading
+    /// [`RunRecord::positions`] directly: an empty vector would
+    /// otherwise render a blank field or degenerate the Hungarian
+    /// bound to zero without any indication of what went wrong.
+    pub fn require_positions(&self) -> Result<&[msn_geom::Point], ScenarioError> {
+        if self.positions.len() == self.cell.n {
+            Ok(&self.positions)
+        } else {
+            Err(ScenarioError(format!(
+                "run (rc={} rs={} n={} {} rep {}) carries no final positions: it was \
+                 restored from an existing batch.json, and resume does not serialize \
+                 layouts; re-run the cell (delete the cached batch.json or run without \
+                 --resume) to recompute them",
+                self.cell.radio.rc,
+                self.cell.radio.rs,
+                self.cell.n,
+                self.cell.scheme.name(),
+                self.cell.rep,
+            )))
+        }
+    }
 }
 
 /// Aggregated statistics of one (radio, n, scheme) cell over its
@@ -92,15 +134,26 @@ pub struct CellStats {
     pub runs: Vec<RunRecord>,
 }
 
-/// Executes [`ScenarioSpec`]s, optionally pinned to one thread.
+/// Periodic persistence of completed runs during a batch.
+#[derive(Debug, Clone)]
+struct CheckpointPolicy {
+    /// Destination `batch.json` (written atomically via a sibling
+    /// temp file and rename).
+    path: PathBuf,
+    /// Completed runs between writes.
+    every: usize,
+}
+
+/// Executes [`ScenarioSpec`]s, optionally pinned to a thread count
+/// and/or checkpointing completed runs to disk.
 #[derive(Debug, Clone, Default)]
 pub struct BatchRunner {
     threads: Option<usize>,
+    checkpoint: Option<CheckpointPolicy>,
 }
 
 impl BatchRunner {
-    /// A runner using the shared rayon pool (all cores, or
-    /// `RAYON_NUM_THREADS`).
+    /// A runner using one worker per core (or `RAYON_NUM_THREADS`).
     pub fn new() -> Self {
         BatchRunner::default()
     }
@@ -111,6 +164,26 @@ impl BatchRunner {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Writes the completed runs to `path` after every `every`
+    /// finished runs (atomic write-then-rename, so a hard kill leaves
+    /// either the previous or the new checkpoint — never a torn
+    /// file). A later [`BatchRunner::run_resuming`] on the parsed
+    /// file skips everything the checkpoint recorded, making long
+    /// batches survive SIGKILL mid-matrix. `every = 0` disables
+    /// checkpointing (the CLI's `--checkpoint-every 0` convention).
+    ///
+    /// The final result is *not* implicitly written here — persist
+    /// [`BatchResult::to_json`] as before; it is byte-identical to an
+    /// uncheckpointed run.
+    #[must_use]
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>, every: usize) -> Self {
+        self.checkpoint = (every > 0).then(|| CheckpointPolicy {
+            path: path.into(),
+            every,
+        });
         self
     }
 
@@ -210,35 +283,24 @@ impl BatchRunner {
                 None => to_run.push(cell),
             }
         }
-        // Fixed field layouts are rasterized once and shared by every
-        // run; randomized fields are drawn per-cell from the env seed.
-        let shared = (!spec.field.is_randomized()).then(|| {
+        // Environment sharing: fixed field layouts are rasterized
+        // once for the whole batch; randomized fields once per
+        // (radio, n, rep) slice — every scheme and variant of a slice
+        // shares the drawn field and raster (see `run_matrix`).
+        let shared = (!spec.field.is_randomized() && !to_run.is_empty()).then(|| {
             let mut unused_rng = SmallRng::seed_from_u64(0);
             let field = spec.field.build(&mut unused_rng);
             let grid = CoverageGrid::new(&field, spec.coverage_cell);
             (field, grid)
         });
-        let shared = shared.as_ref();
-        let executed: Vec<RunRecord> = match self.threads {
-            Some(1) => to_run
-                .into_iter()
-                .map(|cell| execute(spec, cell, shared))
-                .collect(),
-            Some(threads) => run_pinned(spec, to_run, threads, shared),
-            // The rayon shim preserves input order on collect, so the
-            // record order below is the matrix order at any pool size.
-            None => to_run
-                .into_par_iter()
-                .map(|cell| execute(spec, cell, shared))
-                .collect(),
-        };
-        let mut executed = executed.into_iter();
-        let records: Vec<RunRecord> = restored
-            .into_iter()
-            .map(|slot| {
-                slot.unwrap_or_else(|| executed.next().expect("one executed record per empty slot"))
-            })
-            .collect();
+        let records = run_matrix(
+            spec,
+            to_run,
+            self.effective_threads(),
+            shared.as_ref(),
+            restored,
+            self.checkpoint.as_ref(),
+        );
         Ok(BatchResult {
             spec: spec.clone(),
             records,
@@ -246,31 +308,140 @@ impl BatchRunner {
     }
 }
 
-/// Executes the matrix on exactly `threads` scoped workers (bypassing
-/// the shared rayon pool), writing results back by position so record
-/// order still equals input order.
-fn run_pinned(
+/// One randomized slice's environment, built lazily by the first cell
+/// that needs it and dropped by the last cell that finishes with it,
+/// so memory stays bounded by the slices in flight rather than the
+/// repetition count.
+struct EnvSlot {
+    env: std::sync::OnceLock<std::sync::Arc<(Field, CoverageGrid)>>,
+    remaining: std::sync::atomic::AtomicUsize,
+}
+
+/// A worker's hold on one slice environment: the env itself plus the
+/// slot it must release when the cell finishes.
+type SliceEnv = (
+    std::sync::Arc<(Field, CoverageGrid)>,
+    std::sync::Arc<EnvSlot>,
+);
+
+/// Executes the matrix cells on `threads` scoped workers. Cells are
+/// scheduled individually (schemes and variants of one slice run
+/// concurrently); cells sharing an env seed resolve the same
+/// lazily-built [`EnvSlot`] unless a batch-wide `shared` env exists.
+/// Results are written back by matrix index, so record order equals
+/// matrix order at any thread count. `restored` pre-fills the slots
+/// of resumed cells.
+fn run_matrix(
     spec: &ScenarioSpec,
     cells: Vec<RunCell>,
     threads: usize,
     shared: Option<&(Field, CoverageGrid)>,
+    restored: Vec<Option<RunRecord>>,
+    checkpoint: Option<&CheckpointPolicy>,
 ) -> Vec<RunRecord> {
-    use std::collections::VecDeque;
-    use std::sync::Mutex;
-    let n = cells.len();
-    let queue: Mutex<VecDeque<(usize, RunCell)>> =
-        Mutex::new(cells.into_iter().enumerate().collect());
-    let slots: Vec<Mutex<Option<RunRecord>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    use std::collections::{HashMap, VecDeque};
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+    let envs: Mutex<HashMap<u64, Arc<EnvSlot>>> = {
+        let mut map: HashMap<u64, Arc<EnvSlot>> = HashMap::new();
+        if shared.is_none() {
+            for cell in &cells {
+                map.entry(cell.env_seed)
+                    .or_insert_with(|| {
+                        Arc::new(EnvSlot {
+                            env: std::sync::OnceLock::new(),
+                            remaining: std::sync::atomic::AtomicUsize::new(0),
+                        })
+                    })
+                    .remaining
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Mutex::new(map)
+    };
+    let workers = threads.max(1).min(cells.len().max(1));
+    let slots: Vec<Mutex<Option<RunRecord>>> = restored.into_iter().map(Mutex::new).collect();
+    let queue: Mutex<VecDeque<RunCell>> = Mutex::new(cells.into_iter().collect());
+    let completed = Mutex::new(0usize);
+    // Runs covered by the last checkpoint actually written; orders
+    // concurrent checkpoint writers and drops stale snapshots.
+    let last_written = Mutex::new(0usize);
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(n) {
+        for _ in 0..workers {
             scope.spawn(|| loop {
-                let job = queue.lock().unwrap().pop_front();
-                match job {
-                    Some((i, cell)) => {
-                        let record = execute(spec, cell, shared);
-                        *slots[i].lock().unwrap() = Some(record);
+                let cell = queue.lock().unwrap().pop_front();
+                let Some(cell) = cell else { break };
+                // Resolve the cell's environment: the batch-wide one,
+                // or its slice's slot (first user rasterizes it).
+                let local: Option<SliceEnv> = match shared {
+                    Some(_) => None,
+                    None => {
+                        let slot = envs
+                            .lock()
+                            .unwrap()
+                            .get(&cell.env_seed)
+                            .expect("slot prepared for every env seed")
+                            .clone();
+                        let env = slot
+                            .env
+                            .get_or_init(|| {
+                                let field = cell.build_field(spec);
+                                let grid = CoverageGrid::new(&field, spec.coverage_cell);
+                                Arc::new((field, grid))
+                            })
+                            .clone();
+                        Some((env, slot))
                     }
-                    None => break,
+                };
+                let env: &(Field, CoverageGrid) = match &local {
+                    Some((env, _)) => env,
+                    None => shared.expect("either shared or per-slice env"),
+                };
+                let index = cell.index;
+                let env_seed = cell.env_seed;
+                let record = execute(spec, cell, env);
+                *slots[index].lock().unwrap() = Some(record);
+                if let Some((_, slot)) = &local {
+                    // last cell of the slice: drop the cached env
+                    if slot.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        envs.lock().unwrap().remove(&env_seed);
+                    }
+                }
+                if let Some(policy) = checkpoint {
+                    let due = {
+                        let mut done = completed.lock().unwrap();
+                        *done += 1;
+                        (*done).is_multiple_of(policy.every)
+                    };
+                    if due {
+                        // Snapshot, render and write outside the run
+                        // counter so other workers keep finishing runs
+                        // during checkpoint IO. Positions are never
+                        // serialized, so the snapshot drops them
+                        // instead of deep-cloning every layout.
+                        let mut last = last_written.lock().unwrap();
+                        let records: Vec<RunRecord> = slots
+                            .iter()
+                            .filter_map(|slot| {
+                                slot.lock().unwrap().as_ref().map(|r| RunRecord {
+                                    cell: r.cell,
+                                    coverage: r.coverage,
+                                    avg_move: r.avg_move,
+                                    max_move: r.max_move,
+                                    total_move: r.total_move,
+                                    messages: r.messages,
+                                    connected: r.connected,
+                                    convergence_time: r.convergence_time,
+                                    flags: r.flags.clone(),
+                                    positions: Vec::new(),
+                                })
+                            })
+                            .collect();
+                        if records.len() > *last {
+                            *last = records.len();
+                            write_checkpoint(spec, &records, &policy.path);
+                        }
+                    }
                 }
             });
         }
@@ -280,33 +451,33 @@ fn run_pinned(
         .map(|slot| {
             slot.into_inner()
                 .unwrap()
-                .expect("worker completed every job")
+                .expect("every matrix slot filled")
         })
         .collect()
 }
 
-/// Executes one cell of the matrix. `shared` carries the pre-built
-/// field and coverage raster when the field layout is fixed.
-fn execute(
-    spec: &ScenarioSpec,
-    cell: RunCell,
-    shared: Option<&(Field, CoverageGrid)>,
-) -> RunRecord {
+/// Atomically persists a snapshot of completed runs as a valid
+/// (partial) `batch.json`. IO failures are reported, not fatal — a
+/// missed checkpoint only costs resume granularity.
+fn write_checkpoint(spec: &ScenarioSpec, records: &[RunRecord], path: &Path) {
+    let json = render_json(spec, records);
+    let tmp = path.with_extension("json.tmp");
+    let result = std::fs::write(&tmp, &json).and_then(|()| std::fs::rename(&tmp, path));
+    if let Err(e) = result {
+        eprintln!("warning: cannot write checkpoint {}: {e}", path.display());
+    }
+}
+
+/// Executes one cell of the matrix on its group's environment.
+fn execute(spec: &ScenarioSpec, cell: RunCell, env: &(Field, CoverageGrid)) -> RunRecord {
+    let (field, grid) = env;
     let cfg = SimConfig::paper(cell.radio.rc, cell.radio.rs)
         .with_duration(spec.duration)
         .with_coverage_cell(spec.coverage_cell)
         .with_seed(cell.sim_seed());
     let overrides = spec.effective_overrides(cell.variant);
-    let r = match shared {
-        Some((field, grid)) => {
-            let initial = cell.build_scatter(spec, field);
-            run_scheme_with(cell.scheme, field, &initial, &cfg, &overrides, Some(grid))
-        }
-        None => {
-            let (field, initial) = cell.build_environment(spec);
-            run_scheme_with(cell.scheme, &field, &initial, &cfg, &overrides, None)
-        }
-    };
+    let initial = cell.build_scatter(spec, field);
+    let r = run_scheme_with(cell.scheme, field, &initial, &cfg, &overrides, Some(grid));
     RunRecord {
         cell,
         coverage: r.coverage,
@@ -331,50 +502,57 @@ pub struct BatchResult {
     pub records: Vec<RunRecord>,
 }
 
+/// Groups `records` into per-(radio, n, variant, scheme) aggregates,
+/// in matrix order. Free function so checkpoints can aggregate a
+/// partial record set mid-batch.
+fn cell_stats_of(spec: &ScenarioSpec, records: &[RunRecord]) -> Vec<CellStats> {
+    let mut stats: Vec<CellStats> = Vec::new();
+    for record in records {
+        let cell = &record.cell;
+        let existing = stats.iter_mut().find(|s| {
+            s.radio == cell.radio
+                && s.n == cell.n
+                && s.scheme == cell.scheme
+                && s.variant == cell.variant
+        });
+        let slot = match existing {
+            Some(slot) => slot,
+            None => {
+                stats.push(CellStats {
+                    radio: cell.radio,
+                    n: cell.n,
+                    scheme: cell.scheme,
+                    variant: cell.variant,
+                    variant_label: spec.variant_label(cell.variant).to_string(),
+                    flags: Vec::new(),
+                    coverage: Summary::new(),
+                    avg_move: Summary::new(),
+                    messages: Summary::new(),
+                    connected_runs: 0,
+                    runs: Vec::new(),
+                });
+                stats.last_mut().expect("just pushed")
+            }
+        };
+        slot.coverage.add(record.coverage);
+        slot.avg_move.add(record.avg_move);
+        slot.messages.add(record.messages as f64);
+        slot.connected_runs += usize::from(record.connected);
+        for flag in &record.flags {
+            if !slot.flags.contains(flag) {
+                slot.flags.push(flag.clone());
+            }
+        }
+        slot.runs.push(record.clone());
+    }
+    stats
+}
+
 impl BatchResult {
     /// Groups records into per-(radio, n, variant, scheme)
     /// aggregates, in matrix order.
     pub fn cell_stats(&self) -> Vec<CellStats> {
-        let mut stats: Vec<CellStats> = Vec::new();
-        for record in &self.records {
-            let cell = &record.cell;
-            let existing = stats.iter_mut().find(|s| {
-                s.radio == cell.radio
-                    && s.n == cell.n
-                    && s.scheme == cell.scheme
-                    && s.variant == cell.variant
-            });
-            let slot = match existing {
-                Some(slot) => slot,
-                None => {
-                    stats.push(CellStats {
-                        radio: cell.radio,
-                        n: cell.n,
-                        scheme: cell.scheme,
-                        variant: cell.variant,
-                        variant_label: self.spec.variant_label(cell.variant).to_string(),
-                        flags: Vec::new(),
-                        coverage: Summary::new(),
-                        avg_move: Summary::new(),
-                        messages: Summary::new(),
-                        connected_runs: 0,
-                        runs: Vec::new(),
-                    });
-                    stats.last_mut().expect("just pushed")
-                }
-            };
-            slot.coverage.add(record.coverage);
-            slot.avg_move.add(record.avg_move);
-            slot.messages.add(record.messages as f64);
-            slot.connected_runs += usize::from(record.connected);
-            for flag in &record.flags {
-                if !slot.flags.contains(flag) {
-                    slot.flags.push(flag.clone());
-                }
-            }
-            slot.runs.push(record.clone());
-        }
-        stats
+        cell_stats_of(&self.spec, &self.records)
     }
 
     /// All records of one scheme, in matrix order (e.g. to build the
@@ -389,68 +567,75 @@ impl BatchResult {
     /// Serializes the batch as deterministic JSON: the spec header,
     /// per-cell aggregates and the raw per-run samples.
     pub fn to_json(&self) -> String {
-        let spec = &self.spec;
-        let has_variants = !spec.variants.is_empty();
-        let cells: Vec<Json> = self
-            .cell_stats()
-            .into_iter()
-            .map(|s| {
-                let runs: Vec<Json> = s
-                    .runs
-                    .iter()
-                    .map(|r| {
-                        let mut run = Json::obj()
-                            .field("rep", r.cell.rep)
-                            .field("env_seed", r.cell.env_seed)
-                            .field("coverage", r.coverage)
-                            .field("avg_move", r.avg_move)
-                            .field("max_move", r.max_move)
-                            .field("total_move", r.total_move)
-                            .field("messages", r.messages)
-                            .field("connected", r.connected)
-                            .field(
-                                "convergence_time",
-                                r.convergence_time.filter(|t| t.is_finite()),
-                            );
-                        if !r.flags.is_empty() {
-                            run = run.field(
-                                "flags",
-                                Json::Arr(r.flags.iter().map(|f| f.as_str().into()).collect()),
-                            );
-                        }
-                        run
-                    })
-                    .collect();
-                let mut cell = Json::obj()
-                    .field("rc", s.radio.rc)
-                    .field("rs", s.radio.rs)
-                    .field("n", s.n)
-                    .field("scheme", s.scheme.name());
-                if has_variants {
-                    cell = cell.field("variant", s.variant_label.as_str());
-                }
-                cell.field("coverage", summary_json(&s.coverage))
-                    .field("avg_move", summary_json(&s.avg_move))
-                    .field("messages", summary_json(&s.messages))
-                    .field("connected_runs", s.connected_runs)
-                    .field("runs", Json::Arr(runs))
-            })
-            .collect();
-        Json::obj()
-            .field("scenario", spec.name.as_str())
-            .field("description", spec.description.as_str())
-            .field("field", spec.field.kind())
-            .field("scatter", spec.scatter.kind())
-            .field("seed", spec.seed)
-            .field("spec_digest", spec.resume_digest())
-            .field("repetitions", spec.repetitions)
-            .field("duration", spec.duration)
-            .field("coverage_cell", spec.coverage_cell)
-            .field("total_runs", self.records.len())
-            .field("cells", Json::Arr(cells))
-            .pretty()
+        render_json(&self.spec, &self.records)
     }
+}
 
+/// Serializes `records` as the deterministic `batch.json` document.
+/// Free function so mid-batch checkpoints and the final result share
+/// one format (`total_runs` reflects the records actually present).
+fn render_json(spec: &ScenarioSpec, records: &[RunRecord]) -> String {
+    let has_variants = !spec.variants.is_empty();
+    let cells: Vec<Json> = cell_stats_of(spec, records)
+        .into_iter()
+        .map(|s| {
+            let runs: Vec<Json> = s
+                .runs
+                .iter()
+                .map(|r| {
+                    let mut run = Json::obj()
+                        .field("rep", r.cell.rep)
+                        .field("env_seed", r.cell.env_seed)
+                        .field("coverage", r.coverage)
+                        .field("avg_move", r.avg_move)
+                        .field("max_move", r.max_move)
+                        .field("total_move", r.total_move)
+                        .field("messages", r.messages)
+                        .field("connected", r.connected)
+                        .field(
+                            "convergence_time",
+                            r.convergence_time.filter(|t| t.is_finite()),
+                        );
+                    if !r.flags.is_empty() {
+                        run = run.field(
+                            "flags",
+                            Json::Arr(r.flags.iter().map(|f| f.as_str().into()).collect()),
+                        );
+                    }
+                    run
+                })
+                .collect();
+            let mut cell = Json::obj()
+                .field("rc", s.radio.rc)
+                .field("rs", s.radio.rs)
+                .field("n", s.n)
+                .field("scheme", s.scheme.name());
+            if has_variants {
+                cell = cell.field("variant", s.variant_label.as_str());
+            }
+            cell.field("coverage", summary_json(&s.coverage))
+                .field("avg_move", summary_json(&s.avg_move))
+                .field("messages", summary_json(&s.messages))
+                .field("connected_runs", s.connected_runs)
+                .field("runs", Json::Arr(runs))
+        })
+        .collect();
+    Json::obj()
+        .field("scenario", spec.name.as_str())
+        .field("description", spec.description.as_str())
+        .field("field", spec.field.kind())
+        .field("scatter", spec.scatter.kind())
+        .field("seed", spec.seed)
+        .field("spec_digest", spec.resume_digest())
+        .field("repetitions", spec.repetitions)
+        .field("duration", spec.duration)
+        .field("coverage_cell", spec.coverage_cell)
+        .field("total_runs", records.len())
+        .field("cells", Json::Arr(cells))
+        .pretty()
+}
+
+impl BatchResult {
     /// Serializes per-cell aggregates as CSV.
     pub fn to_csv(&self) -> String {
         let headers: Vec<String> = [
@@ -784,6 +969,72 @@ mod tests {
         assert!(csv.lines().next().unwrap().contains("variant"));
         let report = result.report();
         assert!(report.contains("ttl-1"), "{report}");
+    }
+
+    #[test]
+    fn restored_records_fail_position_consumers_loudly() {
+        let spec = tiny_spec();
+        let full = BatchRunner::new().with_threads(1).run(&spec).unwrap();
+        // fresh runs carry their final layouts
+        for record in &full.records {
+            assert_eq!(
+                record.require_positions().unwrap().len(),
+                record.cell.n,
+                "fresh record must expose positions"
+            );
+        }
+        // a fully-restored batch must refuse to hand out positions
+        let prior = BatchFile::parse(&full.to_json()).unwrap();
+        let resumed = BatchRunner::new()
+            .with_threads(1)
+            .run_resuming(&spec, Some(&prior))
+            .unwrap();
+        let err = resumed.records[0].require_positions().unwrap_err();
+        assert!(err.0.contains("no final positions"), "{}", err.0);
+        assert!(err.0.contains("restored"), "{}", err.0);
+    }
+
+    #[test]
+    fn resume_survives_mid_batch_holes_byte_identically() {
+        // simulates resuming from a mid-batch checkpoint: records are
+        // missing across schemes *within* a repetition, not only as
+        // whole trailing repetitions
+        let spec = tiny_spec();
+        let full = BatchRunner::new().with_threads(1).run(&spec).unwrap();
+        let mut prior = BatchFile::parse(&full.to_json()).unwrap();
+        prior.cells[1].1.remove(&0);
+        prior.cells[2].1.remove(&1);
+        prior.cells.remove(3);
+        let resumed = BatchRunner::new()
+            .with_threads(2)
+            .run_resuming(&spec, Some(&prior))
+            .unwrap();
+        assert_eq!(resumed.to_json(), full.to_json());
+    }
+
+    #[test]
+    fn randomized_specs_share_envs_and_stay_thread_invariant() {
+        let spec = ScenarioSpec::new("rnd-groups")
+            .with_field(FieldSpec::RandomObstacles(Default::default()))
+            .with_schemes(vec![SchemeKind::Cpvf, SchemeKind::Opt])
+            .with_sensor_counts(vec![12])
+            .with_duration(20.0)
+            .with_coverage_cell(25.0)
+            .with_repetitions(3);
+        let sequential = BatchRunner::new().with_threads(1).run(&spec).unwrap();
+        let pooled = BatchRunner::new().with_threads(3).run(&spec).unwrap();
+        assert_eq!(sequential.to_json(), pooled.to_json());
+        // and resuming a partial randomized batch merges bit-exactly
+        let partial = BatchRunner::new()
+            .with_threads(1)
+            .run(&spec.clone().with_repetitions(1))
+            .unwrap();
+        let prior = BatchFile::parse(&partial.to_json()).unwrap();
+        let resumed = BatchRunner::new()
+            .with_threads(2)
+            .run_resuming(&spec, Some(&prior))
+            .unwrap();
+        assert_eq!(resumed.to_json(), sequential.to_json());
     }
 
     #[test]

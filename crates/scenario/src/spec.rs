@@ -654,10 +654,18 @@ impl RunCell {
     /// The run's environment, materialized deterministically from
     /// [`RunCell::env_seed`]: the field and the initial positions.
     pub fn build_environment(&self, spec: &ScenarioSpec) -> (Field, Vec<Point>) {
-        let mut field_rng = SmallRng::seed_from_u64(stream_seed(self.env_seed, 1));
-        let field = spec.field.build(&mut field_rng);
+        let field = self.build_field(spec);
         let initial = self.build_scatter(spec, &field);
         (field, initial)
+    }
+
+    /// Just the field, drawn from the field stream of
+    /// [`RunCell::env_seed`]. Every cell of a (radio, n, rep) slice
+    /// derives the same field, so the batch runner materializes it
+    /// once per slice and shares it across schemes and variants.
+    pub fn build_field(&self, spec: &ScenarioSpec) -> Field {
+        let mut field_rng = SmallRng::seed_from_u64(stream_seed(self.env_seed, 1));
+        spec.field.build(&mut field_rng)
     }
 
     /// Just the initial positions, for a pre-built `field`. The

@@ -1,7 +1,7 @@
 //! The mutable simulation state.
 
 use crate::SimConfig;
-use msn_field::{CoverageGrid, Field};
+use msn_field::{CoverageGrid, CoverageTracker, Field};
 use msn_geom::Point;
 use msn_net::{DiskGraph, MessageCounter};
 use rand::rngs::SmallRng;
@@ -38,6 +38,9 @@ pub struct World {
     tick: u64,
     rng: SmallRng,
     msgs: MessageCounter,
+    /// Incremental coverage counts, fed by every position change once
+    /// [`World::track_coverage`] is called.
+    tracker: Option<CoverageTracker>,
 }
 
 impl World {
@@ -54,6 +57,7 @@ impl World {
             tick: 0,
             rng,
             msgs: MessageCounter::new(),
+            tracker: None,
         }
     }
 
@@ -133,6 +137,9 @@ impl World {
     pub fn set_pos(&mut self, i: usize, p: Point) {
         self.moved[i] += self.positions[i].dist(p);
         self.positions[i] = p;
+        if let Some(t) = self.tracker.as_mut() {
+            t.set_sensor(i, p);
+        }
     }
 
     /// Moves sensor `i` to `p`, charging an explicit path length
@@ -151,6 +158,9 @@ impl World {
         );
         self.moved[i] += dist;
         self.positions[i] = p;
+        if let Some(t) = self.tracker.as_mut() {
+            t.set_sensor(i, p);
+        }
     }
 
     /// Places sensor `i` without charging distance (initial layout
@@ -158,6 +168,9 @@ impl World {
     /// matching baselines).
     pub fn teleport(&mut self, i: usize, p: Point) {
         self.positions[i] = p;
+        if let Some(t) = self.tracker.as_mut() {
+            t.set_sensor(i, p);
+        }
     }
 
     /// Distance sensor `i` has moved so far.
@@ -222,7 +235,34 @@ impl World {
         CoverageGrid::new(&self.field, self.cfg.coverage_cell)
     }
 
-    /// Current coverage fraction measured on `grid`.
+    /// Installs an incremental [`CoverageTracker`] on `grid` (a raster
+    /// of this world's field at `cfg.coverage_cell`). From here on
+    /// every position change feeds the tracker, and
+    /// [`World::coverage_tracked`] answers from the maintained
+    /// counts — bit-identical to the full rasterization, but
+    /// `O(disk)` per moved sensor instead of `O(N · disk)` per
+    /// measurement.
+    pub fn track_coverage(&mut self, grid: CoverageGrid) {
+        self.tracker = Some(CoverageTracker::new(grid, &self.positions, self.cfg.rs));
+    }
+
+    /// Current coverage fraction from the installed tracker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`World::track_coverage`] was never called — the
+    /// tracker's raster is the measurement authority, so there is no
+    /// grid to silently fall back to.
+    pub fn coverage_tracked(&mut self) -> f64 {
+        self.tracker
+            .as_mut()
+            .expect("coverage_tracked requires track_coverage")
+            .coverage()
+    }
+
+    /// Current coverage fraction measured on `grid` by full
+    /// rasterization (the reference oracle; unaffected by any
+    /// installed tracker).
     pub fn coverage(&self, grid: &CoverageGrid) -> f64 {
         grid.coverage(&self.positions, self.cfg.rs)
     }
@@ -299,6 +339,25 @@ mod tests {
         let grid = w.coverage_grid();
         let cov = w.coverage(&grid);
         assert!(cov > 0.0 && cov < 0.2);
+    }
+
+    #[test]
+    fn tracked_coverage_equals_rasterized_coverage() {
+        let plain = world_with(3);
+        let mut tracked = world_with(3);
+        let grid = plain.coverage_grid();
+        tracked.track_coverage(grid.clone());
+        assert_eq!(tracked.coverage_tracked(), plain.coverage(&grid));
+        for (i, p) in [
+            (0, Point::new(70.0, 30.0)),
+            (2, Point::new(-5.0, 50.0)), // off-field clips like the oracle
+            (1, Point::new(40.0, 90.0)),
+        ] {
+            tracked.set_pos(i, p);
+            assert_eq!(tracked.coverage_tracked(), tracked.coverage(&grid));
+        }
+        tracked.teleport(0, Point::new(10.0, 10.0));
+        assert_eq!(tracked.coverage_tracked(), tracked.coverage(&grid));
     }
 
     #[test]

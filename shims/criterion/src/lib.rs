@@ -58,12 +58,28 @@ impl Bencher {
     }
 }
 
-/// Benchmark driver (subset of criterion's).
+/// One completed measurement of [`Criterion::bench_function`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations of the measured pass.
+    pub iters: u64,
+}
+
+/// Benchmark driver (subset of criterion's). Unlike the real crate it
+/// also exposes the collected measurements
+/// ([`Criterion::results`]), so harnesses can export machine-readable
+/// perf records (`BENCH_*.json`).
 #[derive(Debug, Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
 
 impl Criterion {
-    /// Measures `f`, printing a per-iteration time.
+    /// Measures `f`, printing and recording a per-iteration time.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         // Calibration pass, then a measured pass sized to ~0.2 s.
         let mut b = Bencher {
@@ -80,7 +96,17 @@ impl Criterion {
         f(&mut b);
         let nanos = b.elapsed.as_nanos() as f64 / b.iters as f64;
         println!("{name:<40} {:>12.1} ns/iter  ({} iters)", nanos, b.iters);
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            ns_per_iter: nanos,
+            iters: b.iters,
+        });
         self
+    }
+
+    /// The measurements recorded so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
     }
 }
 
@@ -115,6 +141,11 @@ mod tests {
         let mut calls = 0u64;
         c.bench_function("noop", |b| b.iter(|| calls += 1));
         assert!(calls > 0);
+        let results = c.results();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].name, "noop");
+        assert!(results[0].ns_per_iter >= 0.0);
+        assert!(results[0].iters > 0);
     }
 
     #[test]
