@@ -5,16 +5,17 @@
 //! construction.
 //!
 //! Besides printing per-iteration times, the harness exports the
-//! measurements as a machine-readable perf record: `BENCH_pr3.json`
-//! in the working directory, or wherever `MSN_BENCH_OUT` points (CI
-//! uploads it as an artifact to seed the repo's perf trajectory).
+//! measurements as a machine-readable perf record: `BENCH_pr4.json`
+//! in the working directory, or wherever `MSN_BENCH_OUT` points. CI
+//! uploads it as an artifact and gates it against the committed
+//! `BENCH_pr3.json` baseline via `scenario bench-diff`.
 
 use criterion::{BatchSize, Criterion};
 use msn_assign::{hungarian, CostMatrix};
 use msn_field::{CoverageGrid, CoverageTracker, Field};
 use msn_geom::{min_enclosing_circle, Point, Rect};
 use msn_nav::{Hand, Navigator};
-use msn_net::DiskGraph;
+use msn_net::{ConnectivityTracker, DiskGraph};
 use msn_scenario::Json;
 use msn_voronoi::VoronoiDiagram;
 use std::hint::black_box;
@@ -133,6 +134,50 @@ fn bench_diskgraph(c: &mut Criterion) {
     });
 }
 
+fn bench_conntrack(c: &mut Criterion) {
+    let orig = sites(240);
+    let base = Point::new(500.0, 500.0);
+    let rc = 60.0;
+    // One sensor jitters around its home position each iteration —
+    // bounded, so the workload stays stationary however many
+    // iterations the harness settles on, yet the jitter is large
+    // enough (±24 m at rc 60) to churn real link events.
+    let wobble = |pts: &mut [Point], step: u64| {
+        let i = (step % 240) as usize;
+        // 240 is a multiple of 16, so fold the revisit count in: each
+        // time a sensor's turn comes around it lands somewhere new.
+        let w = ((step + step / 240) % 16) as f64;
+        let p = orig[i] + Point::new(3.0 * w - 24.0, 16.0 - 2.0 * w);
+        pts[i] = p;
+        (i, p)
+    };
+    // The per-tick pattern the tracker replaces: rebuild the whole
+    // disk graph and re-flood from the base after one sensor moved.
+    let mut pts = orig.clone();
+    let mut step = 0u64;
+    c.bench_function("conn_rebuild_move_one_and_requery", |b| {
+        b.iter(|| {
+            step = step.wrapping_add(1);
+            let (i, _) = wobble(&mut pts, step);
+            let g = DiskGraph::build(black_box(&pts), rc);
+            black_box(g.flood_from_base(&pts, base, rc)[i])
+        })
+    });
+    // The incremental path: same move, same question, answered from
+    // the maintained hop distances.
+    let mut pts = orig.clone();
+    let mut tracker = ConnectivityTracker::new(&pts, base, rc);
+    let mut step = 0u64;
+    c.bench_function("conn_tracker_move_one_and_requery", |b| {
+        b.iter(|| {
+            step = step.wrapping_add(1);
+            let (i, p) = wobble(&mut pts, step);
+            tracker.set_sensor(i, p);
+            black_box(tracker.is_connected(i))
+        })
+    });
+}
+
 /// Runs every kernel group and writes the perf record. A hand-rolled
 /// `main` (instead of `criterion_main!`) so the collected
 /// measurements can be serialized after the run.
@@ -145,6 +190,7 @@ fn main() {
     bench_tracker(&mut c);
     bench_bug2(&mut c);
     bench_diskgraph(&mut c);
+    bench_conntrack(&mut c);
 
     let kernels: Vec<Json> = c
         .results()
@@ -157,13 +203,16 @@ fn main() {
         })
         .collect();
     let record = Json::obj()
-        .field("record", "BENCH_pr3")
+        .field("record", "BENCH_pr4")
         .field("suite", "kernels")
         .field("kernels", Json::Arr(kernels))
         .pretty();
-    let out = std::env::var("MSN_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr3.json".into());
-    match std::fs::write(&out, record) {
-        Ok(()) => println!("wrote {out}"),
-        Err(e) => eprintln!("warning: cannot write {out}: {e}"),
+    let out = std::env::var("MSN_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr4.json".into());
+    // Fail loudly: CI gates on this file, so an unwritable path must
+    // break the job, not quietly skip the artifact.
+    if let Err(e) = std::fs::write(&out, record) {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(1);
     }
+    println!("wrote {out}");
 }

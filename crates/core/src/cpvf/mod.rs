@@ -123,6 +123,10 @@ pub fn run_with_grid(
         None => world.coverage_grid(),
     };
     world.track_coverage(cov_grid);
+    // No connectivity tracker here: unlike FLOOR, CPVF never asks the
+    // base-connectivity question mid-run (the tree invariant carries
+    // it), so a tracker would only add an install-time flood to the
+    // single end-of-run check below.
     let max_step = cfg.max_step();
 
     // ---- Phase 1 setup: initial flood and tree construction. ----

@@ -241,6 +241,10 @@ impl<'a> FloorSim<'a> {
         // a timeline sample costs O(relocating recruits) disk stamps
         // instead of re-rasterizing all N sensors.
         self.world.track_coverage(cov_grid);
+        // Incremental connectivity: the per-tick "is this movable
+        // still base-connected?" checks answer from maintained hop
+        // distances instead of a fresh graph build + flood each tick.
+        self.world.track_connectivity();
         self.initial_flood();
         // Route the still-disconnected sensors per Algorithm 1.
         for i in 0..n {
@@ -268,24 +272,34 @@ impl<'a> FloorSim<'a> {
                     self.classify();
                 }
             }
-            let spatial = SpatialGrid::build(self.world.positions(), self.cfg.rc.max(1.0));
-            let graph = self.world.graph();
-            let base_mask =
-                graph.flood_from_base(self.world.positions(), self.cfg.base, self.cfg.rc);
+            // Shared per-tick structures, built lazily: positions are
+            // frozen until integrate_motion, so whichever planning
+            // sensor first needs the spatial grid or the disk graph
+            // builds it for the whole tick — and ticks where no
+            // planner needs them (most of them, once the vine
+            // quiesces) build neither. Base connectivity itself comes
+            // from the world's incremental tracker.
+            let mut spatial: Option<SpatialGrid> = None;
+            let mut graph: Option<DiskGraph> = None;
             for i in 0..n {
                 if !self.world.is_plan_tick(i) {
                     continue;
                 }
                 match self.state[i] {
-                    FState::Walking => self.plan_walk(i, &spatial),
-                    FState::Fixed if self.classified => self.expansion_step(i, &spatial, &graph),
+                    FState::Walking => {
+                        let s = tick_spatial(&mut spatial, &self.world);
+                        self.plan_walk(i, s)
+                    }
+                    FState::Fixed if self.classified => {
+                        self.expansion_step(i, &mut spatial, &mut graph)
+                    }
                     FState::Movable => {
                         // §4.1 applies at all times: a movable whose
                         // surroundings were recruited away may find
                         // itself cut off from the base — it must walk
                         // back in (otherwise no invitation can ever
                         // reach its separated component).
-                        if !base_mask[i] {
+                        if !self.world.connected_tracked(i) {
                             self.disconnected_periods[i] += 1;
                             if self.disconnected_periods[i] >= 5 {
                                 self.restart_walk(i);
@@ -294,7 +308,7 @@ impl<'a> FloorSim<'a> {
                         } else {
                             self.disconnected_periods[i] = 0;
                         }
-                        self.movable_step(i, &graph)
+                        self.movable_step(i, &mut graph)
                     }
                     _ => {}
                 }
@@ -308,11 +322,7 @@ impl<'a> FloorSim<'a> {
         }
 
         let coverage = self.world.coverage_tracked();
-        let connected = self.world.graph().all_connected_to_base(
-            self.world.positions(),
-            self.cfg.base,
-            self.cfg.rc,
-        );
+        let connected = self.world.all_connected_tracked();
         let moved: Vec<f64> = (0..n).map(|i| self.world.moved(i)).collect();
         let msgs = self.world.msgs_ref().clone();
         let positions = self.world.positions().to_vec();
@@ -600,7 +610,12 @@ impl<'a> FloorSim<'a> {
 
     /// Phase 3 per-period step of a fixed node: maintain its set of
     /// concurrent EPs and invite movables for each (§5.5).
-    fn expansion_step(&mut self, i: usize, spatial: &SpatialGrid, graph: &DiskGraph) {
+    fn expansion_step(
+        &mut self,
+        i: usize,
+        spatial_cache: &mut Option<SpatialGrid>,
+        graph_cache: &mut Option<DiskGraph>,
+    ) {
         if self.idle_search[i] >= self.params.idle_stop_periods {
             return;
         }
@@ -630,6 +645,7 @@ impl<'a> FloorSim<'a> {
         // still traveling (the vine tip keeps advancing meanwhile).
         if self.active_eps[i].len() < self.params.max_concurrent_eps {
             let room = self.params.max_concurrent_eps - self.active_eps[i].len();
+            let spatial = tick_spatial(spatial_cache, &self.world);
             let mut fresh = self.discover_eps(i, spatial, room);
             if fresh.len() < room {
                 let tips: Vec<VirtualTip> =
@@ -667,6 +683,7 @@ impl<'a> FloorSim<'a> {
         for k in 0..self.active_eps[i].len() {
             self.active_eps[i][k].invites_sent += 1;
             let ep = self.active_eps[i][k].ep;
+            let graph = tick_graph(graph_cache, &self.world);
             self.send_invitation(i, ep, graph);
         }
     }
@@ -904,7 +921,7 @@ impl<'a> FloorSim<'a> {
 
     /// Per-period step of a movable sensor: commit to the best
     /// invitation once the quorum (or patience) is reached.
-    fn movable_step(&mut self, i: usize, graph: &DiskGraph) {
+    fn movable_step(&mut self, i: usize, graph_cache: &mut Option<DiskGraph>) {
         if self.inbox[i].is_empty() {
             return;
         }
@@ -923,7 +940,7 @@ impl<'a> FloorSim<'a> {
                     .expect("finite")
             })
             .expect("inbox non-empty");
-        let hops = graph.hop_distances(i)[best.inviter];
+        let hops = tick_graph(graph_cache, &self.world).hop_distances(i)[best.inviter];
         let hops = if hops == usize::MAX { 0 } else { hops as u64 };
         self.world.msgs().record(MsgKind::AcceptInvitation, hops);
         // Inviter-side check: EP still unclaimed?
@@ -1015,6 +1032,20 @@ impl<'a> FloorSim<'a> {
         self.state[i] = FState::Movable;
         self.waited[i] = 0;
     }
+}
+
+/// Builds the tick's shared `rc`-cell spatial grid on first use.
+/// Positions are frozen during the planning sweep, so one build serves
+/// every planner in the tick.
+fn tick_spatial<'c>(cache: &'c mut Option<SpatialGrid>, world: &World) -> &'c SpatialGrid {
+    cache.get_or_insert_with(|| SpatialGrid::build(world.positions(), world.cfg().rc.max(1.0)))
+}
+
+/// Builds the tick's shared disk graph on first use (random-walk
+/// invitations and hop accounting need full adjacency; the mere
+/// connected-to-base question does not — that is the tracker's job).
+fn tick_graph<'c>(cache: &'c mut Option<DiskGraph>, world: &World) -> &'c DiskGraph {
+    cache.get_or_insert_with(|| world.graph())
 }
 
 #[cfg(test)]

@@ -1,0 +1,652 @@
+//! Incremental base-rooted connectivity.
+
+use crate::{within_range, SpatialGrid, RANGE_EPS};
+use msn_geom::Point;
+use std::collections::{HashMap, VecDeque};
+
+/// Hop distance marking an unreachable sensor.
+const UNREACHED: u32 = u32::MAX;
+
+/// Incremental counterpart of [`crate::DiskGraph::build`] +
+/// [`crate::DiskGraph::flood_from_base`]: maintains the base-rooted
+/// reachable set and per-sensor hop distances under sensor moves, so
+/// that moving one sensor and re-asking "who is connected?" costs
+/// `O(local neighborhood + affected region)` instead of a full
+/// `O(N · deg)` graph rebuild plus an `O(N + E)` flood.
+///
+/// Moves are recorded lazily ([`ConnectivityTracker::set_sensor`] is
+/// `O(1)`) and reconciled on the next query. Reconciliation diffs the
+/// moved sensors' link neighborhoods (under the shared
+/// [`crate::within_range`] / [`RANGE_EPS`] rule) against a dynamic
+/// bucket grid and repairs the hop distances with a bounded
+/// dynamic-BFS frontier:
+///
+/// 1. **invalidate** — sensors whose current hop count lost its
+///    support (a neighbor one hop closer, or the base link itself)
+///    are collected level by level;
+/// 2. **relabel** — the invalidated region is re-flooded from its
+///    stable boundary with a bucket-queue BFS;
+/// 3. **relax** — newly appeared links and newly gained base links
+///    propagate distance *decreases* with a monotone BFS.
+///
+/// When most of the fleet moved since the last query, or the
+/// invalidated region grows past half the fleet, the tracker rebuilds
+/// from scratch instead (rebuild-if-cheaper, mirroring
+/// `msn_field::CoverageTracker`), so a query is never asymptotically
+/// more expensive than the flood it replaces.
+///
+/// Exactness: hop distances are a shortest-path metric, so they are
+/// unique — any exact repair reproduces the
+/// `DiskGraph::build` + `flood_from_base` oracle *bit for bit*,
+/// including sensors leaving or entering radio range of the base
+/// (property-tested in `tests/properties.rs`).
+///
+/// # Examples
+///
+/// ```
+/// use msn_geom::Point;
+/// use msn_net::ConnectivityTracker;
+///
+/// let mut pts = vec![Point::new(5.0, 0.0), Point::new(12.0, 0.0), Point::new(40.0, 0.0)];
+/// let mut tracker = ConnectivityTracker::new(&pts, Point::new(0.0, 0.0), 10.0);
+/// assert_eq!(tracker.connected_mask(), vec![true, true, false]);
+/// assert_eq!(tracker.hops(1), Some(2));
+/// pts[2] = Point::new(20.0, 0.0); // walks into range of sensor 1
+/// tracker.set_sensor(2, pts[2]);
+/// assert_eq!(tracker.connected_mask(), vec![true, true, true]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConnectivityTracker {
+    rc: f64,
+    base: Point,
+    cell: f64,
+    /// Latest positions reported via `set_sensor`.
+    current: Vec<Point>,
+    /// Positions the adjacency and distances currently reflect.
+    synced: Vec<Point>,
+    /// Sensors whose `current` may differ from `synced`.
+    dirty: Vec<u32>,
+    is_dirty: Vec<bool>,
+    /// Link neighborhoods over `synced`, each sorted ascending.
+    adj: Vec<Vec<u32>>,
+    /// Hops from the base station (direct base link = 1,
+    /// [`UNREACHED`] = disconnected).
+    dist: Vec<u32>,
+    /// Dynamic bucket grid over `synced` (cell side = `cell`).
+    buckets: HashMap<(i64, i64), Vec<u32>>,
+    // --- reusable repair scratch ---
+    queued: Vec<bool>,
+    raised: Vec<bool>,
+    settled: Vec<bool>,
+    levels: Vec<Vec<u32>>,
+}
+
+impl ConnectivityTracker {
+    /// Builds the tracker for `positions`, a base station at `base`
+    /// and communication range `rc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rc` is not strictly positive.
+    pub fn new(positions: &[Point], base: Point, rc: f64) -> Self {
+        assert!(rc > 0.0, "communication range must be positive");
+        let n = positions.len();
+        let mut tracker = ConnectivityTracker {
+            rc,
+            base,
+            cell: rc.max(1.0),
+            current: positions.to_vec(),
+            synced: positions.to_vec(),
+            dirty: Vec::new(),
+            is_dirty: vec![false; n],
+            adj: vec![Vec::new(); n],
+            dist: vec![UNREACHED; n],
+            buckets: HashMap::new(),
+            queued: vec![false; n],
+            raised: vec![false; n],
+            settled: vec![false; n],
+            levels: Vec::new(),
+        };
+        tracker.rebuild();
+        tracker
+    }
+
+    /// The communication range.
+    #[inline]
+    pub fn rc(&self) -> f64 {
+        self.rc
+    }
+
+    /// The base station position.
+    #[inline]
+    pub fn base(&self) -> Point {
+        self.base
+    }
+
+    /// Number of tracked sensors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.current.len()
+    }
+
+    /// Whether the tracker follows zero sensors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.current.is_empty()
+    }
+
+    /// Records sensor `i`'s new position. `O(1)`: the link diff and
+    /// distance repair are deferred to the next query.
+    #[inline]
+    pub fn set_sensor(&mut self, i: usize, p: Point) {
+        self.current[i] = p;
+        if !self.is_dirty[i] {
+            self.is_dirty[i] = true;
+            self.dirty.push(i as u32);
+        }
+    }
+
+    /// Whether sensor `i` is (multi-hop) connected to the base — equal
+    /// to `flood_from_base(...)[i]` on the current positions.
+    pub fn is_connected(&mut self, i: usize) -> bool {
+        self.sync();
+        self.dist[i] != UNREACHED
+    }
+
+    /// The connected-to-base mask — equal to
+    /// [`crate::DiskGraph::flood_from_base`] on the current positions.
+    pub fn connected_mask(&mut self) -> Vec<bool> {
+        self.sync();
+        self.dist.iter().map(|&d| d != UNREACHED).collect()
+    }
+
+    /// Whether every sensor is connected to the base.
+    pub fn all_connected(&mut self) -> bool {
+        self.sync();
+        self.dist.iter().all(|&d| d != UNREACHED)
+    }
+
+    /// Hops from the base to sensor `i` (a direct base link counts as
+    /// 1), or `None` if disconnected.
+    pub fn hops(&mut self, i: usize) -> Option<usize> {
+        self.sync();
+        (self.dist[i] != UNREACHED).then_some(self.dist[i] as usize)
+    }
+
+    /// All hop distances (`usize::MAX` = unreachable) — equal to
+    /// [`crate::DiskGraph::base_hop_distances`] on the current
+    /// positions.
+    pub fn hop_distances(&mut self) -> Vec<usize> {
+        self.sync();
+        self.dist
+            .iter()
+            .map(|&d| {
+                if d == UNREACHED {
+                    usize::MAX
+                } else {
+                    d as usize
+                }
+            })
+            .collect()
+    }
+
+    #[inline]
+    fn key(&self, p: Point) -> (i64, i64) {
+        (
+            (p.x / self.cell).floor() as i64,
+            (p.y / self.cell).floor() as i64,
+        )
+    }
+
+    /// Sorted link neighborhood of `p` (excluding sensor `exclude`)
+    /// over the synced positions.
+    fn neighbors_sorted(&self, p: Point, exclude: u32) -> Vec<u32> {
+        let reach = self.rc + RANGE_EPS;
+        let (cx_lo, cy_lo) = self.key(Point::new(p.x - reach, p.y - reach));
+        let (cx_hi, cy_hi) = self.key(Point::new(p.x + reach, p.y + reach));
+        let mut out = Vec::new();
+        for gx in cx_lo..=cx_hi {
+            for gy in cy_lo..=cy_hi {
+                let Some(bucket) = self.buckets.get(&(gx, gy)) else {
+                    continue;
+                };
+                for &j in bucket {
+                    if j != exclude && within_range(self.synced[j as usize], p, self.rc) {
+                        out.push(j);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Full reconstruction: adjacency from a fresh spatial grid, bucket
+    /// grid reinserted, distances re-flooded.
+    fn rebuild(&mut self) {
+        let n = self.current.len();
+        self.synced.copy_from_slice(&self.current);
+        for &i in &self.dirty {
+            self.is_dirty[i as usize] = false;
+        }
+        self.dirty.clear();
+        let grid = SpatialGrid::build(&self.synced, self.cell);
+        for i in 0..n {
+            let mut nbrs: Vec<u32> = grid
+                .neighbors(&self.synced, i, self.rc)
+                .into_iter()
+                .map(|j| j as u32)
+                .collect();
+            nbrs.sort_unstable();
+            self.adj[i] = nbrs;
+        }
+        self.buckets.clear();
+        for i in 0..n {
+            let key = self.key(self.synced[i]);
+            self.buckets.entry(key).or_default().push(i as u32);
+        }
+        self.flood();
+    }
+
+    /// BFS flood from the base over the synced adjacency.
+    fn flood(&mut self) {
+        self.dist.fill(UNREACHED);
+        let mut queue = VecDeque::new();
+        for i in 0..self.synced.len() {
+            if within_range(self.synced[i], self.base, self.rc) {
+                self.dist[i] = 1;
+                queue.push_back(i as u32);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            let du = self.dist[u as usize];
+            for k in 0..self.adj[u as usize].len() {
+                let v = self.adj[u as usize][k] as usize;
+                if self.dist[v] == UNREACHED {
+                    self.dist[v] = du + 1;
+                    queue.push_back(v as u32);
+                }
+            }
+        }
+    }
+
+    /// Applies pending moves: link diffs + bounded dynamic-BFS repair
+    /// when few sensors moved, a full rebuild when that would cost
+    /// more.
+    fn sync(&mut self) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        let n = self.current.len();
+        if 2 * self.dirty.len() >= n {
+            self.rebuild();
+            return;
+        }
+        // Move every dirty sensor in the bucket grid first, so the
+        // neighborhood queries below all see the new positions.
+        let dirty = std::mem::take(&mut self.dirty);
+        let mut moved: Vec<u32> = Vec::with_capacity(dirty.len());
+        for i in dirty {
+            let iu = i as usize;
+            self.is_dirty[iu] = false;
+            let (from, to) = (self.synced[iu], self.current[iu]);
+            if from == to {
+                continue;
+            }
+            let old_key = self.key(from);
+            let new_key = self.key(to);
+            if old_key != new_key {
+                let bucket = self.buckets.get_mut(&old_key).expect("sensor indexed");
+                let at = bucket.iter().position(|&j| j == i).expect("sensor in cell");
+                bucket.swap_remove(at);
+                if bucket.is_empty() {
+                    self.buckets.remove(&old_key);
+                }
+                self.buckets.entry(new_key).or_default().push(i);
+            }
+            self.synced[iu] = to;
+            moved.push(i);
+        }
+        if moved.is_empty() {
+            return;
+        }
+        // Diff each moved sensor's neighborhood into link events. Both
+        // lists are sorted, and earlier diffs update `adj` in place, so
+        // an edge between two moved sensors is recorded exactly once.
+        let mut removed: Vec<(u32, u32)> = Vec::new();
+        let mut added: Vec<(u32, u32)> = Vec::new();
+        for &i in &moved {
+            let iu = i as usize;
+            let new_nbrs = self.neighbors_sorted(self.synced[iu], i);
+            let old_nbrs = std::mem::take(&mut self.adj[iu]);
+            let (mut a, mut b) = (0, 0);
+            while a < old_nbrs.len() || b < new_nbrs.len() {
+                let old = old_nbrs.get(a).copied();
+                let new = new_nbrs.get(b).copied();
+                if old == new {
+                    a += 1;
+                    b += 1;
+                } else if old.is_some_and(|o| new.is_none_or(|v| o < v)) {
+                    // link to `o` disappeared
+                    let o = old.expect("checked is_some");
+                    let peer = &mut self.adj[o as usize];
+                    let at = peer.binary_search(&i).expect("symmetric edge");
+                    peer.remove(at);
+                    removed.push((i, o));
+                    a += 1;
+                } else {
+                    // link to `v` appeared
+                    let v = new.expect("neither equal nor removal");
+                    let peer = &mut self.adj[v as usize];
+                    let at = peer.binary_search(&i).expect_err("edge was absent");
+                    peer.insert(at, i);
+                    added.push((i, v));
+                    b += 1;
+                }
+            }
+            self.adj[iu] = new_nbrs;
+        }
+        self.repair(&moved, &removed, &added);
+    }
+
+    fn ensure_level(&mut self, lvl: usize) {
+        if self.levels.len() <= lvl {
+            self.levels.resize_with(lvl + 1, Vec::new);
+        }
+    }
+
+    /// Exact hop-distance repair after a batch of link events.
+    fn repair(&mut self, moved: &[u32], removed: &[(u32, u32)], added: &[(u32, u32)]) {
+        let n = self.current.len();
+        self.queued.fill(false);
+        self.raised.fill(false);
+        self.settled.fill(false);
+        for lvl in &mut self.levels {
+            lvl.clear();
+        }
+
+        // ---- Phase 1: invalidate. Collect, level by level, every
+        // sensor whose hop count lost its support — a removed link, a
+        // lost base link, or (cascading) a supporter that was itself
+        // invalidated. Support never comes from the same level, so
+        // processing levels in ascending order finalizes each level's
+        // raise decisions before they are consulted.
+        let enqueue = |this: &mut Self, v: u32| {
+            let d = this.dist[v as usize];
+            if d != UNREACHED && !this.queued[v as usize] {
+                this.queued[v as usize] = true;
+                this.ensure_level(d as usize);
+                this.levels[d as usize].push(v);
+            }
+        };
+        for &m in moved {
+            enqueue(self, m);
+        }
+        for &(u, v) in removed {
+            enqueue(self, u);
+            enqueue(self, v);
+        }
+        // (v, hop count before the repair) of every invalidated sensor
+        let mut raised_list: Vec<(u32, u32)> = Vec::new();
+        let mut lvl = 0;
+        while lvl < self.levels.len() {
+            let bucket = std::mem::take(&mut self.levels[lvl]);
+            for v in bucket {
+                let vu = v as usize;
+                let dv = self.dist[vu];
+                debug_assert_eq!(dv as usize, lvl);
+                let supported = if dv == 1 {
+                    within_range(self.synced[vu], self.base, self.rc)
+                } else {
+                    self.adj[vu]
+                        .iter()
+                        .any(|&u| !self.raised[u as usize] && self.dist[u as usize] == dv - 1)
+                };
+                if supported {
+                    continue;
+                }
+                self.raised[vu] = true;
+                raised_list.push((v, dv));
+                for k in 0..self.adj[vu].len() {
+                    let u = self.adj[vu][k];
+                    let uu = u as usize;
+                    if !self.raised[uu] && !self.queued[uu] && self.dist[uu] == dv + 1 {
+                        self.queued[uu] = true;
+                        self.ensure_level(lvl + 1);
+                        self.levels[lvl + 1].push(u);
+                    }
+                }
+            }
+            lvl += 1;
+        }
+        // Bounded frontier: when the invalidated region spans most of
+        // the fleet, a fresh flood is cheaper than repairing it.
+        if 2 * raised_list.len() >= n.max(1) {
+            self.rebuild();
+            return;
+        }
+
+        // ---- Phase 2: relabel. Re-flood the invalidated region from
+        // its stable boundary (bucket-queue BFS, lazy deletion via the
+        // settled flags). Sensors the boundary never reaches stay
+        // unreachable.
+        for &(v, _) in &raised_list {
+            let vu = v as usize;
+            let cand = if within_range(self.synced[vu], self.base, self.rc) {
+                1
+            } else {
+                self.adj[vu]
+                    .iter()
+                    .filter(|&&u| !self.raised[u as usize])
+                    .map(|&u| self.dist[u as usize])
+                    .filter(|&d| d != UNREACHED)
+                    .min()
+                    .map_or(UNREACHED, |d| d + 1)
+            };
+            self.dist[vu] = UNREACHED;
+            if cand != UNREACHED {
+                self.ensure_level(cand as usize);
+                self.levels[cand as usize].push(v);
+            }
+        }
+        let mut lvl = 1;
+        while lvl < self.levels.len() {
+            let bucket = std::mem::take(&mut self.levels[lvl]);
+            for v in bucket {
+                let vu = v as usize;
+                if self.settled[vu] {
+                    continue;
+                }
+                self.settled[vu] = true;
+                self.dist[vu] = lvl as u32;
+                for k in 0..self.adj[vu].len() {
+                    let u = self.adj[vu][k];
+                    let uu = u as usize;
+                    if self.raised[uu] && !self.settled[uu] {
+                        self.ensure_level(lvl + 1);
+                        self.levels[lvl + 1].push(u);
+                    }
+                }
+            }
+            lvl += 1;
+        }
+
+        // ---- Phase 3: relax. Distance *decreases* enter through
+        // newly appeared links, newly gained base links, and
+        // invalidated sensors that relabeled below their old hop count
+        // (their untouched neighbors may now deserve less too); a
+        // monotone bucket BFS propagates them to exactness.
+        let improve = |this: &mut Self, v: u32, d: u32| {
+            if d < this.dist[v as usize] {
+                this.dist[v as usize] = d;
+                this.ensure_level(d as usize);
+                this.levels[d as usize].push(v);
+            }
+        };
+        for &m in moved {
+            let mu = m as usize;
+            if within_range(self.synced[mu], self.base, self.rc) {
+                improve(self, m, 1);
+            }
+        }
+        for &(u, v) in added {
+            let (du, dv) = (self.dist[u as usize], self.dist[v as usize]);
+            if du != UNREACHED {
+                improve(self, v, du + 1);
+            }
+            if dv != UNREACHED {
+                improve(self, u, dv + 1);
+            }
+        }
+        for &(v, old_d) in &raised_list {
+            let d = self.dist[v as usize];
+            if d < old_d {
+                self.ensure_level(d as usize);
+                self.levels[d as usize].push(v);
+            }
+        }
+        let mut lvl = 1;
+        while lvl < self.levels.len() {
+            let bucket = std::mem::take(&mut self.levels[lvl]);
+            for v in bucket {
+                let vu = v as usize;
+                if self.dist[vu] != lvl as u32 {
+                    continue; // superseded by a better label
+                }
+                for k in 0..self.adj[vu].len() {
+                    let u = self.adj[vu][k];
+                    improve(self, u, lvl as u32 + 1);
+                }
+            }
+            lvl += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DiskGraph;
+
+    fn oracle_mask(pts: &[Point], base: Point, rc: f64) -> Vec<bool> {
+        DiskGraph::build(pts, rc).flood_from_base(pts, base, rc)
+    }
+
+    fn oracle_hops(pts: &[Point], base: Point, rc: f64) -> Vec<usize> {
+        DiskGraph::build(pts, rc).base_hop_distances(pts, base, rc)
+    }
+
+    fn assert_matches(tracker: &mut ConnectivityTracker, pts: &[Point], base: Point, rc: f64) {
+        assert_eq!(tracker.connected_mask(), oracle_mask(pts, base, rc));
+        assert_eq!(tracker.hop_distances(), oracle_hops(pts, base, rc));
+    }
+
+    #[test]
+    fn chain_moves_track_the_oracle() {
+        let base = Point::ORIGIN;
+        let rc = 10.0;
+        let mut pts: Vec<Point> = (0..6)
+            .map(|i| Point::new(8.0 * i as f64 + 8.0, 0.0))
+            .collect();
+        let mut tracker = ConnectivityTracker::new(&pts, base, rc);
+        assert_matches(&mut tracker, &pts, base, rc);
+        assert_eq!(tracker.hops(0), Some(1));
+        assert_eq!(tracker.hops(5), Some(6));
+        // break the chain in the middle
+        pts[2] = Point::new(24.0, 50.0);
+        tracker.set_sensor(2, pts[2]);
+        assert_matches(&mut tracker, &pts, base, rc);
+        assert!(!tracker.is_connected(5));
+        // and mend it again
+        pts[2] = Point::new(24.0, 4.0);
+        tracker.set_sensor(2, pts[2]);
+        assert_matches(&mut tracker, &pts, base, rc);
+        assert!(tracker.all_connected());
+    }
+
+    #[test]
+    fn base_range_entry_and_exit() {
+        let base = Point::new(50.0, 50.0);
+        let rc = 10.0;
+        let mut pts = vec![Point::new(100.0, 100.0), Point::new(108.0, 100.0)];
+        let mut tracker = ConnectivityTracker::new(&pts, base, rc);
+        assert_eq!(tracker.connected_mask(), vec![false, false]);
+        // sensor 0 walks into base range: both connect through it
+        pts[0] = Point::new(55.0, 50.0);
+        tracker.set_sensor(0, pts[0]);
+        assert_matches(&mut tracker, &pts, base, rc);
+        // it only works while sensor 1 is in range of sensor 0
+        pts[1] = Point::new(62.0, 50.0);
+        tracker.set_sensor(1, pts[1]);
+        assert_matches(&mut tracker, &pts, base, rc);
+        assert_eq!(tracker.hops(1), Some(2));
+        // sensor 0 leaves base range again
+        pts[0] = Point::new(80.0, 50.0);
+        tracker.set_sensor(0, pts[0]);
+        assert_matches(&mut tracker, &pts, base, rc);
+        assert!(!tracker.is_connected(0));
+    }
+
+    #[test]
+    fn batched_moves_rebuild_and_stay_exact() {
+        let base = Point::ORIGIN;
+        let rc = 15.0;
+        let mut pts: Vec<Point> = (0..10)
+            .map(|i| Point::new(10.0 * i as f64 + 5.0, 0.0))
+            .collect();
+        let mut tracker = ConnectivityTracker::new(&pts, base, rc);
+        for (i, p) in pts.iter_mut().enumerate() {
+            *p = Point::new(p.x, 12.0 * (i % 3) as f64);
+            tracker.set_sensor(i, *p);
+        }
+        assert_matches(&mut tracker, &pts, base, rc);
+    }
+
+    #[test]
+    fn redundant_sets_are_noops() {
+        let base = Point::ORIGIN;
+        let pts = vec![Point::new(5.0, 0.0)];
+        let mut tracker = ConnectivityTracker::new(&pts, base, 10.0);
+        for _ in 0..3 {
+            tracker.set_sensor(0, pts[0]);
+        }
+        assert!(tracker.is_connected(0));
+        assert_eq!(tracker.len(), 1);
+        assert!(!tracker.is_empty());
+        assert_eq!(tracker.rc(), 10.0);
+        assert_eq!(tracker.base(), base);
+    }
+
+    #[test]
+    fn empty_tracker() {
+        let mut tracker = ConnectivityTracker::new(&[], Point::ORIGIN, 10.0);
+        assert!(tracker.is_empty());
+        assert!(tracker.all_connected(), "vacuously true");
+        assert_eq!(tracker.connected_mask(), Vec::<bool>::new());
+    }
+
+    #[test]
+    fn gained_shortcut_lowers_descendant_hops() {
+        // A raised sensor that relabels *below* its old hop count must
+        // propagate the improvement to untouched neighbors (the phase 3
+        // raised-below-old seeding).
+        let base = Point::ORIGIN;
+        let rc = 10.0;
+        // long chain: 0..=4 at hops 1..=5, with a tail 5 hanging off 4
+        let mut pts: Vec<Point> = (0..6)
+            .map(|i| Point::new(8.0 * i as f64 + 8.0, 0.0))
+            .collect();
+        let mut tracker = ConnectivityTracker::new(&pts, base, rc);
+        assert_eq!(tracker.hops(5), Some(6));
+        // sensor 4 jumps right next to the base: its support (3) is
+        // unchanged, but its hop count drops to 1 and 5 must follow —
+        // and sensor 5 keeps its link only because 4 lands in range.
+        pts[4] = Point::new(2.0, 1.0);
+        pts[5] = Point::new(11.5, 1.0); // out of base range, in range of 4
+        tracker.set_sensor(4, pts[4]);
+        tracker.set_sensor(5, pts[5]);
+        assert_matches(&mut tracker, &pts, base, rc);
+        assert_eq!(tracker.hops(4), Some(1));
+        assert_eq!(tracker.hops(5), Some(2));
+    }
+}

@@ -109,6 +109,30 @@ impl DiskGraph {
         self.flood_from_base(points, base, rc).iter().all(|&c| c)
     }
 
+    /// Hop distances from the base station: sensors within `rc` of the
+    /// base count 1 hop, their unflooded neighbors 2, and so on;
+    /// `usize::MAX` marks disconnected sensors. The reference oracle
+    /// for [`crate::ConnectivityTracker::hop_distances`].
+    pub fn base_hop_distances(&self, points: &[Point], base: Point, rc: f64) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; points.len()];
+        let mut queue = VecDeque::new();
+        for i in 0..points.len() {
+            if within_range(points[i], base, rc) {
+                dist[i] = 1;
+                queue.push_back(i);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adj[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
     /// Labels connected components; returns `labels[i]` in
     /// `0..component_count`, and the count.
     pub fn components(&self) -> (Vec<usize>, usize) {
@@ -226,6 +250,12 @@ mod tests {
         let g = DiskGraph::build(&pts, 10.0);
         let d = g.hop_distances(0);
         assert_eq!(d, vec![0, 1, 2, 3, 4, 5]);
+        // base at the origin: the chain head is 1 hop (chain spacing
+        // starts at x = 0, within rc of the base)
+        let bd = g.base_hop_distances(&pts, Point::ORIGIN, 10.0);
+        assert_eq!(bd, vec![1, 1, 2, 3, 4, 5]);
+        let far = g.base_hop_distances(&pts, Point::new(500.0, 0.0), 10.0);
+        assert!(far.iter().all(|&d| d == usize::MAX));
         let mut two_hop = g.k_hop_neighbors(2, 2);
         two_hop.sort_unstable();
         assert_eq!(two_hop, vec![0, 1, 3, 4]);

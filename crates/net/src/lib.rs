@@ -13,6 +13,10 @@
 //! * [`DiskGraph`] — the `rc`-disk graph with BFS flooding
 //!   ([`DiskGraph::flood_from_base`], modeling §4.1's connectivity
 //!   flood) and component labeling;
+//! * [`ConnectivityTracker`] — incremental counterpart of build +
+//!   flood: maintains the base-rooted reachable set and hop distances
+//!   under sensor moves by diffing link events and repairing with a
+//!   bounded dynamic-BFS frontier (bit-identical to the oracle);
 //! * [`Tree`] — the parent/children forest rooted at the base station,
 //!   with ancestor lists (§5.3), loop-free reparent checks and subtree
 //!   enumeration (the `LockTree` protocol of §4.2);
@@ -24,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod conntrack;
 mod diskgraph;
 mod messages;
 mod randomwalk;
@@ -31,6 +36,7 @@ mod range;
 mod spatial;
 mod tree;
 
+pub use conntrack::ConnectivityTracker;
 pub use diskgraph::DiskGraph;
 pub use messages::{MessageCounter, MsgKind};
 pub use randomwalk::random_walk;

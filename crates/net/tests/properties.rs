@@ -1,7 +1,7 @@
 //! Property-based tests for the network substrate.
 
 use msn_geom::Point;
-use msn_net::{random_walk, DiskGraph, Parent, SpatialGrid, Tree};
+use msn_net::{random_walk, ConnectivityTracker, DiskGraph, Parent, SpatialGrid, Tree, RANGE_EPS};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -9,6 +9,28 @@ use rand::SeedableRng;
 fn pts_strategy() -> impl Strategy<Value = Vec<Point>> {
     prop::collection::vec((0.0..500.0f64, 0.0..500.0f64), 1..60)
         .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+/// A move sequence: which sensor goes where, batched into query
+/// rounds (several moves may land between two tracker queries).
+fn moves_strategy() -> impl Strategy<Value = Vec<Vec<(usize, f64, f64)>>> {
+    prop::collection::vec(
+        prop::collection::vec((0usize..60, 0.0..500.0f64, 0.0..500.0f64), 1..8),
+        1..12,
+    )
+}
+
+/// The tracker must agree with the build + flood oracle bit for bit
+/// after every query round.
+fn assert_tracker_matches_oracle(
+    pts: &[Point],
+    base: Point,
+    rc: f64,
+    tracker: &mut ConnectivityTracker,
+) {
+    let g = DiskGraph::build(pts, rc);
+    assert_eq!(tracker.connected_mask(), g.flood_from_base(pts, base, rc));
+    assert_eq!(tracker.hop_distances(), g.base_hop_distances(pts, base, rc));
 }
 
 proptest! {
@@ -81,6 +103,79 @@ proptest! {
             prop_assert!(g.neighbors(prev).contains(&v));
             prev = v;
         }
+    }
+
+    #[test]
+    fn connectivity_tracker_matches_flood_oracle(
+        pts in pts_strategy(),
+        moves in moves_strategy(),
+        rc in 10.0..200.0f64,
+        base in (0.0..500.0f64, 0.0..500.0f64),
+    ) {
+        let base = Point::new(base.0, base.1);
+        let mut pts = pts;
+        let mut tracker = ConnectivityTracker::new(&pts, base, rc);
+        assert_tracker_matches_oracle(&pts, base, rc, &mut tracker);
+        for round in moves {
+            for (i, x, y) in round {
+                let i = i % pts.len();
+                pts[i] = Point::new(x, y);
+                tracker.set_sensor(i, pts[i]);
+            }
+            assert_tracker_matches_oracle(&pts, base, rc, &mut tracker);
+        }
+    }
+
+    #[test]
+    fn connectivity_tracker_base_range_walks(
+        seed in 0u64..200,
+        rc in 10.0..60.0f64,
+    ) {
+        // Sensors shuttling across the base's range boundary: the hop-1
+        // seed set churns on every round.
+        use rand::Rng;
+        let base = Point::new(250.0, 250.0);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut pts: Vec<Point> = (0..20)
+            .map(|_| Point::new(rng.gen_range(200.0..300.0), rng.gen_range(200.0..300.0)))
+            .collect();
+        let mut tracker = ConnectivityTracker::new(&pts, base, rc);
+        for _ in 0..8 {
+            for _ in 0..3 {
+                let i = rng.gen_range(0..pts.len());
+                // jitter around the base-range circle
+                let ang = rng.gen_range(0.0..std::f64::consts::TAU);
+                let r = rc + rng.gen_range(-5.0..5.0);
+                pts[i] = base + Point::from_angle(ang) * r;
+                tracker.set_sensor(i, pts[i]);
+            }
+            assert_tracker_matches_oracle(&pts, base, rc, &mut tracker);
+        }
+    }
+
+    #[test]
+    fn connectivity_tracker_epsilon_boundaries(eps_idx in 0usize..7) {
+        let eps_mult = [-3.0f64, -1.0, -0.5, 0.0, 0.5, 1.0, 3.0][eps_idx];
+        // Links sitting inside/outside the RANGE_EPS slack window (the
+        // PR 3 base-link-vs-edge boundary): tracker and oracle must
+        // flip together, for base links and sensor-sensor edges alike.
+        let rc = 10.0;
+        let base = Point::ORIGIN;
+        let spacing = rc + eps_mult * RANGE_EPS;
+        let mut pts = vec![Point::new(spacing, 0.0), Point::new(2.0 * spacing, 0.0)];
+        let mut tracker = ConnectivityTracker::new(&pts, base, rc);
+        assert_tracker_matches_oracle(&pts, base, rc, &mut tracker);
+        // sensor 1 re-crosses the edge boundary by a hair
+        pts[1] = Point::new(spacing + rc + 0.5 * RANGE_EPS, 0.0);
+        tracker.set_sensor(1, pts[1]);
+        assert_tracker_matches_oracle(&pts, base, rc, &mut tracker);
+        pts[1] = Point::new(spacing + rc + 3.0 * RANGE_EPS, 0.0);
+        tracker.set_sensor(1, pts[1]);
+        assert_tracker_matches_oracle(&pts, base, rc, &mut tracker);
+        // and sensor 0 leaves the base's slack window
+        pts[0] = Point::new(rc + 3.0 * RANGE_EPS, 0.0);
+        tracker.set_sensor(0, pts[0]);
+        assert_tracker_matches_oracle(&pts, base, rc, &mut tracker);
     }
 
     #[test]

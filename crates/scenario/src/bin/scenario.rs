@@ -4,7 +4,8 @@
 //! ```text
 //! scenario run <spec.toml> [--out DIR] [--threads N] [--quick] [--resume]
 //!                          [--checkpoint-every N]
-//! scenario diff <a/batch.json> <b/batch.json> [--tol T]
+//! scenario diff <a/batch.json> <b/batch.json> [--tol T] [--junit PATH]
+//! scenario bench-diff <baseline.json> <current.json> [--tol T]
 //! scenario list [DIR]
 //! scenario describe <spec.toml>
 //! ```
@@ -22,9 +23,15 @@
 //! Rerunning with `RAYON_NUM_THREADS=1` (or `--threads 1`) produces
 //! byte-identical JSON. `diff` compares two batch files cell-by-cell
 //! within a relative tolerance and exits nonzero on any difference —
-//! the CI regression gate.
+//! the CI regression gate; `--junit` additionally writes one JUnit
+//! testcase per matrix cell for CI annotation. `bench-diff` holds a
+//! `BENCH_*.json` perf record against a committed baseline and exits
+//! nonzero when a kernel regressed beyond tolerance — the CI
+//! bench-trend gate.
 
-use msn_scenario::{diff_batches, BatchFile, BatchRunner, ScenarioSpec};
+use msn_scenario::{
+    diff_batches, diff_bench, junit_xml, BatchFile, BatchRunner, BenchRecord, ScenarioSpec,
+};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -33,6 +40,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]).map(|_| true),
         Some("diff") => cmd_diff(&args[1..]),
+        Some("bench-diff") => cmd_bench_diff(&args[1..]),
         Some("list") => cmd_list(&args[1..]).map(|_| true),
         Some("describe") => cmd_describe(&args[1..]).map(|_| true),
         Some("--help" | "-h" | "help") | None => {
@@ -57,7 +65,8 @@ scenario — declarative experiment batches for the MSN deployment schemes
 USAGE:
     scenario run <spec.toml> [--out DIR] [--threads N] [--quick] [--resume]
                              [--checkpoint-every N]
-    scenario diff <a/batch.json> <b/batch.json> [--tol T]
+    scenario diff <a/batch.json> <b/batch.json> [--tol T] [--junit PATH]
+    scenario bench-diff <baseline.json> <current.json> [--tol T]
     scenario list [DIR]           (default DIR: scenarios/)
     scenario describe <spec.toml>
 
@@ -73,7 +82,14 @@ write-then-rename) every N runs, so a hard-killed batch resumes from
 the last checkpoint instead of from scratch; default 25, 0 disables.
 `diff` compares two batch.json files cell-by-cell; numeric metrics
 must agree within the relative tolerance T (default 0 = exact) and
-the exit code is nonzero on any difference.
+the exit code is nonzero on any difference. `--junit PATH` also
+writes a JUnit XML file with one testcase per matrix cell, for CI
+annotation.
+`bench-diff` compares two BENCH_*.json kernel perf records; a kernel
+slower than baseline * (1 + T) (default T 0.25), or missing from the
+current record, fails the gate with a nonzero exit. Regressions are
+also emitted as GitHub ::error:: annotations when GITHUB_ACTIONS is
+set.
 ";
 
 fn load_spec(path: &str) -> Result<ScenarioSpec, String> {
@@ -226,16 +242,16 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 fn cmd_diff(args: &[String]) -> Result<bool, String> {
     let mut paths: Vec<&str> = Vec::new();
     let mut tol = 0.0f64;
+    let mut junit: Option<&str> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--tol" => {
                 let v = it.next().ok_or("--tol needs a number")?;
-                tol = v
-                    .parse::<f64>()
-                    .ok()
-                    .filter(|t| t.is_finite() && *t >= 0.0)
-                    .ok_or_else(|| format!("invalid tolerance '{v}'"))?;
+                tol = parse_tol(v)?;
+            }
+            "--junit" => {
+                junit = Some(it.next().ok_or("--junit needs a path")?);
             }
             other if !other.starts_with('-') => paths.push(other),
             other => return Err(format!("unexpected argument '{other}'\n{USAGE}")),
@@ -252,12 +268,74 @@ fn cmd_diff(args: &[String]) -> Result<bool, String> {
     let b = load(b_path)?;
     let report = diff_batches(&a, &b, tol);
     print!("{}", report.render());
+    if let Some(path) = junit {
+        let suite = format!("scenario-diff:{}", a.scenario);
+        std::fs::write(path, junit_xml(&report, &suite))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
     if report.is_match() {
         println!("MATCH (tol {tol})");
     } else {
         println!("DIFFER (tol {tol})");
     }
     Ok(report.is_match())
+}
+
+/// Compares two BENCH_*.json perf records; `Ok(false)` means the
+/// current record regressed beyond tolerance (nonzero exit — the CI
+/// bench-trend gate).
+fn cmd_bench_diff(args: &[String]) -> Result<bool, String> {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut tol = 0.25f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tol" => {
+                let v = it.next().ok_or("--tol needs a number")?;
+                tol = parse_tol(v)?;
+            }
+            other if !other.starts_with('-') => paths.push(other),
+            other => return Err(format!("unexpected argument '{other}'\n{USAGE}")),
+        }
+    }
+    let [base_path, cur_path] = paths[..] else {
+        return Err(format!(
+            "bench-diff needs exactly two BENCH_*.json files\n{USAGE}"
+        ));
+    };
+    let load = |path: &str| -> Result<BenchRecord, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        BenchRecord::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let baseline = load(base_path)?;
+    let current = load(cur_path)?;
+    let report = diff_bench(&baseline, &current, tol);
+    print!("{}", report.render());
+    if std::env::var_os("GITHUB_ACTIONS").is_some() {
+        for note in report.annotations() {
+            println!("{note}");
+        }
+    }
+    if report.is_match() {
+        println!(
+            "PASS ({} vs {}, tol {tol})",
+            baseline.record, current.record
+        );
+    } else {
+        println!(
+            "FAIL ({} vs {}, tol {tol})",
+            baseline.record, current.record
+        );
+    }
+    Ok(report.is_match())
+}
+
+fn parse_tol(v: &str) -> Result<f64, String> {
+    v.parse::<f64>()
+        .ok()
+        .filter(|t| t.is_finite() && *t >= 0.0)
+        .ok_or_else(|| format!("invalid tolerance '{v}'"))
 }
 
 fn cmd_list(args: &[String]) -> Result<(), String> {

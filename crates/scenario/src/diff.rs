@@ -205,6 +205,34 @@ impl BatchFile {
     }
 }
 
+/// One matrix cell's comparison outcome — the unit the `--junit`
+/// output renders as a testcase.
+#[derive(Debug, Clone)]
+pub struct CellDiff {
+    /// Human-readable cell identity (`rc=.. rs=.. n=.. SCHEME`).
+    pub label: String,
+    /// Repetitions compared in this cell.
+    pub compared: usize,
+    /// Failure messages; empty means the cell matches.
+    pub failures: Vec<String>,
+}
+
+/// Aggregate relative deltas of one metric over every compared
+/// repetition.
+#[derive(Debug, Clone)]
+pub struct MetricSummary {
+    /// Metric name.
+    pub metric: &'static str,
+    /// Repetitions the metric was compared on.
+    pub compared: usize,
+    /// Largest relative delta seen.
+    pub max_rel: f64,
+    /// Mean relative delta.
+    pub mean_rel: f64,
+    /// Where the largest delta occurred (cell label + rep).
+    pub worst: Option<String>,
+}
+
 /// The outcome of comparing two batch files.
 #[derive(Debug, Clone)]
 pub struct DiffReport {
@@ -214,6 +242,10 @@ pub struct DiffReport {
     pub compared: usize,
     /// Number of out-of-tolerance or structural differences.
     pub mismatches: usize,
+    /// Per-cell outcomes over the union of both files' cells.
+    pub cells: Vec<CellDiff>,
+    /// Per-metric delta summaries over every compared repetition.
+    pub metrics: Vec<MetricSummary>,
 }
 
 impl DiffReport {
@@ -222,11 +254,35 @@ impl DiffReport {
         self.mismatches == 0
     }
 
-    /// Formats the report (summary line plus differences).
+    /// Formats the report: difference lines, the per-metric summary
+    /// table, and a closing summary line.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for line in &self.lines {
             let _ = writeln!(out, "{line}");
+        }
+        if self.compared > 0 {
+            let _ = writeln!(
+                out,
+                "per-metric deltas over {} compared record(s):",
+                self.compared
+            );
+            let _ = writeln!(
+                out,
+                "  {:<18} {:>8} {:>12} {:>12}  worst at",
+                "metric", "records", "mean rel", "max rel"
+            );
+            for m in &self.metrics {
+                let _ = writeln!(
+                    out,
+                    "  {:<18} {:>8} {:>12.3e} {:>12.3e}  {}",
+                    m.metric,
+                    m.compared,
+                    m.mean_rel,
+                    m.max_rel,
+                    m.worst.as_deref().unwrap_or("-"),
+                );
+            }
         }
         let _ = writeln!(
             out,
@@ -234,6 +290,55 @@ impl DiffReport {
             self.compared, self.mismatches
         );
         out
+    }
+}
+
+/// Running aggregation behind one [`MetricSummary`] row.
+struct MetricAcc {
+    metric: &'static str,
+    compared: usize,
+    sum_rel: f64,
+    max_rel: f64,
+    worst: Option<String>,
+}
+
+impl MetricAcc {
+    fn new(metric: &'static str) -> Self {
+        MetricAcc {
+            metric,
+            compared: 0,
+            sum_rel: 0.0,
+            max_rel: 0.0,
+            worst: None,
+        }
+    }
+
+    fn record(&mut self, a: f64, b: f64, at: impl FnOnce() -> String) {
+        let rel = if a == b {
+            0.0
+        } else {
+            (a - b).abs() / a.abs().max(b.abs())
+        };
+        self.compared += 1;
+        self.sum_rel += rel;
+        if rel > self.max_rel {
+            self.max_rel = rel;
+            self.worst = Some(at());
+        }
+    }
+
+    fn summary(self) -> MetricSummary {
+        MetricSummary {
+            metric: self.metric,
+            compared: self.compared,
+            max_rel: self.max_rel,
+            mean_rel: if self.compared == 0 {
+                0.0
+            } else {
+                self.sum_rel / self.compared as f64
+            },
+            worst: self.worst.filter(|_| self.max_rel > 0.0),
+        }
     }
 }
 
@@ -264,8 +369,17 @@ fn key_label(key: &CellKey) -> String {
 /// differences.
 pub fn diff_batches(a: &BatchFile, b: &BatchFile, tol: f64) -> DiffReport {
     let mut lines = Vec::new();
+    let mut cells: Vec<CellDiff> = Vec::new();
     let mut compared = 0;
     let mut mismatches = 0;
+    let mut accs = [
+        MetricAcc::new("coverage"),
+        MetricAcc::new("avg_move"),
+        MetricAcc::new("max_move"),
+        MetricAcc::new("total_move"),
+        MetricAcc::new("messages"),
+    ];
+    let mut conv_acc = MetricAcc::new("convergence_time");
     if a.scenario != b.scenario {
         lines.push(format!(
             "note: comparing different scenarios '{}' vs '{}'",
@@ -273,38 +387,57 @@ pub fn diff_batches(a: &BatchFile, b: &BatchFile, tol: f64) -> DiffReport {
         ));
     }
     for (key, runs_a) in &a.cells {
+        let label = key_label(key);
         let Some((_, runs_b)) = a_find(b, key) else {
             mismatches += 1;
-            lines.push(format!("cell missing from right file: {}", key_label(key)));
+            let msg = format!("cell missing from right file: {label}");
+            lines.push(msg.clone());
+            cells.push(CellDiff {
+                label,
+                compared: 0,
+                failures: vec![msg],
+            });
             continue;
+        };
+        let mut cell = CellDiff {
+            label: label.clone(),
+            compared: 0,
+            failures: Vec::new(),
         };
         for (rep, ra) in runs_a {
             let Some(rb) = runs_b.get(rep) else {
                 mismatches += 1;
-                lines.push(format!(
-                    "rep {rep} missing from right file: {}",
-                    key_label(key)
-                ));
+                let msg = format!("rep {rep} missing from right file: {label}");
+                lines.push(msg.clone());
+                cell.failures.push(msg);
                 continue;
             };
             compared += 1;
+            cell.compared += 1;
             let mut diffs: Vec<String> = Vec::new();
             if ra.env_seed != rb.env_seed {
                 diffs.push(format!("env_seed {} vs {}", ra.env_seed, rb.env_seed));
             }
-            for (metric, va, vb) in [
-                ("coverage", ra.coverage, rb.coverage),
-                ("avg_move", ra.avg_move, rb.avg_move),
-                ("max_move", ra.max_move, rb.max_move),
-                ("total_move", ra.total_move, rb.total_move),
-                ("messages", ra.messages as f64, rb.messages as f64),
-            ] {
+            let pairs = [
+                (ra.coverage, rb.coverage),
+                (ra.avg_move, rb.avg_move),
+                (ra.max_move, rb.max_move),
+                (ra.total_move, rb.total_move),
+                (ra.messages as f64, rb.messages as f64),
+            ];
+            for (acc, (va, vb)) in accs.iter_mut().zip(pairs) {
+                acc.record(va, vb, || format!("{label} rep {rep}"));
                 if !within(va, vb, tol) {
-                    diffs.push(format!("{metric} {va} vs {vb}"));
+                    diffs.push(format!("{} {va} vs {vb}", acc.metric));
                 }
             }
             match (ra.convergence_time, rb.convergence_time) {
-                (Some(ta), Some(tb)) if within(ta, tb, tol) => {}
+                (Some(ta), Some(tb)) => {
+                    conv_acc.record(ta, tb, || format!("{label} rep {rep}"));
+                    if !within(ta, tb, tol) {
+                        diffs.push(format!("convergence_time {ta} vs {tb}"));
+                    }
+                }
                 (None, None) => {}
                 (ta, tb) => diffs.push(format!("convergence_time {ta:?} vs {tb:?}")),
             }
@@ -316,34 +449,44 @@ pub fn diff_batches(a: &BatchFile, b: &BatchFile, tol: f64) -> DiffReport {
             }
             if !diffs.is_empty() {
                 mismatches += 1;
-                lines.push(format!(
-                    "{} rep {rep}: {}",
-                    key_label(key),
-                    diffs.join(", ")
-                ));
+                let msg = format!("{label} rep {rep}: {}", diffs.join(", "));
+                lines.push(msg.clone());
+                cell.failures.push(msg);
             }
         }
         // reps only on the right side
         for rep in runs_b.keys() {
             if !runs_a.contains_key(rep) {
                 mismatches += 1;
-                lines.push(format!(
-                    "rep {rep} missing from left file: {}",
-                    key_label(key)
-                ));
+                let msg = format!("rep {rep} missing from left file: {label}");
+                lines.push(msg.clone());
+                cell.failures.push(msg);
             }
         }
+        cells.push(cell);
     }
     for (key, _) in &b.cells {
         if a_find(a, key).is_none() {
             mismatches += 1;
-            lines.push(format!("cell missing from left file: {}", key_label(key)));
+            let msg = format!("cell missing from left file: {}", key_label(key));
+            lines.push(msg.clone());
+            cells.push(CellDiff {
+                label: key_label(key),
+                compared: 0,
+                failures: vec![msg],
+            });
         }
     }
     DiffReport {
         lines,
         compared,
         mismatches,
+        cells,
+        metrics: accs
+            .into_iter()
+            .chain(std::iter::once(conv_acc))
+            .map(MetricAcc::summary)
+            .collect(),
     }
 }
 
@@ -413,6 +556,50 @@ mod tests {
         assert!(strict.render().contains("coverage"), "{}", strict.render());
         let lenient = diff_batches(&a, &b, 0.01);
         assert!(lenient.is_match(), "{}", lenient.render());
+    }
+
+    #[test]
+    fn per_metric_summary_reports_max_and_mean() {
+        let json = tiny_result_json();
+        let a = BatchFile::parse(&json).unwrap();
+        let mut b = BatchFile::parse(&json).unwrap();
+        b.cells[0].1.get_mut(&0).unwrap().coverage *= 1.10; // +10 %
+        b.cells[0].1.get_mut(&1).unwrap().coverage *= 1.02; // +2 %
+        let report = diff_batches(&a, &b, 0.5);
+        assert!(report.is_match(), "both drifts inside tolerance");
+        let cov = report
+            .metrics
+            .iter()
+            .find(|m| m.metric == "coverage")
+            .expect("coverage summary");
+        assert_eq!(cov.compared, 2);
+        assert!((cov.max_rel - 0.10 / 1.10).abs() < 1e-9, "{}", cov.max_rel);
+        assert!(cov.mean_rel > 0.0 && cov.mean_rel < cov.max_rel);
+        assert!(cov.worst.as_deref().unwrap().contains("rep 0"));
+        let mv = report
+            .metrics
+            .iter()
+            .find(|m| m.metric == "avg_move")
+            .expect("avg_move summary");
+        assert_eq!(mv.max_rel, 0.0);
+        assert!(mv.worst.is_none(), "no worst cell when nothing drifted");
+        assert!(report.render().contains("per-metric deltas"));
+    }
+
+    #[test]
+    fn cell_outcomes_cover_the_union_of_cells() {
+        let json = tiny_result_json();
+        let a = BatchFile::parse(&json).unwrap();
+        let mut b = BatchFile::parse(&json).unwrap();
+        // rename the cell on the right: one missing each way
+        b.cells[0].0 .3 = "FLOOR".to_string();
+        let report = diff_batches(&a, &b, 0.0);
+        assert_eq!(report.cells.len(), 2);
+        assert!(report.cells.iter().all(|c| !c.failures.is_empty()));
+        let matched = diff_batches(&a, &a, 0.0);
+        assert_eq!(matched.cells.len(), 1);
+        assert!(matched.cells[0].failures.is_empty());
+        assert_eq!(matched.cells[0].compared, 2);
     }
 
     #[test]

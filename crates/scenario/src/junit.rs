@@ -1,0 +1,130 @@
+//! JUnit-style XML rendering of [`DiffReport`]s.
+//!
+//! CI systems (GitHub via `action-junit-report`, GitLab, Jenkins)
+//! turn JUnit files into per-test annotations. `scenario diff --junit
+//! <path>` writes one `<testcase>` per matrix cell, so a golden-output
+//! gate reports *which cells* drifted instead of a bare nonzero exit.
+
+use crate::diff::DiffReport;
+use std::fmt::Write as _;
+
+/// Escapes the five XML-special characters for use in attribute
+/// values and text nodes.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a diff report as a JUnit XML document: one testsuite named
+/// `suite`, one testcase per matrix cell, a `<failure>` per drifted
+/// cell carrying its difference lines.
+pub fn junit_xml(report: &DiffReport, suite: &str) -> String {
+    let failures = report
+        .cells
+        .iter()
+        .filter(|c| !c.failures.is_empty())
+        .count();
+    let mut out = String::new();
+    let _ = writeln!(out, r#"<?xml version="1.0" encoding="UTF-8"?>"#);
+    let _ = writeln!(
+        out,
+        r#"<testsuite name="{}" tests="{}" failures="{failures}" errors="0" skipped="0">"#,
+        esc(suite),
+        report.cells.len(),
+    );
+    for cell in &report.cells {
+        if cell.failures.is_empty() {
+            let _ = writeln!(
+                out,
+                r#"  <testcase classname="{}" name="{}"/>"#,
+                esc(suite),
+                esc(&cell.label),
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                r#"  <testcase classname="{}" name="{}">"#,
+                esc(suite),
+                esc(&cell.label),
+            );
+            let _ = writeln!(
+                out,
+                r#"    <failure message="{} difference(s)">{}</failure>"#,
+                cell.failures.len(),
+                esc(&cell.failures.join("\n")),
+            );
+            let _ = writeln!(out, "  </testcase>");
+        }
+    }
+    let _ = writeln!(out, "</testsuite>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::{CellDiff, MetricSummary};
+
+    fn report(cells: Vec<CellDiff>) -> DiffReport {
+        DiffReport {
+            lines: Vec::new(),
+            compared: cells.iter().map(|c| c.compared).sum(),
+            mismatches: cells.iter().map(|c| c.failures.len()).sum(),
+            cells,
+            metrics: Vec::<MetricSummary>::new(),
+        }
+    }
+
+    #[test]
+    fn clean_report_renders_passing_testcases() {
+        let xml = junit_xml(
+            &report(vec![CellDiff {
+                label: "rc=60 rs=40 n=10 OPT".into(),
+                compared: 2,
+                failures: vec![],
+            }]),
+            "golden",
+        );
+        assert!(xml.starts_with(r#"<?xml version="1.0""#));
+        assert!(xml.contains(r#"<testsuite name="golden" tests="1" failures="0""#));
+        assert!(xml.contains(r#"<testcase classname="golden" name="rc=60 rs=40 n=10 OPT"/>"#));
+        assert!(!xml.contains("<failure"));
+    }
+
+    #[test]
+    fn drifted_cells_become_failures_with_escaped_payload() {
+        let xml = junit_xml(
+            &report(vec![
+                CellDiff {
+                    label: "rc=60 rs=40 n=10 OPT".into(),
+                    compared: 1,
+                    failures: vec!["coverage 0.5 vs 0.6".into(), "messages 3 vs 4".into()],
+                },
+                CellDiff {
+                    label: "variant '<ttl&8>'".into(),
+                    compared: 0,
+                    failures: vec!["cell missing from right file".into()],
+                },
+            ]),
+            "golden",
+        );
+        assert!(xml.contains(r#"tests="2" failures="2""#));
+        assert!(xml.contains(r#"<failure message="2 difference(s)">"#));
+        assert!(xml.contains("coverage 0.5 vs 0.6\nmessages 3 vs 4"));
+        assert!(
+            xml.contains("variant &apos;&lt;ttl&amp;8&gt;&apos;"),
+            "{xml}"
+        );
+        assert!(!xml.contains("<ttl&8>"));
+    }
+}

@@ -38,14 +38,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bench;
 mod diff;
 mod json;
+mod junit;
 mod runner;
 mod spec;
 mod toml;
 
-pub use diff::{diff_batches, BatchFile, CellKey, DiffReport, FileRun};
+pub use bench::{diff_bench, BenchDiffReport, BenchKernel, BenchRecord, DeltaStatus, KernelDelta};
+pub use diff::{diff_batches, BatchFile, CellDiff, CellKey, DiffReport, FileRun, MetricSummary};
 pub use json::{Json, JsonError};
+pub use junit::junit_xml;
 pub use runner::{BatchResult, BatchRunner, CellStats, RunRecord, ScenarioError};
 pub use spec::{
     derive_seed, FieldSpec, ParamVariant, RadioSpec, RunCell, ScatterSpec, ScenarioSpec,

@@ -3,7 +3,7 @@
 use crate::SimConfig;
 use msn_field::{CoverageGrid, CoverageTracker, Field};
 use msn_geom::Point;
-use msn_net::{DiskGraph, MessageCounter};
+use msn_net::{ConnectivityTracker, DiskGraph, MessageCounter};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -41,6 +41,9 @@ pub struct World {
     /// Incremental coverage counts, fed by every position change once
     /// [`World::track_coverage`] is called.
     tracker: Option<CoverageTracker>,
+    /// Incremental base-rooted connectivity, fed by every position
+    /// change once [`World::track_connectivity`] is called.
+    conn: Option<ConnectivityTracker>,
 }
 
 impl World {
@@ -58,6 +61,7 @@ impl World {
             rng,
             msgs: MessageCounter::new(),
             tracker: None,
+            conn: None,
         }
     }
 
@@ -140,6 +144,9 @@ impl World {
         if let Some(t) = self.tracker.as_mut() {
             t.set_sensor(i, p);
         }
+        if let Some(c) = self.conn.as_mut() {
+            c.set_sensor(i, p);
+        }
     }
 
     /// Moves sensor `i` to `p`, charging an explicit path length
@@ -161,6 +168,9 @@ impl World {
         if let Some(t) = self.tracker.as_mut() {
             t.set_sensor(i, p);
         }
+        if let Some(c) = self.conn.as_mut() {
+            c.set_sensor(i, p);
+        }
     }
 
     /// Places sensor `i` without charging distance (initial layout
@@ -170,6 +180,9 @@ impl World {
         self.positions[i] = p;
         if let Some(t) = self.tracker.as_mut() {
             t.set_sensor(i, p);
+        }
+        if let Some(c) = self.conn.as_mut() {
+            c.set_sensor(i, p);
         }
     }
 
@@ -205,10 +218,65 @@ impl World {
         DiskGraph::build(&self.positions, self.cfg.rc)
     }
 
-    /// Connected-to-base mask for the current positions.
+    /// Connected-to-base mask for the current positions, by full graph
+    /// rebuild + flood (the reference oracle; unaffected by any
+    /// installed tracker).
     pub fn connected_mask(&self) -> Vec<bool> {
         self.graph()
             .flood_from_base(&self.positions, self.cfg.base, self.cfg.rc)
+    }
+
+    /// Installs an incremental [`ConnectivityTracker`] on the current
+    /// positions. From here on every position change feeds it, and the
+    /// `*_tracked` connectivity queries answer from the maintained hop
+    /// distances — bit-identical to the build + flood oracle, but
+    /// `O(moved sensors · local repair)` per query instead of
+    /// `O(N · deg + N + E)`.
+    pub fn track_connectivity(&mut self) {
+        self.conn = Some(ConnectivityTracker::new(
+            &self.positions,
+            self.cfg.base,
+            self.cfg.rc,
+        ));
+    }
+
+    /// Whether sensor `i` is connected to the base, from the installed
+    /// tracker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`World::track_connectivity`] was never called.
+    pub fn connected_tracked(&mut self, i: usize) -> bool {
+        self.conn
+            .as_mut()
+            .expect("connected_tracked requires track_connectivity")
+            .is_connected(i)
+    }
+
+    /// Connected-to-base mask from the installed tracker — equal to
+    /// [`World::connected_mask`] at every instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`World::track_connectivity`] was never called.
+    pub fn connected_mask_tracked(&mut self) -> Vec<bool> {
+        self.conn
+            .as_mut()
+            .expect("connected_mask_tracked requires track_connectivity")
+            .connected_mask()
+    }
+
+    /// Whether every sensor is connected to the base, from the
+    /// installed tracker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`World::track_connectivity`] was never called.
+    pub fn all_connected_tracked(&mut self) -> bool {
+        self.conn
+            .as_mut()
+            .expect("all_connected_tracked requires track_connectivity")
+            .all_connected()
     }
 
     /// The seeded RNG.
@@ -358,6 +426,29 @@ mod tests {
         }
         tracked.teleport(0, Point::new(10.0, 10.0));
         assert_eq!(tracked.coverage_tracked(), tracked.coverage(&grid));
+    }
+
+    #[test]
+    fn tracked_connectivity_equals_flood_oracle() {
+        let mut w = world_with(4);
+        w.track_connectivity();
+        assert_eq!(w.connected_mask_tracked(), w.connected_mask());
+        assert!(w.all_connected_tracked());
+        for (i, p) in [
+            (3, Point::new(95.0, 95.0)), // out of everyone's range
+            (0, Point::new(60.0, 60.0)),
+            (3, Point::new(30.0, 5.0)), // rejoins via the chain
+        ] {
+            w.set_pos(i, p);
+            assert_eq!(w.connected_mask_tracked(), w.connected_mask());
+        }
+        w.teleport(1, Point::new(90.0, 5.0));
+        assert_eq!(w.connected_mask_tracked(), w.connected_mask());
+        let oracle = w.connected_mask();
+        for (i, &c) in oracle.iter().enumerate() {
+            assert_eq!(w.connected_tracked(i), c);
+        }
+        assert_eq!(w.all_connected_tracked(), oracle.iter().all(|&c| c));
     }
 
     #[test]
