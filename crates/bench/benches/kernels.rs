@@ -5,17 +5,18 @@
 //! construction.
 //!
 //! Besides printing per-iteration times, the harness exports the
-//! measurements as a machine-readable perf record: `BENCH_pr4.json`
+//! measurements as a machine-readable perf record: `BENCH_pr5.json`
 //! in the working directory, or wherever `MSN_BENCH_OUT` points. CI
 //! uploads it as an artifact and gates it against the committed
-//! `BENCH_pr3.json` baseline via `scenario bench-diff`.
+//! `BENCH_pr4.json` baseline via `scenario bench-diff` (see the
+//! baseline-rotation policy in the README's Performance section).
 
 use criterion::{BatchSize, Criterion};
 use msn_assign::{hungarian, CostMatrix};
 use msn_field::{CoverageGrid, CoverageTracker, Field};
 use msn_geom::{min_enclosing_circle, Point, Rect};
 use msn_nav::{Hand, Navigator};
-use msn_net::{ConnectivityTracker, DiskGraph};
+use msn_net::{ConnectivityTracker, DiskGraph, PointIndex, SpatialGrid};
 use msn_scenario::Json;
 use msn_voronoi::VoronoiDiagram;
 use std::hint::black_box;
@@ -178,6 +179,45 @@ fn bench_conntrack(c: &mut Criterion) {
     });
 }
 
+fn bench_point_index(c: &mut Criterion) {
+    let orig = sites(240);
+    let r = 60.0;
+    // One sensor jitters around its home position each iteration (the
+    // same bounded wobble the connectivity kernels use).
+    let wobble = |pts: &mut [Point], step: u64| {
+        let i = (step % 240) as usize;
+        let w = ((step + step / 240) % 16) as f64;
+        let p = orig[i] + Point::new(3.0 * w - 24.0, 16.0 - 2.0 * w);
+        pts[i] = p;
+        (i, p)
+    };
+    // The per-tick pattern the index replaces: rebuild a SpatialGrid
+    // from scratch after one sensor moved, then range-query it.
+    let mut pts = orig.clone();
+    let mut step = 0u64;
+    c.bench_function("spatial_rebuild_move_one_and_requery", |b| {
+        b.iter(|| {
+            step = step.wrapping_add(1);
+            let (i, _) = wobble(&mut pts, step);
+            let grid = SpatialGrid::build(black_box(&pts), r);
+            black_box(grid.neighbors(&pts, i, r).len())
+        })
+    });
+    // The incremental path: same move, same query, answered from
+    // maintained buckets (byte-identical results, order included).
+    let mut pts = orig.clone();
+    let mut index = PointIndex::new(&pts, r);
+    let mut step = 0u64;
+    c.bench_function("point_index_move_one_and_requery", |b| {
+        b.iter(|| {
+            step = step.wrapping_add(1);
+            let (i, p) = wobble(&mut pts, step);
+            index.set_point(i, p);
+            black_box(index.neighbors_within(i, r).len())
+        })
+    });
+}
+
 /// Runs every kernel group and writes the perf record. A hand-rolled
 /// `main` (instead of `criterion_main!`) so the collected
 /// measurements can be serialized after the run.
@@ -191,6 +231,7 @@ fn main() {
     bench_bug2(&mut c);
     bench_diskgraph(&mut c);
     bench_conntrack(&mut c);
+    bench_point_index(&mut c);
 
     let kernels: Vec<Json> = c
         .results()
@@ -203,11 +244,11 @@ fn main() {
         })
         .collect();
     let record = Json::obj()
-        .field("record", "BENCH_pr4")
+        .field("record", "BENCH_pr5")
         .field("suite", "kernels")
         .field("kernels", Json::Arr(kernels))
         .pretty();
-    let out = std::env::var("MSN_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr4.json".into());
+    let out = std::env::var("MSN_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr5.json".into());
     // Fail loudly: CI gates on this file, so an unwritable path must
     // break the job, not quietly skip the artifact.
     if let Err(e) = std::fs::write(&out, record) {

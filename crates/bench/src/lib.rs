@@ -13,6 +13,7 @@
 //! series.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod ablation;
 pub mod fig10;

@@ -30,7 +30,7 @@ use crate::lazy::{lazy_plan_step, ConnectOutcome, LazyMover, Route};
 use msn_field::Field;
 use msn_geom::{Point, Segment, Vec2};
 use msn_nav::{Hand, Navigator};
-use msn_net::{within_range, MsgKind, Parent, SpatialGrid, Tree};
+use msn_net::{within_range, MsgKind, Parent, Tree};
 use msn_sim::{RunResult, SimConfig, World};
 use rand::Rng;
 
@@ -127,6 +127,12 @@ pub fn run_with_grid(
     // base-connectivity question mid-run (the tree invariant carries
     // it), so a tracker would only add an install-time flood to the
     // single end-of-run check below.
+    //
+    // Incremental proximity: the force loop and the absorption scan
+    // answer from one maintained point index instead of rebuilding a
+    // SpatialGrid every tick — byte-identical results, order included
+    // (the force summation order is preserved).
+    world.track_points();
     let max_step = cfg.max_step();
 
     // ---- Phase 1 setup: initial flood and tree construction. ----
@@ -158,7 +164,6 @@ pub fn run_with_grid(
 
     for _ in 0..cfg.total_ticks() {
         // ---- Decisions at period boundaries. ----
-        let spatial = SpatialGrid::build(world.positions(), cfg.rc.max(1.0));
         for i in 0..n {
             if !world.is_plan_tick(i) {
                 continue;
@@ -167,7 +172,6 @@ pub fn run_with_grid(
                 plan_virtual_force(
                     i,
                     &mut world,
-                    &spatial,
                     &mut tree,
                     &force_params,
                     params,
@@ -176,7 +180,7 @@ pub fn run_with_grid(
                     max_step,
                 )
             } else if movers[i].as_ref().is_some_and(|m| !m.route.is_stuck()) {
-                let outcome = lazy_plan_step(i, &mut world, &spatial, &mut movers);
+                let outcome = lazy_plan_step(i, &mut world, &mut movers);
                 walk_active[i] = outcome == ConnectOutcome::Move;
             } else {
                 walk_active[i] = false;
@@ -319,7 +323,6 @@ fn absorb_new_connections(
     let n = world.n();
     let base = world.cfg().base;
     loop {
-        let spatial = SpatialGrid::build(world.positions(), stop_dist.max(1.0));
         let mut newly: Vec<(usize, Parent)> = Vec::new();
         for i in 0..n {
             if connected[i] {
@@ -330,7 +333,10 @@ fn absorb_new_connections(
                 continue;
             }
             let mut best: Option<(usize, f64)> = None;
-            for j in spatial.neighbors(world.positions(), i, stop_dist) {
+            // Grid-ordered query: the historical per-round grid used a
+            // stop-distance cell, and the first-minimum fold below
+            // tie-breaks on scan order.
+            for j in world.neighbors_tracked_grid_order(i, stop_dist, stop_dist.max(1.0)) {
                 if connected[j] {
                     let d = world.pos(i).dist(world.pos(j));
                     if best.is_none_or(|(_, bd)| d < bd) {
@@ -366,7 +372,6 @@ fn absorb_new_connections(
 fn plan_virtual_force(
     i: usize,
     world: &mut World,
-    spatial: &SpatialGrid,
     tree: &mut Tree,
     force_params: &ForceParams,
     params: &CpvfParams,
@@ -375,12 +380,12 @@ fn plan_virtual_force(
     max_step: f64,
 ) {
     let pos = world.pos(i);
-    let neighbor_positions: Vec<Point> = spatial
-        .neighbors(
-            world.positions(),
-            i,
-            force_params.neighbor_threshold.min(world.cfg().rc),
-        )
+    // Tracked query at the index's own rc cell: same order the
+    // per-tick grid produced, so the force summation below sees its
+    // neighbors in the identical sequence (f64 addition is not
+    // associative — order is part of the output).
+    let neighbor_positions: Vec<Point> = world
+        .neighbors_tracked(i, force_params.neighbor_threshold.min(world.cfg().rc))
         .into_iter()
         .map(|j| world.pos(j))
         .collect();
@@ -413,7 +418,7 @@ fn plan_virtual_force(
     // Pinned by the current parent and genuinely pushed: try to switch
     // parents (allowed only when the sensor cannot move, §4.2).
     if chosen <= 1e-9 && params.allow_parent_change {
-        try_parent_change(i, pos, dir, tree, world, motions, spatial, max_step);
+        try_parent_change(i, pos, dir, tree, world, motions, max_step);
     }
 }
 
@@ -485,7 +490,6 @@ fn max_valid_step(
 
 /// Attempts to adopt a new parent that would let the sensor move in
 /// its force direction, paying the `LockTree`/`UnLockTree` cost.
-#[allow(clippy::too_many_arguments)]
 fn try_parent_change(
     i: usize,
     pos: Point,
@@ -493,7 +497,6 @@ fn try_parent_change(
     tree: &mut Tree,
     world: &mut World,
     motions: &mut [Motion],
-    spatial: &SpatialGrid,
     max_step: f64,
 ) {
     let cfg_rc = world.cfg().rc;
@@ -507,7 +510,7 @@ fn try_parent_change(
     // plans).
     let reach = cfg_rc - world.cfg().max_step();
     let mut best: Option<(usize, f64)> = None;
-    for j in spatial.neighbors(world.positions(), i, reach) {
+    for j in world.neighbors_tracked(i, reach) {
         if Some(j) == current || !tree.in_tree(j) || tree.would_create_loop(i, j) {
             continue;
         }

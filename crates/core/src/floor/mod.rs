@@ -36,7 +36,7 @@ use crate::lazy::{lazy_plan_step, ConnectOutcome, LazyMover, Route};
 use msn_field::Field;
 use msn_geom::Point;
 use msn_nav::{Hand, MultiLegPlan, Navigator};
-use msn_net::{random_walk, DiskGraph, MsgKind, Parent, SpatialGrid, Tree};
+use msn_net::{random_walk, DiskGraph, MsgKind, Parent, Tree};
 use msn_sim::{RunResult, SimConfig, World};
 use rand::Rng;
 
@@ -245,6 +245,16 @@ impl<'a> FloorSim<'a> {
         // still base-connected?" checks answer from maintained hop
         // distances instead of a fresh graph build + flood each tick.
         self.world.track_connectivity();
+        // Incremental proximity: every range query (absorption scans,
+        // walker planning, EP coverage checks) answers from one
+        // maintained point index instead of rebuilding a SpatialGrid
+        // per tick — byte-identical results, order included. The
+        // connectivity tracker above privately maintains a second
+        // index over the same move stream; the duplication is
+        // deliberate — sharing one would thread an external `&mut
+        // PointIndex` through the tracker's whole public API — and
+        // cheap (O(1) per move to record, O(moved) per query round).
+        self.world.track_points();
         self.initial_flood();
         // Route the still-disconnected sensors per Algorithm 1.
         for i in 0..n {
@@ -272,27 +282,22 @@ impl<'a> FloorSim<'a> {
                     self.classify();
                 }
             }
-            // Shared per-tick structures, built lazily: positions are
-            // frozen until integrate_motion, so whichever planning
-            // sensor first needs the spatial grid or the disk graph
-            // builds it for the whole tick — and ticks where no
-            // planner needs them (most of them, once the vine
-            // quiesces) build neither. Base connectivity itself comes
-            // from the world's incremental tracker.
-            let mut spatial: Option<SpatialGrid> = None;
+            // The disk graph (random-walk invitations, hop
+            // accounting) is still built lazily per tick: positions
+            // are frozen until integrate_motion, so whichever
+            // planning sensor first needs it builds it for the whole
+            // tick — and ticks where no planner does (most of them,
+            // once the vine quiesces) build nothing. Range queries
+            // and base connectivity come from the world's incremental
+            // trackers.
             let mut graph: Option<DiskGraph> = None;
             for i in 0..n {
                 if !self.world.is_plan_tick(i) {
                     continue;
                 }
                 match self.state[i] {
-                    FState::Walking => {
-                        let s = tick_spatial(&mut spatial, &self.world);
-                        self.plan_walk(i, s)
-                    }
-                    FState::Fixed if self.classified => {
-                        self.expansion_step(i, &mut spatial, &mut graph)
-                    }
+                    FState::Walking => self.plan_walk(i),
+                    FState::Fixed if self.classified => self.expansion_step(i, &mut graph),
                     FState::Movable => {
                         // §4.1 applies at all times: a movable whose
                         // surroundings were recruited away may find
@@ -395,12 +400,12 @@ impl<'a> FloorSim<'a> {
         self.walk_active[i] = true;
     }
 
-    fn plan_walk(&mut self, i: usize, spatial: &SpatialGrid) {
+    fn plan_walk(&mut self, i: usize) {
         if self.movers[i].as_ref().is_none_or(|m| m.route.is_stuck()) {
             self.walk_active[i] = false;
             return;
         }
-        let outcome = lazy_plan_step(i, &mut self.world, spatial, &mut self.movers);
+        let outcome = lazy_plan_step(i, &mut self.world, &mut self.movers);
         self.walk_active[i] = outcome == ConnectOutcome::Move;
     }
 
@@ -442,7 +447,6 @@ impl<'a> FloorSim<'a> {
         let n = self.world.n();
         let base = self.cfg.base;
         loop {
-            let spatial = SpatialGrid::build(self.world.positions(), self.stop_dist.max(1.0));
             let mut newly: Vec<(usize, Parent)> = Vec::new();
             for i in 0..n {
                 if self.state[i] != FState::Walking {
@@ -453,7 +457,14 @@ impl<'a> FloorSim<'a> {
                     continue;
                 }
                 let mut best: Option<(usize, f64)> = None;
-                for j in spatial.neighbors(self.world.positions(), i, self.stop_dist) {
+                // Grid-ordered query: the historical per-round grid
+                // used a stop-distance cell, and the first-minimum
+                // fold below tie-breaks on scan order.
+                let stop_cell = self.stop_dist.max(1.0);
+                for j in self
+                    .world
+                    .neighbors_tracked_grid_order(i, self.stop_dist, stop_cell)
+                {
                     if self.tree.in_tree(j) {
                         let d = self.world.pos(i).dist(self.world.pos(j));
                         if best.is_none_or(|(_, bd)| d < bd) {
@@ -484,9 +495,7 @@ impl<'a> FloorSim<'a> {
                     // a childless newcomer whose disk is already covered
                     // by others joins the movable pool instead of
                     // ossifying where it happens to stand.
-                    let spatial_local =
-                        SpatialGrid::build(self.world.positions(), (2.0 * self.cfg.rs).max(1.0));
-                    if self.exclusive_fraction(i, &spatial_local) < self.params.movable_threshold {
+                    if self.exclusive_fraction(i) < self.params.movable_threshold {
                         self.tree.detach(i);
                         self.state[i] = FState::Movable;
                         self.waited[i] = 0;
@@ -504,7 +513,6 @@ impl<'a> FloorSim<'a> {
         self.classified = true;
         let n = self.world.n();
         let graph = self.world.graph();
-        let spatial = SpatialGrid::build(self.world.positions(), (2.0 * self.cfg.rs).max(1.0));
         // Serialized DFS traversal from the base's direct children.
         // Classification decisions ride on the token's way back up
         // (post-order): leaves decide first, so a departing subtree no
@@ -529,7 +537,7 @@ impl<'a> FloorSim<'a> {
             }
             // (b) first the cheap test: its exclusively covered area
             // must be small, otherwise moving it away costs coverage.
-            if self.exclusive_fraction(i, &spatial) >= self.params.movable_threshold {
+            if self.exclusive_fraction(i) >= self.params.movable_threshold {
                 continue;
             }
             // (a) every child must find a loop-free substitute parent
@@ -581,11 +589,15 @@ impl<'a> FloorSim<'a> {
 
     /// Fraction of sensor `i`'s disk covered by no other attached
     /// sensor, estimated on a fixed sample pattern.
-    fn exclusive_fraction(&self, i: usize, spatial: &SpatialGrid) -> f64 {
+    fn exclusive_fraction(&mut self, i: usize) -> f64 {
         let pos = self.world.pos(i);
         let rs = self.cfg.rs;
-        let neighbors: Vec<Point> = spatial
-            .neighbors(self.world.positions(), i, 2.0 * rs)
+        // 2·rs can exceed the index's rc cell — the query stays exact,
+        // it just scans a wider cell window; and the `any` fold below
+        // is order-insensitive, so no grid-order emulation is needed.
+        let neighbors: Vec<Point> = self
+            .world
+            .neighbors_tracked(i, 2.0 * rs)
             .into_iter()
             .filter(|&j| self.tree.in_tree(j))
             .map(|j| self.world.pos(j))
@@ -610,12 +622,7 @@ impl<'a> FloorSim<'a> {
 
     /// Phase 3 per-period step of a fixed node: maintain its set of
     /// concurrent EPs and invite movables for each (§5.5).
-    fn expansion_step(
-        &mut self,
-        i: usize,
-        spatial_cache: &mut Option<SpatialGrid>,
-        graph_cache: &mut Option<DiskGraph>,
-    ) {
+    fn expansion_step(&mut self, i: usize, graph_cache: &mut Option<DiskGraph>) {
         if self.idle_search[i] >= self.params.idle_stop_periods {
             return;
         }
@@ -645,8 +652,7 @@ impl<'a> FloorSim<'a> {
         // still traveling (the vine tip keeps advancing meanwhile).
         if self.active_eps[i].len() < self.params.max_concurrent_eps {
             let room = self.params.max_concurrent_eps - self.active_eps[i].len();
-            let spatial = tick_spatial(spatial_cache, &self.world);
-            let mut fresh = self.discover_eps(i, spatial, room);
+            let mut fresh = self.discover_eps(i, room);
             if fresh.len() < room {
                 let tips: Vec<VirtualTip> =
                     self.tips.iter().copied().filter(|t| t.owner == i).collect();
@@ -654,7 +660,7 @@ impl<'a> FloorSim<'a> {
                     if fresh.len() >= room {
                         break;
                     }
-                    for ep in self.discover_from_tip(i, tip, spatial, room - fresh.len()) {
+                    for ep in self.discover_from_tip(i, tip, room - fresh.len()) {
                         let dup = fresh
                             .iter()
                             .any(|e: &ExpansionPoint| e.pos.dist(ep.pos) < 0.5 * self.rho)
@@ -690,12 +696,7 @@ impl<'a> FloorSim<'a> {
 
     /// EP discovery in priority order FLG > BLG > IFLG (§5.5.1),
     /// returning up to `room` fresh EPs not yet pursued by this node.
-    fn discover_eps(
-        &mut self,
-        i: usize,
-        spatial: &SpatialGrid,
-        room: usize,
-    ) -> Vec<ExpansionPoint> {
+    fn discover_eps(&mut self, i: usize, room: usize) -> Vec<ExpansionPoint> {
         let pos = self.world.pos(i);
         let rs = self.cfg.rs;
         let mut out: Vec<ExpansionPoint> = Vec::new();
@@ -713,7 +714,7 @@ impl<'a> FloorSim<'a> {
             if out.len() >= room {
                 return out;
             }
-            if let Some(ep) = self.try_frontier(i, pos, frontier, EpKind::Flg, spatial) {
+            if let Some(ep) = self.try_frontier(i, pos, frontier, EpKind::Flg) {
                 push(self, &mut out, ep);
             }
         }
@@ -724,7 +725,7 @@ impl<'a> FloorSim<'a> {
                 blg_frontier(pos, rs, field, self.world.rng())
             };
             if let Some(frontier) = frontier {
-                if let Some(ep) = self.try_frontier(i, pos, frontier, EpKind::Blg, spatial) {
+                if let Some(ep) = self.try_frontier(i, pos, frontier, EpKind::Blg) {
                     push(self, &mut out, ep);
                 }
             }
@@ -743,7 +744,7 @@ impl<'a> FloorSim<'a> {
                         break 'kids;
                     }
                     if self.field.is_free(cand)
-                        && !self.point_covered(i, cand, spatial, &[i, c])
+                        && !self.point_covered(i, cand, &[i, c])
                         && !self.registry.is_reserved(cand, 0.5 * self.rho)
                     {
                         let ep = ExpansionPoint {
@@ -766,7 +767,6 @@ impl<'a> FloorSim<'a> {
         &mut self,
         owner: usize,
         tip: VirtualTip,
-        spatial: &SpatialGrid,
         room: usize,
     ) -> Vec<ExpansionPoint> {
         let rs = self.cfg.rs;
@@ -775,14 +775,9 @@ impl<'a> FloorSim<'a> {
             if out.len() >= room {
                 return out;
             }
-            if let Some(ep) = self.try_frontier_from(
-                owner,
-                tip.pos,
-                frontier,
-                EpKind::Flg,
-                spatial,
-                &[owner, tip.recruit],
-            ) {
+            if let Some(ep) =
+                self.try_frontier_from(owner, tip.pos, frontier, EpKind::Flg, &[owner, tip.recruit])
+            {
                 out.push(ep);
             }
         }
@@ -797,7 +792,6 @@ impl<'a> FloorSim<'a> {
                     tip.pos,
                     frontier,
                     EpKind::Blg,
-                    spatial,
                     &[owner, tip.recruit],
                 ) {
                     out.push(ep);
@@ -815,9 +809,8 @@ impl<'a> FloorSim<'a> {
         pos: Point,
         frontier: Point,
         kind: EpKind,
-        spatial: &SpatialGrid,
     ) -> Option<ExpansionPoint> {
-        self.try_frontier_from(i, pos, frontier, kind, spatial, &[i])
+        self.try_frontier_from(i, pos, frontier, kind, &[i])
     }
 
     /// Like [`FloorSim::try_frontier`] with an explicit anchor point
@@ -828,13 +821,12 @@ impl<'a> FloorSim<'a> {
         origin: Point,
         frontier: Point,
         kind: EpKind,
-        spatial: &SpatialGrid,
         exclude: &[usize],
     ) -> Option<ExpansionPoint> {
         if !self.field.bounds().contains(frontier) || !self.field.is_free(frontier) {
             return None;
         }
-        if self.point_covered(querier, frontier, spatial, exclude) {
+        if self.point_covered(querier, frontier, exclude) {
             return None;
         }
         let ep = self.nudge_free(ep_toward(origin, frontier, self.rho));
@@ -852,17 +844,11 @@ impl<'a> FloorSim<'a> {
     /// first, then tree-routed queries to the relevant floor headers.
     /// `exclude` lists sensors whose own disks must not answer (the
     /// querier; for IFLG also the child sharing the hole).
-    fn point_covered(
-        &mut self,
-        querier: usize,
-        p: Point,
-        spatial: &SpatialGrid,
-        exclude: &[usize],
-    ) -> bool {
+    fn point_covered(&mut self, querier: usize, p: Point, exclude: &[usize]) -> bool {
         let rs = self.cfg.rs;
         // Local: any fixed neighbor within communication range already
         // covering the point answers for free.
-        for j in spatial.neighbors(self.world.positions(), querier, self.cfg.rc) {
+        for j in self.world.neighbors_tracked(querier, self.cfg.rc) {
             if self.state[j] == FState::Fixed
                 && !exclude.contains(&j)
                 && self.world.pos(j).dist(p) <= rs
@@ -994,9 +980,8 @@ impl<'a> FloorSim<'a> {
         {
             Some(Parent::Node(r.inviter))
         } else {
-            let spatial = SpatialGrid::build(self.world.positions(), self.cfg.rc.max(1.0));
-            spatial
-                .neighbors(self.world.positions(), i, self.cfg.rc)
+            self.world
+                .neighbors_tracked(i, self.cfg.rc)
                 .into_iter()
                 .filter(|&j| self.tree.in_tree(j) && !self.tree.would_create_loop(i, j))
                 .min_by(|&a, &b| {
@@ -1032,13 +1017,6 @@ impl<'a> FloorSim<'a> {
         self.state[i] = FState::Movable;
         self.waited[i] = 0;
     }
-}
-
-/// Builds the tick's shared `rc`-cell spatial grid on first use.
-/// Positions are frozen during the planning sweep, so one build serves
-/// every planner in the tick.
-fn tick_spatial<'c>(cache: &'c mut Option<SpatialGrid>, world: &World) -> &'c SpatialGrid {
-    cache.get_or_insert_with(|| SpatialGrid::build(world.positions(), world.cfg().rc.max(1.0)))
 }
 
 /// Builds the tick's shared disk graph on first use (random-walk

@@ -11,7 +11,7 @@
 
 use msn_geom::Point;
 use msn_nav::{MultiLegPlan, Navigator};
-use msn_net::{MsgKind, SpatialGrid};
+use msn_net::MsgKind;
 use msn_sim::World;
 
 /// A BUG2 route: CPVF uses a single leg straight to the base; FLOOR
@@ -97,13 +97,14 @@ impl LazyMover {
 /// both schemes' connectivity phases.
 ///
 /// `movers` exposes every walking sensor's current path parent so the
-/// mutual-adoption rule and loop probes can follow chains. Returns
+/// mutual-adoption rule and loop probes can follow chains. Range
+/// queries answer from the world's tracked point index
+/// ([`World::track_points`], installed by both schemes). Returns
 /// whether the sensor should move this period, updates `movers[i]`'s
 /// lazy state and records message costs on the world's counter.
 pub(crate) fn lazy_plan_step(
     i: usize,
     world: &mut World,
-    grid: &SpatialGrid,
     movers: &mut [Option<LazyMover>],
 ) -> ConnectOutcome {
     let rc = world.cfg().rc;
@@ -123,10 +124,11 @@ pub(crate) fn lazy_plan_step(
     // Find the nearest neighbor strictly ahead of us (closer to our
     // current destination), not blacklisted, and not adopting us.
     let candidate: Option<(usize, f64)> = {
+        let nbrs = world.neighbors_tracked(i, rc);
         let positions = world.positions();
         let my_dist = positions[i].dist(target);
         let mut best: Option<(usize, f64)> = None;
-        for j in grid.neighbors(positions, i, rc) {
+        for j in nbrs {
             if blacklist.contains(&j) {
                 continue;
             }
@@ -206,16 +208,16 @@ mod tests {
         )
     }
 
-    fn setup(positions: &[Point]) -> (World, Vec<Option<LazyMover>>, SpatialGrid) {
+    fn setup(positions: &[Point]) -> (World, Vec<Option<LazyMover>>) {
         let field = Field::open(200.0, 200.0);
         let movers: Vec<Option<LazyMover>> = positions
             .iter()
             .map(|p| Some(mover_to_origin(&field, *p)))
             .collect();
-        let grid = SpatialGrid::build(positions, 30.0);
         let cfg = SimConfig::paper(30.0, 20.0).with_duration(10.0);
-        let world = World::new(field, cfg, positions.to_vec());
-        (world, movers, grid)
+        let mut world = World::new(field, cfg, positions.to_vec());
+        world.track_points();
+        (world, movers)
     }
 
     /// Advances the world clock to (at least) `t` seconds.
@@ -228,8 +230,8 @@ mod tests {
     #[test]
     fn no_neighbors_means_move() {
         let positions = vec![Point::new(100.0, 100.0)];
-        let (mut world, mut movers, grid) = setup(&positions);
-        let out = lazy_plan_step(0, &mut world, &grid, &mut movers);
+        let (mut world, mut movers) = setup(&positions);
+        let out = lazy_plan_step(0, &mut world, &mut movers);
         assert_eq!(out, ConnectOutcome::Move);
         assert_eq!(world.msgs_ref().total(), 0);
     }
@@ -238,22 +240,22 @@ mod tests {
     fn sensor_behind_adopts_ahead_neighbor() {
         // sensor 1 is closer to the origin: sensor 0 adopts it and waits.
         let positions = vec![Point::new(100.0, 0.0), Point::new(80.0, 0.0)];
-        let (mut world, mut movers, grid) = setup(&positions);
-        let out = lazy_plan_step(0, &mut world, &grid, &mut movers);
+        let (mut world, mut movers) = setup(&positions);
+        let out = lazy_plan_step(0, &mut world, &mut movers);
         assert_eq!(out, ConnectOutcome::Wait);
         assert_eq!(movers[0].as_ref().unwrap().path_parent, Some(1));
         // and sensor 1 moves (sensor 0 is behind it)
-        let out1 = lazy_plan_step(1, &mut world, &grid, &mut movers);
+        let out1 = lazy_plan_step(1, &mut world, &mut movers);
         assert_eq!(out1, ConnectOutcome::Move);
     }
 
     #[test]
     fn mutual_adoption_is_forbidden() {
         let positions = vec![Point::new(100.0, 0.0), Point::new(80.0, 0.0)];
-        let (mut world, mut movers, grid) = setup(&positions);
+        let (mut world, mut movers) = setup(&positions);
         // Pretend 1 already adopted 0 (contrived, as 0 is behind).
         movers[1].as_mut().unwrap().path_parent = Some(0);
-        let out = lazy_plan_step(0, &mut world, &grid, &mut movers);
+        let out = lazy_plan_step(0, &mut world, &mut movers);
         assert_eq!(
             out,
             ConnectOutcome::Move,
@@ -264,13 +266,13 @@ mod tests {
     #[test]
     fn backoff_delays_start() {
         let positions = vec![Point::new(100.0, 100.0)];
-        let (mut world, mut movers, grid) = setup(&positions);
+        let (mut world, mut movers) = setup(&positions);
         movers[0].as_mut().unwrap().backoff_until = 5.0;
         warp(&mut world, 1.0);
-        let out = lazy_plan_step(0, &mut world, &grid, &mut movers);
+        let out = lazy_plan_step(0, &mut world, &mut movers);
         assert_eq!(out, ConnectOutcome::BackOff);
         warp(&mut world, 6.0);
-        let out2 = lazy_plan_step(0, &mut world, &grid, &mut movers);
+        let out2 = lazy_plan_step(0, &mut world, &mut movers);
         assert_eq!(out2, ConnectOutcome::Move);
     }
 
@@ -284,12 +286,12 @@ mod tests {
             Point::new(80.0, 0.0),
             Point::new(90.0, 10.0),
         ];
-        let (mut world, mut movers, grid) = setup(&positions);
+        let (mut world, mut movers) = setup(&positions);
         movers[1].as_mut().unwrap().path_parent = Some(2);
         movers[2].as_mut().unwrap().path_parent = Some(0);
         movers[0].as_mut().unwrap().idle_periods = INQUIRY_AFTER_IDLE - 1;
         // sensor 0 adopts 1 (ahead), probes: 0 -> 1 -> 2 -> 0: loop!
-        let out = lazy_plan_step(0, &mut world, &grid, &mut movers);
+        let out = lazy_plan_step(0, &mut world, &mut movers);
         assert_eq!(out, ConnectOutcome::Move, "loop must break the wait");
         assert!(movers[0].as_ref().unwrap().blacklist.contains(&1));
         assert!(world.msgs_ref().count(MsgKind::PathParentInquiry) >= 3);
@@ -298,9 +300,9 @@ mod tests {
     #[test]
     fn blacklisted_parent_not_re_adopted() {
         let positions = vec![Point::new(100.0, 0.0), Point::new(80.0, 0.0)];
-        let (mut world, mut movers, grid) = setup(&positions);
+        let (mut world, mut movers) = setup(&positions);
         movers[0].as_mut().unwrap().blacklist.push(1);
-        let out = lazy_plan_step(0, &mut world, &grid, &mut movers);
+        let out = lazy_plan_step(0, &mut world, &mut movers);
         assert_eq!(out, ConnectOutcome::Move);
     }
 }

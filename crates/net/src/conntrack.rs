@@ -1,8 +1,26 @@
 //! Incremental base-rooted connectivity.
+//!
+//! Invariants (the incremental-tracker pattern, see
+//! `ARCHITECTURE.md`):
+//!
+//! * **Oracle bit-identity** — every query equals
+//!   [`crate::DiskGraph::build`] + flood on the current positions,
+//!   bit for bit (hop distances are unique, so any exact repair
+//!   reproduces the oracle; property-tested in
+//!   `tests/properties.rs`).
+//! * **Lazy dirty sets** — [`ConnectivityTracker::set_sensor`] is
+//!   `O(1)`; link diffs and distance repair run on the next query.
+//! * **Rebuild-if-cheaper** — when most of the fleet moved, or the
+//!   invalidated region outgrows half of it, the tracker falls back
+//!   to a fresh flood instead of repairing.
+//!
+//! The proximity substrate (bucket maintenance under moves) is the
+//! shared [`crate::PointIndex`]; this module owns only the adjacency
+//! diffs and the dynamic-BFS distance repair.
 
-use crate::{within_range, SpatialGrid, RANGE_EPS};
+use crate::{within_range, PointIndex};
 use msn_geom::Point;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Hop distance marking an unreachable sensor.
 const UNREACHED: u32 = u32::MAX;
@@ -17,9 +35,9 @@ const UNREACHED: u32 = u32::MAX;
 /// Moves are recorded lazily ([`ConnectivityTracker::set_sensor`] is
 /// `O(1)`) and reconciled on the next query. Reconciliation diffs the
 /// moved sensors' link neighborhoods (under the shared
-/// [`crate::within_range`] / [`RANGE_EPS`] rule) against a dynamic
-/// bucket grid and repairs the hop distances with a bounded
-/// dynamic-BFS frontier:
+/// [`crate::within_range`] / [`crate::RANGE_EPS`] rule) against an
+/// incrementally-maintained [`PointIndex`] and repairs the hop
+/// distances with a bounded dynamic-BFS frontier:
 ///
 /// 1. **invalidate** — sensors whose current hop count lost its
 ///    support (a neighbor one hop closer, or the base link itself)
@@ -59,12 +77,14 @@ const UNREACHED: u32 = u32::MAX;
 pub struct ConnectivityTracker {
     rc: f64,
     base: Point,
-    cell: f64,
-    /// Latest positions reported via `set_sensor`.
-    current: Vec<Point>,
-    /// Positions the adjacency and distances currently reflect.
+    /// Incrementally-maintained bucket grid; its `point(i)` is the
+    /// latest position reported via `set_sensor`.
+    index: PointIndex,
+    /// Positions the adjacency and distances currently reflect (the
+    /// index reconciles its buckets lazily on its own schedule; this
+    /// tracker's adjacency diff needs its own before-image).
     synced: Vec<Point>,
-    /// Sensors whose `current` may differ from `synced`.
+    /// Sensors whose latest position may differ from `synced`.
     dirty: Vec<u32>,
     is_dirty: Vec<bool>,
     /// Link neighborhoods over `synced`, each sorted ascending.
@@ -72,8 +92,6 @@ pub struct ConnectivityTracker {
     /// Hops from the base station (direct base link = 1,
     /// [`UNREACHED`] = disconnected).
     dist: Vec<u32>,
-    /// Dynamic bucket grid over `synced` (cell side = `cell`).
-    buckets: HashMap<(i64, i64), Vec<u32>>,
     // --- reusable repair scratch ---
     queued: Vec<bool>,
     raised: Vec<bool>,
@@ -94,14 +112,12 @@ impl ConnectivityTracker {
         let mut tracker = ConnectivityTracker {
             rc,
             base,
-            cell: rc.max(1.0),
-            current: positions.to_vec(),
+            index: PointIndex::new(positions, rc.max(1.0)),
             synced: positions.to_vec(),
             dirty: Vec::new(),
             is_dirty: vec![false; n],
             adj: vec![Vec::new(); n],
             dist: vec![UNREACHED; n],
-            buckets: HashMap::new(),
             queued: vec![false; n],
             raised: vec![false; n],
             settled: vec![false; n],
@@ -126,20 +142,20 @@ impl ConnectivityTracker {
     /// Number of tracked sensors.
     #[inline]
     pub fn len(&self) -> usize {
-        self.current.len()
+        self.index.len()
     }
 
     /// Whether the tracker follows zero sensors.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.current.is_empty()
+        self.index.is_empty()
     }
 
     /// Records sensor `i`'s new position. `O(1)`: the link diff and
     /// distance repair are deferred to the next query.
     #[inline]
     pub fn set_sensor(&mut self, i: usize, p: Point) {
-        self.current[i] = p;
+        self.index.set_point(i, p);
         if !self.is_dirty[i] {
             self.is_dirty[i] = true;
             self.dirty.push(i as u32);
@@ -190,60 +206,30 @@ impl ConnectivityTracker {
             .collect()
     }
 
-    #[inline]
-    fn key(&self, p: Point) -> (i64, i64) {
-        (
-            (p.x / self.cell).floor() as i64,
-            (p.y / self.cell).floor() as i64,
-        )
-    }
-
-    /// Sorted link neighborhood of `p` (excluding sensor `exclude`)
-    /// over the synced positions.
-    fn neighbors_sorted(&self, p: Point, exclude: u32) -> Vec<u32> {
-        let reach = self.rc + RANGE_EPS;
-        let (cx_lo, cy_lo) = self.key(Point::new(p.x - reach, p.y - reach));
-        let (cx_hi, cy_hi) = self.key(Point::new(p.x + reach, p.y + reach));
-        let mut out = Vec::new();
-        for gx in cx_lo..=cx_hi {
-            for gy in cy_lo..=cy_hi {
-                let Some(bucket) = self.buckets.get(&(gx, gy)) else {
-                    continue;
-                };
-                for &j in bucket {
-                    if j != exclude && within_range(self.synced[j as usize], p, self.rc) {
-                        out.push(j);
-                    }
-                }
-            }
-        }
+    /// Sorted link neighborhood of sensor `i` (excluding `i` itself)
+    /// over the index's current positions.
+    fn neighbors_sorted(&mut self, i: usize) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .index
+            .neighbors_within(i, self.rc)
+            .into_iter()
+            .map(|j| j as u32)
+            .collect();
         out.sort_unstable();
         out
     }
 
-    /// Full reconstruction: adjacency from a fresh spatial grid, bucket
-    /// grid reinserted, distances re-flooded.
+    /// Full reconstruction: adjacency re-queried from the point
+    /// index, distances re-flooded.
     fn rebuild(&mut self) {
-        let n = self.current.len();
-        self.synced.copy_from_slice(&self.current);
+        let n = self.synced.len();
+        self.synced.copy_from_slice(self.index.points());
         for &i in &self.dirty {
             self.is_dirty[i as usize] = false;
         }
         self.dirty.clear();
-        let grid = SpatialGrid::build(&self.synced, self.cell);
         for i in 0..n {
-            let mut nbrs: Vec<u32> = grid
-                .neighbors(&self.synced, i, self.rc)
-                .into_iter()
-                .map(|j| j as u32)
-                .collect();
-            nbrs.sort_unstable();
-            self.adj[i] = nbrs;
-        }
-        self.buckets.clear();
-        for i in 0..n {
-            let key = self.key(self.synced[i]);
-            self.buckets.entry(key).or_default().push(i as u32);
+            self.adj[i] = self.neighbors_sorted(i);
         }
         self.flood();
     }
@@ -277,32 +263,22 @@ impl ConnectivityTracker {
         if self.dirty.is_empty() {
             return;
         }
-        let n = self.current.len();
+        let n = self.synced.len();
         if 2 * self.dirty.len() >= n {
             self.rebuild();
             return;
         }
-        // Move every dirty sensor in the bucket grid first, so the
-        // neighborhood queries below all see the new positions.
+        // The point index reconciles every pending bucket move on its
+        // first query below, so all neighborhoods already see the new
+        // positions.
         let dirty = std::mem::take(&mut self.dirty);
         let mut moved: Vec<u32> = Vec::with_capacity(dirty.len());
         for i in dirty {
             let iu = i as usize;
             self.is_dirty[iu] = false;
-            let (from, to) = (self.synced[iu], self.current[iu]);
+            let (from, to) = (self.synced[iu], self.index.point(iu));
             if from == to {
                 continue;
-            }
-            let old_key = self.key(from);
-            let new_key = self.key(to);
-            if old_key != new_key {
-                let bucket = self.buckets.get_mut(&old_key).expect("sensor indexed");
-                let at = bucket.iter().position(|&j| j == i).expect("sensor in cell");
-                bucket.swap_remove(at);
-                if bucket.is_empty() {
-                    self.buckets.remove(&old_key);
-                }
-                self.buckets.entry(new_key).or_default().push(i);
             }
             self.synced[iu] = to;
             moved.push(i);
@@ -317,7 +293,7 @@ impl ConnectivityTracker {
         let mut added: Vec<(u32, u32)> = Vec::new();
         for &i in &moved {
             let iu = i as usize;
-            let new_nbrs = self.neighbors_sorted(self.synced[iu], i);
+            let new_nbrs = self.neighbors_sorted(iu);
             let old_nbrs = std::mem::take(&mut self.adj[iu]);
             let (mut a, mut b) = (0, 0);
             while a < old_nbrs.len() || b < new_nbrs.len() {
@@ -357,7 +333,7 @@ impl ConnectivityTracker {
 
     /// Exact hop-distance repair after a batch of link events.
     fn repair(&mut self, moved: &[u32], removed: &[(u32, u32)], added: &[(u32, u32)]) {
-        let n = self.current.len();
+        let n = self.synced.len();
         self.queued.fill(false);
         self.raised.fill(false);
         self.settled.fill(false);

@@ -7,6 +7,11 @@
 //!
 //! * [`SpatialGrid`] — flat-grid index for `O(1)`-ish range queries
 //!   (falls back to hash buckets for pathologically spread points);
+//! * [`PointIndex`] — the incremental counterpart of `SpatialGrid`:
+//!   bucket maintenance under point moves (`O(1)` lazy recording,
+//!   rebuild-if-cheaper reconciliation) with query results
+//!   byte-identical to a fresh grid build, so per-tick rebuilds can
+//!   be replaced without changing simulation output;
 //! * [`within_range`] / [`RANGE_EPS`] — the single range-tolerance
 //!   rule every link test shares (graph edges, base links, range
 //!   queries), so equal distances always get equal verdicts;
@@ -31,6 +36,7 @@
 mod conntrack;
 mod diskgraph;
 mod messages;
+mod point_index;
 mod randomwalk;
 mod range;
 mod spatial;
@@ -39,6 +45,7 @@ mod tree;
 pub use conntrack::ConnectivityTracker;
 pub use diskgraph::DiskGraph;
 pub use messages::{MessageCounter, MsgKind};
+pub use point_index::PointIndex;
 pub use randomwalk::random_walk;
 pub use range::{within_range, RANGE_EPS};
 pub use spatial::SpatialGrid;

@@ -1,7 +1,9 @@
 //! Property-based tests for the network substrate.
 
 use msn_geom::Point;
-use msn_net::{random_walk, ConnectivityTracker, DiskGraph, Parent, SpatialGrid, Tree, RANGE_EPS};
+use msn_net::{
+    random_walk, ConnectivityTracker, DiskGraph, Parent, PointIndex, SpatialGrid, Tree, RANGE_EPS,
+};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -103,6 +105,120 @@ proptest! {
             prop_assert!(g.neighbors(prev).contains(&v));
             prev = v;
         }
+    }
+
+    #[test]
+    fn point_index_matches_grid_oracle_in_order(
+        pts in pts_strategy(),
+        moves in moves_strategy(),
+        cell in 5.0..150.0f64,
+        r in 5.0..150.0f64,
+    ) {
+        // Bit-identity with SpatialGrid::build — the same indices in
+        // the same order, after every batch of moves (off-field
+        // coordinates included via the move strategy below).
+        let mut pts = pts;
+        let mut index = PointIndex::new(&pts, cell);
+        for round in moves {
+            for (i, x, y) in round {
+                let i = i % pts.len();
+                // fold some moves off-field / negative
+                pts[i] = Point::new(x - 100.0, y - 100.0);
+                index.set_point(i, pts[i]);
+            }
+            let grid = SpatialGrid::build(&pts, cell);
+            for q in 0..pts.len() {
+                prop_assert_eq!(
+                    index.neighbors_within(q, r),
+                    grid.neighbors(&pts, q, r),
+                    "point {} radius {} cell {}", q, r, cell
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn point_index_grid_order_emulates_any_cell(
+        pts in pts_strategy(),
+        moves in moves_strategy(),
+        cell in 5.0..150.0f64,
+        order_cell in 1.0..200.0f64,
+        r in 5.0..100.0f64,
+    ) {
+        // The grid-order query must reproduce the scan order of a
+        // grid built at a *different* cell size — what keeps the
+        // absorb-scan tie-breaks byte-identical after migration.
+        let mut pts = pts;
+        let mut index = PointIndex::new(&pts, cell);
+        for round in moves {
+            for (i, x, y) in round {
+                let i = i % pts.len();
+                pts[i] = Point::new(x, y);
+                index.set_point(i, pts[i]);
+            }
+            let grid = SpatialGrid::build(&pts, order_cell);
+            for q in 0..pts.len() {
+                prop_assert_eq!(
+                    index.neighbors_within_grid_order(q, r, order_cell),
+                    grid.neighbors(&pts, q, r),
+                    "point {} radius {} order cell {}", q, r, order_cell
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn point_index_cell_boundaries_and_epsilon_pairs(
+        cell in 2.0..40.0f64,
+        eps_idx in 0usize..7,
+    ) {
+        // Points parked exactly on cell boundaries, and pairs sitting
+        // inside/outside the RANGE_EPS slack window: index and fresh
+        // grid must agree on both membership and order.
+        let eps_mult = [-3.0f64, -1.0, -0.5, 0.0, 0.5, 1.0, 3.0][eps_idx];
+        let r = 2.0 * cell; // radius past the cell size stays exact
+        let mut pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(cell, 0.0),           // exactly on a boundary
+            Point::new(2.0 * cell, cell),    // corner of a cell
+            Point::new(r + eps_mult * RANGE_EPS, 0.0), // slack window
+        ];
+        let mut index = PointIndex::new(&pts, cell);
+        let check = |index: &mut PointIndex, pts: &[Point]| {
+            let grid = SpatialGrid::build(pts, cell);
+            for q in 0..pts.len() {
+                assert_eq!(index.neighbors_within(q, r), grid.neighbors(pts, q, r));
+            }
+        };
+        check(&mut index, &pts);
+        // walk the slack-window point across the boundary by a hair
+        pts[3] = Point::new(r + (eps_mult + 0.5) * RANGE_EPS, 0.0);
+        index.set_point(3, pts[3]);
+        check(&mut index, &pts);
+        // and park a mover exactly on a far cell boundary
+        pts[0] = Point::new(-3.0 * cell, -cell);
+        index.set_point(0, pts[0]);
+        check(&mut index, &pts);
+    }
+
+    #[test]
+    fn point_index_pairs_match_brute_force(
+        pts in pts_strategy(),
+        r in 5.0..150.0f64,
+    ) {
+        let mut index = PointIndex::new(&pts, r.max(1.0));
+        let mut fast = Vec::new();
+        index.for_each_pair_within(r, |i, j| fast.push((i, j)));
+        fast.sort_unstable();
+        let mut slow = Vec::new();
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                if pts[i].dist(pts[j]) <= r + 1e-9 {
+                    slow.push((i, j));
+                }
+            }
+        }
+        prop_assert_eq!(fast, slow);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::SimConfig;
 use msn_field::{CoverageGrid, CoverageTracker, Field};
 use msn_geom::Point;
-use msn_net::{ConnectivityTracker, DiskGraph, MessageCounter};
+use msn_net::{ConnectivityTracker, DiskGraph, MessageCounter, PointIndex};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -44,6 +44,9 @@ pub struct World {
     /// Incremental base-rooted connectivity, fed by every position
     /// change once [`World::track_connectivity`] is called.
     conn: Option<ConnectivityTracker>,
+    /// Incremental proximity index, fed by every position change once
+    /// [`World::track_points`] is called.
+    points_index: Option<PointIndex>,
 }
 
 impl World {
@@ -62,6 +65,7 @@ impl World {
             msgs: MessageCounter::new(),
             tracker: None,
             conn: None,
+            points_index: None,
         }
     }
 
@@ -141,11 +145,20 @@ impl World {
     pub fn set_pos(&mut self, i: usize, p: Point) {
         self.moved[i] += self.positions[i].dist(p);
         self.positions[i] = p;
+        self.feed_trackers(i, p);
+    }
+
+    /// Feeds an updated position to every installed tracker.
+    #[inline]
+    fn feed_trackers(&mut self, i: usize, p: Point) {
         if let Some(t) = self.tracker.as_mut() {
             t.set_sensor(i, p);
         }
         if let Some(c) = self.conn.as_mut() {
             c.set_sensor(i, p);
+        }
+        if let Some(x) = self.points_index.as_mut() {
+            x.set_point(i, p);
         }
     }
 
@@ -165,12 +178,7 @@ impl World {
         );
         self.moved[i] += dist;
         self.positions[i] = p;
-        if let Some(t) = self.tracker.as_mut() {
-            t.set_sensor(i, p);
-        }
-        if let Some(c) = self.conn.as_mut() {
-            c.set_sensor(i, p);
-        }
+        self.feed_trackers(i, p);
     }
 
     /// Places sensor `i` without charging distance (initial layout
@@ -178,12 +186,7 @@ impl World {
     /// matching baselines).
     pub fn teleport(&mut self, i: usize, p: Point) {
         self.positions[i] = p;
-        if let Some(t) = self.tracker.as_mut() {
-            t.set_sensor(i, p);
-        }
-        if let Some(c) = self.conn.as_mut() {
-            c.set_sensor(i, p);
-        }
+        self.feed_trackers(i, p);
     }
 
     /// Distance sensor `i` has moved so far.
@@ -277,6 +280,52 @@ impl World {
             .as_mut()
             .expect("all_connected_tracked requires track_connectivity")
             .all_connected()
+    }
+
+    /// Installs an incremental [`PointIndex`] over the current
+    /// positions, with cell size `rc` (the largest radius the
+    /// deployment schemes query at). From here on every position
+    /// change feeds it, and the `neighbors_tracked*` queries answer
+    /// from maintained buckets — byte-identical, order included, to a
+    /// fresh per-tick [`msn_net::SpatialGrid::build`], but `O(moved
+    /// sensors)` reconciliation per query round instead of `O(N)`
+    /// rebuilds.
+    pub fn track_points(&mut self) {
+        self.points_index = Some(PointIndex::new(&self.positions, self.cfg.rc.max(1.0)));
+    }
+
+    /// Sensors within `r` of sensor `i` (excluding `i`), from the
+    /// installed point index — byte-identical, order included, to
+    /// `SpatialGrid::build(positions, rc.max(1.0)).neighbors(positions, i, r)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`World::track_points`] was never called.
+    pub fn neighbors_tracked(&mut self, i: usize, r: f64) -> Vec<usize> {
+        self.points_index
+            .as_mut()
+            .expect("neighbors_tracked requires track_points")
+            .neighbors_within(i, r)
+    }
+
+    /// Like [`World::neighbors_tracked`], but ordered as a
+    /// `SpatialGrid::build(positions, order_cell)` query would order
+    /// it — for call sites replacing a per-tick grid whose cell size
+    /// differed from `rc`, whose tie-breaks must stay byte-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`World::track_points`] was never called.
+    pub fn neighbors_tracked_grid_order(
+        &mut self,
+        i: usize,
+        r: f64,
+        order_cell: f64,
+    ) -> Vec<usize> {
+        self.points_index
+            .as_mut()
+            .expect("neighbors_tracked_grid_order requires track_points")
+            .neighbors_within_grid_order(i, r, order_cell)
     }
 
     /// The seeded RNG.
@@ -449,6 +498,38 @@ mod tests {
             assert_eq!(w.connected_tracked(i), c);
         }
         assert_eq!(w.all_connected_tracked(), oracle.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn tracked_neighbors_equal_fresh_grid_builds() {
+        use msn_net::SpatialGrid;
+        let mut w = world_with(5);
+        w.track_points();
+        let rc = w.cfg().rc;
+        let oracle = |w: &World, i: usize, r: f64, cell: f64| {
+            SpatialGrid::build(w.positions(), cell).neighbors(w.positions(), i, r)
+        };
+        for (i, p) in [
+            (0, Point::new(70.0, 30.0)),
+            (3, Point::new(12.0, 6.0)),
+            (0, Point::new(14.0, 5.5)),
+        ] {
+            w.set_pos(i, p);
+            for q in 0..w.n() {
+                assert_eq!(
+                    w.neighbors_tracked(q, rc),
+                    oracle(&w, q, rc, rc.max(1.0)),
+                    "sensor {q} at rc"
+                );
+                assert_eq!(
+                    w.neighbors_tracked_grid_order(q, 8.0, 8.0),
+                    oracle(&w, q, 8.0, 8.0),
+                    "sensor {q} at stop-dist order"
+                );
+            }
+        }
+        w.teleport(2, Point::new(11.0, 7.0));
+        assert_eq!(w.neighbors_tracked(2, rc), oracle(&w, 2, rc, rc.max(1.0)));
     }
 
     #[test]

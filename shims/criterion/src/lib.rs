@@ -9,6 +9,7 @@
 //! statistics, warm-up tuning or HTML reports.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::time::{Duration, Instant};
 

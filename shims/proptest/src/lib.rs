@@ -13,6 +13,7 @@
 //! failing cases are reported but **not shrunk**.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 /// Deterministic generator driving test-case sampling (SplitMix64).
 #[derive(Debug, Clone)]
@@ -195,7 +196,7 @@ pub mod prop {
     pub mod collection {
         use crate::{Strategy, TestRng};
 
-        /// A size specification for [`vec`]: a fixed length or a range.
+        /// A size specification for [`vec()`]: a fixed length or a range.
         #[derive(Debug, Clone, Copy)]
         pub struct SizeRange {
             lo: usize,

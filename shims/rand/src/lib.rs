@@ -12,6 +12,7 @@
 //! which this implementation guarantees.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 /// Samples a value of type `T` from a generator.
 pub trait SampleValue: Sized {

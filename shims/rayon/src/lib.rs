@@ -12,6 +12,7 @@
 //! pool) or `std::thread::available_parallelism`.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::collections::VecDeque;
 use std::sync::Mutex;

@@ -6,6 +6,7 @@
 //! roof.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use msn_assign as assign;
 pub use msn_bench as bench;
