@@ -5,10 +5,10 @@
 //! construction.
 //!
 //! Besides printing per-iteration times, the harness exports the
-//! measurements as a machine-readable perf record: `BENCH_pr5.json`
+//! measurements as a machine-readable perf record: `BENCH_pr6.json`
 //! in the working directory, or wherever `MSN_BENCH_OUT` points. CI
 //! uploads it as an artifact and gates it against the committed
-//! `BENCH_pr4.json` baseline via `scenario bench-diff` (see the
+//! `BENCH_pr5.json` baseline via `scenario bench-diff` (see the
 //! baseline-rotation policy in the README's Performance section).
 
 use criterion::{BatchSize, Criterion};
@@ -216,6 +216,23 @@ fn bench_point_index(c: &mut Criterion) {
             black_box(index.neighbors_within(i, r).len())
         })
     });
+    // Overhead guard for the observability probes: the identical
+    // workload with an msn-obs collector installed. bench-diff keeps
+    // this within tolerance of the unprobed kernel above, so a probe
+    // that grows a syscall or an allocation shows up as a regression.
+    let mut pts = orig.clone();
+    let mut index = PointIndex::new(&pts, r);
+    let mut step = 0u64;
+    msn_obs::start();
+    c.bench_function("point_index_move_one_probed", |b| {
+        b.iter(|| {
+            step = step.wrapping_add(1);
+            let (i, p) = wobble(&mut pts, step);
+            index.set_point(i, p);
+            black_box(index.neighbors_within(i, r).len())
+        })
+    });
+    black_box(msn_obs::finish());
 }
 
 /// Runs every kernel group and writes the perf record. A hand-rolled
@@ -244,11 +261,11 @@ fn main() {
         })
         .collect();
     let record = Json::obj()
-        .field("record", "BENCH_pr5")
+        .field("record", "BENCH_pr6")
         .field("suite", "kernels")
         .field("kernels", Json::Arr(kernels))
         .pretty();
-    let out = std::env::var("MSN_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr5.json".into());
+    let out = std::env::var("MSN_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr6.json".into());
     // Fail loudly: CI gates on this file, so an unwritable path must
     // break the job, not quietly skip the artifact.
     if let Err(e) = std::fs::write(&out, record) {

@@ -109,6 +109,8 @@ pub fn run_with_grid(
     cfg: &SimConfig,
     grid: Option<&msn_field::CoverageGrid>,
 ) -> RunResult {
+    let _run = msn_obs::span("cpvf.run");
+    let setup = msn_obs::span("cpvf.setup");
     let n = initial.len();
     let mut world = World::new(field.clone(), cfg.clone(), initial.to_vec());
     let force_params = params
@@ -161,9 +163,11 @@ pub fn run_with_grid(
 
     let snap_ticks = (params.snapshot_every / cfg.dt()).round().max(1.0) as u64;
     let mut timeline = vec![(0.0, world.coverage_tracked())];
+    drop(setup);
 
     for _ in 0..cfg.total_ticks() {
         // ---- Decisions at period boundaries. ----
+        let plan = msn_obs::span("cpvf.plan");
         for i in 0..n {
             if !world.is_plan_tick(i) {
                 continue;
@@ -187,7 +191,10 @@ pub fn run_with_grid(
             }
         }
 
+        drop(plan);
+
         // ---- Motion integration over one micro-tick. ----
+        let motion = msn_obs::span("cpvf.motion");
         let dt = cfg.dt();
         for i in 0..n {
             if connected[i] {
@@ -220,21 +227,27 @@ pub fn run_with_grid(
             }
         }
 
+        drop(motion);
+
         // ---- Freeze walkers that came into range of the tree. ----
         // The margin keeps the fresh link alive through the parent's
         // residual motion in its current period (it can move at most
         // V·T before it re-plans with the new child in its link set).
-        absorb_new_connections(
-            &mut world,
-            &mut tree,
-            &mut connected,
-            &mut movers,
-            &mut motions,
-            cfg.rc - cfg.max_step(),
-        );
+        {
+            let _absorb = msn_obs::span("cpvf.absorb");
+            absorb_new_connections(
+                &mut world,
+                &mut tree,
+                &mut connected,
+                &mut movers,
+                &mut motions,
+                cfg.rc - cfg.max_step(),
+            );
+        }
 
         world.advance_tick();
         if world.tick().is_multiple_of(snap_ticks) {
+            let _snapshot = msn_obs::span("cpvf.snapshot");
             timeline.push((world.time(), world.coverage_tracked()));
         }
         // Invariant check (always on in debug builds, opt-in via the
@@ -263,6 +276,7 @@ pub fn run_with_grid(
         }
     }
 
+    let _finish = msn_obs::span("cpvf.finish");
     let coverage = world.coverage_tracked();
     let all_connected = world
         .graph()

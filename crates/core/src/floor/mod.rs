@@ -166,6 +166,7 @@ pub fn run_with_grid(
     cfg: &SimConfig,
     grid: Option<&msn_field::CoverageGrid>,
 ) -> RunResult {
+    let _run = msn_obs::span("floor.run");
     FloorSim::new(field, initial, params, cfg).run(grid)
 }
 
@@ -232,6 +233,7 @@ impl<'a> FloorSim<'a> {
 
     #[allow(clippy::needless_range_loop)] // indexing several parallel state arrays
     fn run(mut self, grid: Option<&msn_field::CoverageGrid>) -> RunResult {
+        let setup = msn_obs::span("floor.setup");
         let n = self.world.n();
         let cov_grid = match grid {
             Some(g) => g.clone(),
@@ -274,9 +276,11 @@ impl<'a> FloorSim<'a> {
             .max(1.0) as u64;
         let mut timeline = vec![(0.0, self.world.coverage_tracked())];
         let classify_deadline = self.params.phase1_timeout_frac * self.cfg.duration;
+        drop(setup);
 
         for _ in 0..self.cfg.total_ticks() {
             if !self.classified {
+                let _classify = msn_obs::span("floor.classify");
                 let all_connected = self.state.iter().all(|&s| s != FState::Walking);
                 if all_connected || self.world.time() >= classify_deadline {
                     self.classify();
@@ -291,6 +295,7 @@ impl<'a> FloorSim<'a> {
             // and base connectivity come from the world's incremental
             // trackers.
             let mut graph: Option<DiskGraph> = None;
+            let plan = msn_obs::span("floor.plan");
             for i in 0..n {
                 if !self.world.is_plan_tick(i) {
                     continue;
@@ -318,14 +323,23 @@ impl<'a> FloorSim<'a> {
                     _ => {}
                 }
             }
-            self.integrate_motion();
-            self.absorb_connections();
+            drop(plan);
+            {
+                let _motion = msn_obs::span("floor.motion");
+                self.integrate_motion();
+            }
+            {
+                let _absorb = msn_obs::span("floor.absorb");
+                self.absorb_connections();
+            }
             self.world.advance_tick();
             if self.world.tick().is_multiple_of(snap_ticks) {
+                let _snapshot = msn_obs::span("floor.snapshot");
                 timeline.push((self.world.time(), self.world.coverage_tracked()));
             }
         }
 
+        let _finish = msn_obs::span("floor.finish");
         let coverage = self.world.coverage_tracked();
         let connected = self.world.all_connected_tracked();
         let moved: Vec<f64> = (0..n).map(|i| self.world.moved(i)).collect();

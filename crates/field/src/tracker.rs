@@ -136,7 +136,10 @@ impl CoverageTracker {
         if self.dirty.is_empty() {
             return;
         }
+        msn_obs::counter("cov.syncs", 1);
+        msn_obs::value("cov.dirty", self.dirty.len() as f64);
         if 2 * self.dirty.len() >= self.current.len() {
+            msn_obs::counter("cov.rebuilds", 1);
             self.counts.fill(0);
             self.covered = 0;
             for i in 0..self.current.len() {
@@ -152,6 +155,7 @@ impl CoverageTracker {
                 self.is_dirty[i] = false;
                 let (from, to) = (self.synced[i], self.current[i]);
                 if from != to {
+                    msn_obs::counter("cov.restamps", 1);
                     self.stamp(from, -1);
                     self.stamp(to, 1);
                     self.synced[i] = to;

@@ -264,7 +264,10 @@ impl ConnectivityTracker {
             return;
         }
         let n = self.synced.len();
+        msn_obs::counter("conn.syncs", 1);
+        msn_obs::value("conn.dirty", self.dirty.len() as f64);
         if 2 * self.dirty.len() >= n {
+            msn_obs::counter("conn.rebuilds", 1);
             self.rebuild();
             return;
         }
@@ -286,6 +289,7 @@ impl ConnectivityTracker {
         if moved.is_empty() {
             return;
         }
+        msn_obs::counter("conn.repairs", 1);
         // Diff each moved sensor's neighborhood into link events. Both
         // lists are sorted, and earlier diffs update `adj` in place, so
         // an edge between two moved sensors is recorded exactly once.
@@ -397,7 +401,9 @@ impl ConnectivityTracker {
         }
         // Bounded frontier: when the invalidated region spans most of
         // the fleet, a fresh flood is cheaper than repairing it.
+        msn_obs::value("conn.raised", raised_list.len() as f64);
         if 2 * raised_list.len() >= n.max(1) {
+            msn_obs::counter("conn.repair_fallbacks", 1);
             self.rebuild();
             return;
         }

@@ -212,7 +212,10 @@ impl PointIndex {
         if self.dirty.is_empty() {
             return;
         }
+        msn_obs::counter("pidx.syncs", 1);
+        msn_obs::value("pidx.dirty", self.dirty.len() as f64);
         if 2 * self.dirty.len() >= self.current.len() {
+            msn_obs::counter("pidx.rebuilds", 1);
             self.rebuild();
             return;
         }
@@ -227,6 +230,7 @@ impl PointIndex {
             let old_key = self.key(from);
             let new_key = self.key(to);
             if old_key != new_key {
+                msn_obs::counter("pidx.bucket_moves", 1);
                 let bucket = self.buckets.get_mut(&old_key).expect("point indexed");
                 let at = bucket.binary_search(&i).expect("point in cell");
                 // Vec::remove / sorted insert (not swap_remove + push):

@@ -1,11 +1,14 @@
-//! The `scenario` CLI: run, resume, diff, list and describe
+//! The `scenario` CLI: run, resume, profile, diff, list and describe
 //! declarative scenario specs.
 //!
 //! ```text
 //! scenario run <spec.toml> [--out DIR] [--threads N] [--quick] [--resume]
-//!                          [--checkpoint-every N]
+//!                          [--checkpoint-every N] [--profile PATH]
+//!                          [--progress ndjson]
 //! scenario diff <a/batch.json> <b/batch.json> [--tol T] [--junit PATH]
 //! scenario bench-diff <baseline.json> <current.json> [--tol T]
+//! scenario profile-report <profile.json>
+//! scenario profile-diff <a.json> <b.json> [--tol T]
 //! scenario list [DIR]
 //! scenario describe <spec.toml>
 //! ```
@@ -28,10 +31,22 @@
 //! `BENCH_*.json` perf record against a committed baseline and exits
 //! nonzero when a kernel regressed beyond tolerance — the CI
 //! bench-trend gate.
+//!
+//! Observability (strictly zero-perturbation — batch outputs are
+//! byte-identical with it on or off): `--profile PATH` writes a
+//! per-cell aggregated profile record (span tree, counter sums, value
+//! stats); `profile-report` renders its sorted self-time table;
+//! `profile-diff` classifies per-span deltas with the same machinery
+//! as `bench-diff`. `--progress ndjson` streams schema-stable per-run
+//! progress events (run started/finished, checkpoint written, ETA) to
+//! stderr, one JSON object per line; without it a human progress line
+//! tracks completed/total matrix cells with elapsed + ETA.
 
 use msn_scenario::{
-    diff_batches, diff_bench, junit_xml, BatchFile, BatchRunner, BenchRecord, ScenarioSpec,
+    diff_batches, diff_bench, junit_xml, BatchFile, BatchRunner, BenchRecord, ProfileRecord,
+    ProgressEvent, ProgressSink, ScenarioSpec,
 };
+use std::io::IsTerminal;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -41,6 +56,8 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]).map(|_| true),
         Some("diff") => cmd_diff(&args[1..]),
         Some("bench-diff") => cmd_bench_diff(&args[1..]),
+        Some("profile-report") => cmd_profile_report(&args[1..]).map(|_| true),
+        Some("profile-diff") => cmd_profile_diff(&args[1..]),
         Some("list") => cmd_list(&args[1..]).map(|_| true),
         Some("describe") => cmd_describe(&args[1..]).map(|_| true),
         Some("--help" | "-h" | "help") | None => {
@@ -64,9 +81,12 @@ scenario — declarative experiment batches for the MSN deployment schemes
 
 USAGE:
     scenario run <spec.toml> [--out DIR] [--threads N] [--quick] [--resume]
-                             [--checkpoint-every N]
+                             [--checkpoint-every N] [--profile PATH]
+                             [--progress ndjson]
     scenario diff <a/batch.json> <b/batch.json> [--tol T] [--junit PATH]
     scenario bench-diff <baseline.json> <current.json> [--tol T]
+    scenario profile-report <profile.json>
+    scenario profile-diff <a.json> <b.json> [--tol T]
     scenario list [DIR]           (default DIR: scenarios/)
     scenario describe <spec.toml>
 
@@ -90,6 +110,17 @@ slower than baseline * (1 + T) (default T 0.25), or missing from the
 current record, fails the gate with a nonzero exit. Regressions are
 also emitted as GitHub ::error:: annotations when GITHUB_ACTIONS is
 set.
+`--profile PATH` aggregates per-run msn-obs observations (span trees,
+counters, value stats) into a per-cell profile record at PATH.
+Profiling never perturbs results: batch outputs are byte-identical
+with or without it. `profile-report` renders a profile's sorted
+self-time table; `profile-diff` classifies per-span deltas (mean self
+ns per entry) against a baseline profile with the same
+Ok/Improved/Regression machinery and exit semantics as bench-diff.
+`--progress ndjson` streams one JSON progress event per line to
+stderr (run-started / run-finished with completed/total, elapsed and
+ETA / checkpoint / batch lifecycle); the default human progress line
+reports the same completed/total, elapsed and ETA.
 ";
 
 fn load_spec(path: &str) -> Result<ScenarioSpec, String> {
@@ -104,12 +135,25 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut quick = false;
     let mut resume = false;
     let mut checkpoint_every: usize = 25;
+    let mut profile_path: Option<PathBuf> = None;
+    let mut ndjson = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--out" => {
                 let v = it.next().ok_or("--out needs a directory")?;
                 out_dir = Some(PathBuf::from(v));
+            }
+            "--profile" => {
+                let v = it.next().ok_or("--profile needs a path")?;
+                profile_path = Some(PathBuf::from(v));
+            }
+            "--progress" => {
+                let v = it.next().ok_or("--progress needs a mode (ndjson)")?;
+                match v.as_str() {
+                    "ndjson" => ndjson = true,
+                    other => return Err(format!("unknown progress mode '{other}' (ndjson)")),
+                }
             }
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a number")?;
@@ -146,6 +190,16 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if let Some(t) = threads {
         runner = runner.with_threads(t);
     }
+    if profile_path.is_some() {
+        runner = runner.with_profiling(true);
+    }
+    runner = runner.with_progress(if ndjson {
+        // one schema-stable JSON object per line on stderr; stdout
+        // stays reserved for the report
+        ProgressSink::new(|event| eprintln!("{}", event.ndjson_line()))
+    } else {
+        human_progress_sink()
+    });
     let dir = out_dir.unwrap_or_else(|| Path::new("results/scenario").join(&spec.name));
     if checkpoint_every > 0 {
         // the checkpoint lands where the final batch.json will, so a
@@ -233,8 +287,50 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("cannot write {path:?}: {e}"))?;
         eprintln!("wrote {}", path.display());
     }
+    if let Some(path) = profile_path {
+        let record = ProfileRecord::from_batch(&result).map_err(|e| e.to_string())?;
+        if let Some(parent) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {parent:?}: {e}"))?;
+        }
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, record.to_json_string())
+            .and_then(|()| std::fs::rename(&tmp, &path))
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        eprintln!("wrote {}", path.display());
+    }
     println!("{report}");
     Ok(())
+}
+
+/// The default progress reporter: a completed/total line with
+/// elapsed and ETA (same derivation as the NDJSON payload,
+/// `eta_seconds`) — rewritten in place on a terminal, printed at
+/// ~10 % milestones otherwise so logs stay readable.
+fn human_progress_sink() -> ProgressSink {
+    let tty = std::io::stderr().is_terminal();
+    ProgressSink::new(move |event| {
+        let &ProgressEvent::RunFinished {
+            completed,
+            total,
+            elapsed_s,
+            eta_s,
+            ..
+        } = &event
+        else {
+            return;
+        };
+        let eta = eta_s.map_or_else(|| "-".to_string(), |e| format!("{e:.1} s"));
+        let line = format!("[{completed}/{total}] elapsed {elapsed_s:.1} s, eta {eta}");
+        if tty {
+            eprint!("\r{line}        ");
+            if completed == total {
+                eprintln!();
+            }
+        } else if completed == total || completed % (total / 10).max(1) == 0 {
+            eprintln!("{line}");
+        }
+    })
 }
 
 /// Compares two batch.json files; `Ok(false)` means they differ (the
@@ -329,6 +425,58 @@ fn cmd_bench_diff(args: &[String]) -> Result<bool, String> {
         );
     }
     Ok(report.is_match())
+}
+
+fn cmd_profile_report(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err(format!(
+            "profile-report needs exactly one profile.json\n{USAGE}"
+        ));
+    };
+    let record = load_profile(path)?;
+    print!("{}", record.render_report());
+    Ok(())
+}
+
+fn cmd_profile_diff(args: &[String]) -> Result<bool, String> {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut tol = 0.25f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tol" => {
+                let v = it.next().ok_or("--tol needs a number")?;
+                tol = parse_tol(v)?;
+            }
+            other if !other.starts_with('-') => paths.push(other),
+            other => return Err(format!("unexpected argument '{other}'\n{USAGE}")),
+        }
+    }
+    let [base_path, cur_path] = paths[..] else {
+        return Err(format!(
+            "profile-diff needs exactly two profile.json files\n{USAGE}"
+        ));
+    };
+    let baseline = load_profile(base_path)?.to_bench_record(base_path);
+    let current = load_profile(cur_path)?.to_bench_record(cur_path);
+    let report = diff_bench(&baseline, &current, tol);
+    print!("{}", report.render());
+    if std::env::var_os("GITHUB_ACTIONS").is_some() {
+        for note in report.annotations() {
+            println!("{note}");
+        }
+    }
+    if report.is_match() {
+        println!("PASS ({base_path} vs {cur_path}, tol {tol})");
+    } else {
+        println!("FAIL ({base_path} vs {cur_path}, tol {tol})");
+    }
+    Ok(report.is_match())
+}
+
+fn load_profile(path: &str) -> Result<ProfileRecord, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    ProfileRecord::parse(&text).map_err(|e| format!("{path}: {e}"))
 }
 
 fn parse_tol(v: &str) -> Result<f64, String> {

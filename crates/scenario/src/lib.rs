@@ -42,6 +42,8 @@ mod bench;
 mod diff;
 mod json;
 mod junit;
+mod profile;
+mod progress;
 mod runner;
 mod spec;
 mod toml;
@@ -50,6 +52,8 @@ pub use bench::{diff_bench, BenchDiffReport, BenchKernel, BenchRecord, DeltaStat
 pub use diff::{diff_batches, BatchFile, CellDiff, CellKey, DiffReport, FileRun, MetricSummary};
 pub use json::{Json, JsonError};
 pub use junit::junit_xml;
+pub use profile::{ProfileCell, ProfileRecord};
+pub use progress::{eta_seconds, ProgressEvent, ProgressSink};
 pub use runner::{BatchResult, BatchRunner, CellStats, RunRecord, ScenarioError};
 pub use spec::{
     derive_seed, FieldSpec, ParamVariant, RadioSpec, RunCell, ScatterSpec, ScenarioSpec,

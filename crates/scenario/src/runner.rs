@@ -25,10 +25,12 @@
 
 use crate::diff::BatchFile;
 use crate::json::Json;
+use crate::progress::{eta_seconds, ProgressEvent, ProgressSink};
 use crate::spec::{RunCell, ScenarioSpec};
 use msn_deploy::run_scheme_with;
 use msn_field::{CoverageGrid, Field};
 use msn_metrics::{to_csv, Summary, Table};
+use msn_obs::Report;
 use msn_sim::SimConfig;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -150,6 +152,8 @@ struct CheckpointPolicy {
 pub struct BatchRunner {
     threads: Option<usize>,
     checkpoint: Option<CheckpointPolicy>,
+    profiling: bool,
+    progress: Option<ProgressSink>,
 }
 
 impl BatchRunner {
@@ -184,6 +188,28 @@ impl BatchRunner {
             path: path.into(),
             every,
         });
+        self
+    }
+
+    /// Installs an [`msn_obs`] collector around every executed run
+    /// and aggregates the per-run reports into
+    /// [`BatchResult::profiles`]. Strictly zero-perturbation: the
+    /// batch output (JSON/CSV/report) is byte-identical with
+    /// profiling on or off — the profile is a side artifact. Under
+    /// the `obs-off` feature the collectors record nothing and every
+    /// profile comes back `None`.
+    #[must_use]
+    pub fn with_profiling(mut self, enabled: bool) -> Self {
+        self.profiling = enabled;
+        self
+    }
+
+    /// Streams [`ProgressEvent`]s (batch/run lifecycle, checkpoint
+    /// writes) to `sink` during execution. Workers emit concurrently;
+    /// the sink must be line-atomic (see [`ProgressSink`]).
+    #[must_use]
+    pub fn with_progress(mut self, sink: ProgressSink) -> Self {
+        self.progress = Some(sink);
         self
     }
 
@@ -293,17 +319,20 @@ impl BatchRunner {
             let grid = CoverageGrid::new(&field, spec.coverage_cell);
             (field, grid)
         });
-        let records = run_matrix(
+        let (records, profiles) = run_matrix(
             spec,
             to_run,
             self.effective_threads(),
             shared.as_ref(),
             restored,
             self.checkpoint.as_ref(),
+            self.profiling,
+            self.progress.as_ref(),
         );
         Ok(BatchResult {
             spec: spec.clone(),
             records,
+            profiles,
         })
     }
 }
@@ -331,6 +360,7 @@ type SliceEnv = (
 /// Results are written back by matrix index, so record order equals
 /// matrix order at any thread count. `restored` pre-fills the slots
 /// of resumed cells.
+#[allow(clippy::too_many_arguments)] // internal seam; the builder is the public surface
 fn run_matrix(
     spec: &ScenarioSpec,
     cells: Vec<RunCell>,
@@ -338,7 +368,9 @@ fn run_matrix(
     shared: Option<&(Field, CoverageGrid)>,
     restored: Vec<Option<RunRecord>>,
     checkpoint: Option<&CheckpointPolicy>,
-) -> Vec<RunRecord> {
+    profiling: bool,
+    progress: Option<&ProgressSink>,
+) -> (Vec<RunRecord>, Vec<Option<Report>>) {
     use std::collections::{HashMap, VecDeque};
     use std::sync::atomic::Ordering;
     use std::sync::Arc;
@@ -360,17 +392,44 @@ fn run_matrix(
         Mutex::new(map)
     };
     let workers = threads.max(1).min(cells.len().max(1));
+    let to_run_total = cells.len();
+    let cached = restored.iter().flatten().count();
     let slots: Vec<Mutex<Option<RunRecord>>> = restored.into_iter().map(Mutex::new).collect();
+    // Per-run observation reports land next to their records, by
+    // matrix index (restored cells were never executed: no profile).
+    let profile_slots: Vec<Mutex<Option<Report>>> =
+        (0..slots.len()).map(|_| Mutex::new(None)).collect();
     let queue: Mutex<VecDeque<RunCell>> = Mutex::new(cells.into_iter().collect());
     let completed = Mutex::new(0usize);
     // Runs covered by the last checkpoint actually written; orders
     // concurrent checkpoint writers and drops stale snapshots.
     let last_written = Mutex::new(0usize);
+    let started = std::time::Instant::now();
+    if let Some(sink) = progress {
+        sink.emit(&ProgressEvent::BatchStarted {
+            scenario: spec.name.clone(),
+            total: to_run_total,
+            cached,
+            threads: workers,
+        });
+    }
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let cell = queue.lock().unwrap().pop_front();
                 let Some(cell) = cell else { break };
+                if let Some(sink) = progress {
+                    sink.emit(&ProgressEvent::RunStarted {
+                        index: cell.index,
+                        rc: cell.radio.rc,
+                        rs: cell.radio.rs,
+                        n: cell.n,
+                        scheme: cell.scheme.name().to_string(),
+                        variant: spec.variant_label(cell.variant).to_string(),
+                        rep: cell.rep,
+                        env_seed: cell.env_seed,
+                    });
+                }
                 // Resolve the cell's environment: the batch-wide one,
                 // or its slice's slot (first user rasterizes it).
                 let local: Option<SliceEnv> = match shared {
@@ -399,7 +458,18 @@ fn run_matrix(
                 };
                 let index = cell.index;
                 let env_seed = cell.env_seed;
+                // The run executes entirely on this worker thread, so
+                // a thread-local collector observes exactly this run.
+                // Profiling feeds only the side profile table — the
+                // record (and batch.json) is untouched by it.
+                if profiling {
+                    msn_obs::start();
+                }
                 let record = execute(spec, cell, env);
+                if profiling {
+                    *profile_slots[index].lock().unwrap() = msn_obs::finish();
+                }
+                let coverage = record.coverage;
                 *slots[index].lock().unwrap() = Some(record);
                 if let Some((_, slot)) = &local {
                     // last cell of the slice: drop the cached env
@@ -407,13 +477,31 @@ fn run_matrix(
                         envs.lock().unwrap().remove(&env_seed);
                     }
                 }
+                let done = {
+                    let mut done = completed.lock().unwrap();
+                    *done += 1;
+                    *done
+                };
+                if let Some(sink) = progress {
+                    let elapsed_s = started.elapsed().as_secs_f64();
+                    sink.emit(&ProgressEvent::RunFinished {
+                        index,
+                        rc: cell.radio.rc,
+                        rs: cell.radio.rs,
+                        n: cell.n,
+                        scheme: cell.scheme.name().to_string(),
+                        variant: spec.variant_label(cell.variant).to_string(),
+                        rep: cell.rep,
+                        env_seed,
+                        coverage,
+                        completed: done,
+                        total: to_run_total,
+                        elapsed_s,
+                        eta_s: eta_seconds(done, to_run_total, elapsed_s),
+                    });
+                }
                 if let Some(policy) = checkpoint {
-                    let due = {
-                        let mut done = completed.lock().unwrap();
-                        *done += 1;
-                        (*done).is_multiple_of(policy.every)
-                    };
-                    if due {
+                    if done.is_multiple_of(policy.every) {
                         // Snapshot, render and write outside the run
                         // counter so other workers keep finishing runs
                         // during checkpoint IO. Positions are never
@@ -439,32 +527,64 @@ fn run_matrix(
                             .collect();
                         if records.len() > *last {
                             *last = records.len();
-                            write_checkpoint(spec, &records, &policy.path);
+                            if write_checkpoint(spec, &records, &policy.path) {
+                                if let Some(sink) = progress {
+                                    sink.emit(&ProgressEvent::CheckpointWritten {
+                                        path: policy.path.display().to_string(),
+                                        runs: records.len(),
+                                    });
+                                }
+                            }
                         }
                     }
                 }
             });
         }
     });
-    slots
+    if let Some(sink) = progress {
+        sink.emit(&ProgressEvent::BatchFinished {
+            scenario: spec.name.clone(),
+            total: to_run_total,
+            elapsed_s: started.elapsed().as_secs_f64(),
+        });
+    }
+    let records = slots
         .into_iter()
         .map(|slot| {
             slot.into_inner()
                 .unwrap()
                 .expect("every matrix slot filled")
         })
-        .collect()
+        .collect();
+    let profiles = if profiling {
+        profile_slots
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap())
+            .collect()
+    } else {
+        Vec::new()
+    };
+    (records, profiles)
 }
 
 /// Atomically persists a snapshot of completed runs as a valid
-/// (partial) `batch.json`. IO failures are reported, not fatal — a
-/// missed checkpoint only costs resume granularity.
-fn write_checkpoint(spec: &ScenarioSpec, records: &[RunRecord], path: &Path) {
+/// (partial) `batch.json`, announcing the write on stderr (a killed
+/// batch is diagnosable: the last note names what `--resume` will
+/// find). IO failures are reported, not fatal — a missed checkpoint
+/// only costs resume granularity. Returns whether the write landed.
+fn write_checkpoint(spec: &ScenarioSpec, records: &[RunRecord], path: &Path) -> bool {
     let json = render_json(spec, records);
     let tmp = path.with_extension("json.tmp");
     let result = std::fs::write(&tmp, &json).and_then(|()| std::fs::rename(&tmp, path));
-    if let Err(e) = result {
-        eprintln!("warning: cannot write checkpoint {}: {e}", path.display());
+    match result {
+        Ok(()) => {
+            eprintln!("checkpoint: {} run(s) -> {}", records.len(), path.display());
+            true
+        }
+        Err(e) => {
+            eprintln!("warning: cannot write checkpoint {}: {e}", path.display());
+            false
+        }
     }
 }
 
@@ -500,6 +620,13 @@ pub struct BatchResult {
     pub spec: ScenarioSpec,
     /// One record per matrix cell, in matrix order.
     pub records: Vec<RunRecord>,
+    /// One observation report per matrix cell, in matrix order, when
+    /// the batch ran with [`BatchRunner::with_profiling`] — `None`
+    /// for cells restored by resume (never executed) and under the
+    /// `obs-off` feature. Empty when profiling was off. Not part of
+    /// any serialized batch output; aggregate it with
+    /// [`crate::ProfileRecord::from_batch`].
+    pub profiles: Vec<Option<Report>>,
 }
 
 /// Groups `records` into per-(radio, n, variant, scheme) aggregates,

@@ -67,6 +67,7 @@ fn killed_batch_resumes_byte_identically_from_checkpoint() {
     let partial = BatchResult {
         spec: spec.clone(),
         records: full.records[..3].to_vec(),
+        profiles: Vec::new(),
     };
     std::fs::write(&path, partial.to_json()).unwrap();
     let prior = BatchFile::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();

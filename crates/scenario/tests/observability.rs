@@ -1,0 +1,168 @@
+//! Observability integration: profiling must not perturb results
+//! (batch.json byte-identical with a collector installed), profiles
+//! must account for the run's wall time, tracker probes must fire on
+//! a randomized workload, and progress events must mirror the matrix.
+
+use msn_deploy::SchemeKind;
+use msn_field::RandomObstacleParams;
+use msn_scenario::{
+    BatchRunner, FieldSpec, ProfileRecord, ProgressEvent, ProgressSink, ScenarioSpec,
+};
+use std::sync::{Arc, Mutex};
+
+fn spec() -> ScenarioSpec {
+    ScenarioSpec::new("obs-test")
+        .with_schemes(vec![SchemeKind::Cpvf, SchemeKind::Floor])
+        .with_sensor_counts(vec![12])
+        .with_duration(30.0)
+        .with_coverage_cell(25.0)
+        .with_repetitions(2)
+}
+
+#[test]
+fn profiling_is_zero_perturbation() {
+    let spec = spec();
+    let plain = BatchRunner::new().with_threads(2).run(&spec).unwrap();
+    let profiled = BatchRunner::new()
+        .with_threads(2)
+        .with_profiling(true)
+        .run(&spec)
+        .unwrap();
+    assert_eq!(
+        plain.to_json(),
+        profiled.to_json(),
+        "profiling must not change a single output byte"
+    );
+    assert!(plain.profiles.is_empty());
+    assert_eq!(profiled.profiles.len(), profiled.records.len());
+    assert!(profiled.profiles.iter().all(Option::is_some));
+}
+
+#[test]
+fn profile_accounts_for_the_run() {
+    let spec = spec();
+    let result = BatchRunner::new()
+        .with_threads(1)
+        .with_profiling(true)
+        .run(&spec)
+        .unwrap();
+    let record = ProfileRecord::from_batch(&result).unwrap();
+    assert_eq!(record.scenario, "obs-test");
+    assert_eq!(record.cells.len(), 2, "one cell per (radio, n, scheme)");
+    let merged = record.merged();
+    assert!(merged.span("cpvf.run").is_some(), "CPVF run span missing");
+    assert!(merged.span("floor.run").is_some(), "FLOOR run span missing");
+    assert!(
+        record.phase_coverage() >= 0.9,
+        "per-tick phase spans cover {:.1}% of wall, want >= 90%",
+        record.phase_coverage() * 100.0
+    );
+    // tracker probes fire on every run
+    assert!(merged.counter_total("cov.syncs") > 0);
+    assert!(merged.counter_total("pidx.syncs") > 0);
+    assert!(merged.counter_total("world.moves") > 0);
+    // round-trip: serialized record parses back to the same report
+    let parsed = ProfileRecord::parse(&record.to_json_string()).unwrap();
+    assert_eq!(parsed.scenario, record.scenario);
+    assert_eq!(parsed.cells.len(), record.cells.len());
+    assert_eq!(
+        parsed.merged().counter_total("cov.syncs"),
+        merged.counter_total("cov.syncs")
+    );
+}
+
+#[test]
+fn tracker_counters_fire_on_random_obstacle_workload() {
+    // Longer FLOOR runs settle most sensors, so late-tick syncs see
+    // small dirty sets and take the incremental (re-stamp) path; the
+    // early all-moving ticks take the rebuild-if-cheaper fallback.
+    let spec = ScenarioSpec::new("obs-random")
+        .with_field(FieldSpec::RandomObstacles(RandomObstacleParams::default()))
+        .with_schemes(vec![SchemeKind::Floor])
+        .with_sensor_counts(vec![30])
+        .with_duration(300.0)
+        .with_coverage_cell(25.0)
+        .with_repetitions(1)
+        .with_seed(11);
+    let result = BatchRunner::new()
+        .with_threads(1)
+        .with_profiling(true)
+        .run(&spec)
+        .unwrap();
+    let merged = ProfileRecord::from_batch(&result).unwrap().merged();
+    assert!(
+        merged.counter_total("cov.restamps") > 0,
+        "incremental re-stamp path never taken"
+    );
+    assert!(
+        merged.counter_total("cov.rebuilds") > 0,
+        "rebuild-if-cheaper fallback never taken"
+    );
+    assert!(merged.counter_total("pidx.rebuilds") > 0);
+    assert!(merged.counter_total("conn.syncs") > 0);
+    assert!(
+        merged.counter_total("conn.repairs") > 0,
+        "dynamic-BFS repair path never taken"
+    );
+}
+
+#[test]
+fn progress_events_mirror_the_matrix() {
+    let spec = spec();
+    let events: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let log = Arc::clone(&events);
+    let sink = ProgressSink::new(move |event: &ProgressEvent| {
+        log.lock().unwrap().push(event.ndjson_line());
+    });
+    BatchRunner::new()
+        .with_threads(2)
+        .with_progress(sink)
+        .run(&spec)
+        .unwrap();
+    let events = events.lock().unwrap();
+    let count = |tag: &str| {
+        events
+            .iter()
+            .filter(|line| line.starts_with(&format!("{{\"event\":\"{tag}\"")))
+            .count()
+    };
+    assert_eq!(count("batch-started"), 1);
+    assert_eq!(count("run-started"), 4, "one per matrix cell");
+    assert_eq!(count("run-finished"), 4);
+    assert_eq!(count("batch-finished"), 1);
+    // every line is one JSON object, newline-free (line-atomic NDJSON)
+    assert!(events.iter().all(|line| !line.contains('\n')));
+    // the final run-finished reports completion and a zero ETA
+    let last = events
+        .iter()
+        .rev()
+        .find(|line| line.contains("\"event\":\"run-finished\""))
+        .unwrap();
+    assert!(last.contains("\"completed\":4,\"total\":4"));
+    assert!(last.contains("\"eta_s\":0"));
+}
+
+#[test]
+fn checkpoint_event_fires_when_checkpointing() {
+    let dir = std::env::temp_dir().join(format!("msn-obs-ckpt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("batch.json");
+    let events: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let log = Arc::clone(&events);
+    let sink = ProgressSink::new(move |event: &ProgressEvent| {
+        if let ProgressEvent::CheckpointWritten { .. } = event {
+            log.lock().unwrap().push(event.ndjson_line());
+        }
+    });
+    BatchRunner::new()
+        .with_threads(1)
+        .with_checkpoint(&path, 2)
+        .with_progress(sink)
+        .run(&spec())
+        .unwrap();
+    let events = events.lock().unwrap();
+    assert_eq!(events.len(), 2, "4 runs / every-2 checkpoints");
+    assert!(events[0].contains("\"event\":\"checkpoint\""));
+    assert!(events[0].contains("\"runs\":2"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -143,7 +143,10 @@ impl World {
 
     /// Moves sensor `i` to `p`, charging the straight-line distance.
     pub fn set_pos(&mut self, i: usize, p: Point) {
-        self.moved[i] += self.positions[i].dist(p);
+        let dist = self.positions[i].dist(p);
+        msn_obs::counter("world.moves", 1);
+        msn_obs::value("world.move_dist", dist);
+        self.moved[i] += dist;
         self.positions[i] = p;
         self.feed_trackers(i, p);
     }
@@ -176,6 +179,8 @@ impl World {
             "path length {dist} below displacement {}",
             self.positions[i].dist(p)
         );
+        msn_obs::counter("world.moves", 1);
+        msn_obs::value("world.move_dist", dist);
         self.moved[i] += dist;
         self.positions[i] = p;
         self.feed_trackers(i, p);
