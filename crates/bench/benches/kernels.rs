@@ -5,21 +5,22 @@
 //! construction.
 //!
 //! Besides printing per-iteration times, the harness exports the
-//! measurements as a machine-readable perf record: `BENCH_pr6.json`
+//! measurements as a machine-readable perf record: `BENCH_pr7.json`
 //! in the working directory, or wherever `MSN_BENCH_OUT` points. CI
 //! uploads it as an artifact and gates it against the committed
-//! `BENCH_pr5.json` baseline via `scenario bench-diff` (see the
+//! `BENCH_pr6.json` baseline via `scenario bench-diff` (see the
 //! baseline-rotation policy in the README's Performance section).
 
 use criterion::{BatchSize, Criterion};
 use msn_assign::{hungarian, CostMatrix};
 use msn_field::{CoverageGrid, CoverageTracker, Field};
-use msn_geom::{min_enclosing_circle, Point, Rect};
-use msn_nav::{Hand, Navigator};
-use msn_net::{ConnectivityTracker, DiskGraph, PointIndex, SpatialGrid};
+use msn_geom::{min_enclosing_circle, Point, Rect, Segment};
+use msn_nav::{Hand, NavContext, Navigator};
+use msn_net::{AdjacencyTracker, ConnectivityTracker, DiskGraph, PointIndex, SpatialGrid};
 use msn_scenario::Json;
 use msn_voronoi::VoronoiDiagram;
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn sites(n: usize) -> Vec<Point> {
     (0..n)
@@ -128,6 +129,116 @@ fn bench_bug2(c: &mut Criterion) {
     });
 }
 
+fn bench_nav_context(c: &mut Criterion) {
+    // A dense obstacle field — a 6×6 grid of rectangles, ~300
+    // offset-ring edges — the regime the random-obstacle sweeps push
+    // navigation into.
+    let mut obstacles = Vec::new();
+    for gy in 0..6 {
+        for gx in 0..6 {
+            let x = 80.0 + 150.0 * gx as f64;
+            let y = 80.0 + 150.0 * gy as f64;
+            obstacles.push(Rect::new(x, y, x + 70.0, y + 70.0).to_polygon());
+        }
+    }
+    let field = Field::with_obstacles(1000.0, 1000.0, obstacles);
+    let ctx = NavContext::new(&field);
+    // Probe mix matching BUG2's queries: mostly step-length segments,
+    // a few long can-progress sight lines.
+    let probes: Vec<Segment> = (0..64)
+        .map(|i| {
+            let a = i as f64;
+            let from = Point::new(
+                500.0 + 480.0 * (a * 0.7321).sin(),
+                500.0 + 480.0 * (a * 1.1173).cos(),
+            );
+            let to = if i % 4 == 0 {
+                Point::new(
+                    500.0 + 480.0 * (a * 1.9731).sin(),
+                    500.0 + 480.0 * (a * 0.4177).cos(),
+                )
+            } else {
+                from + Point::from_angle(a * 2.39996) * 25.0
+            };
+            Segment::new(from, to)
+        })
+        .collect();
+    c.bench_function("first_ring_hit_linear_dense_field", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for seg in &probes {
+                if ctx
+                    .first_ring_hit_linear(black_box(seg), None, true)
+                    .is_some()
+                {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    let mut scratch = ctx.scratch();
+    c.bench_function("first_ring_hit_indexed_dense_field", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for seg in &probes {
+                if ctx
+                    .first_ring_hit(&mut scratch, black_box(seg), None, true)
+                    .is_some()
+                {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    // End-to-end: a full BUG2 plan through the shared context (the
+    // pattern FLOOR's relocations and CPVF's walkers now use).
+    let ctx = Arc::new(ctx);
+    c.bench_function("bug2_plan_obstacle_field", |b| {
+        b.iter(|| {
+            let mut nav = Navigator::with_context(
+                ctx.clone(),
+                Point::new(20.0, 15.0),
+                Point::new(980.0, 985.0),
+                Hand::Right,
+            );
+            while !nav.is_done() && !nav.is_stuck() {
+                nav.advance(10.0);
+            }
+            black_box(nav.traveled())
+        })
+    });
+}
+
+fn bench_disk_stamp(c: &mut Criterion) {
+    let field = Field::open(1000.0, 1000.0);
+    let grid = CoverageGrid::new(&field, 2.5);
+    let centers = sites(64);
+    // The scanline stamp (row spans refined with the exact per-cell
+    // predicate) vs the chord oracle it replaced (per-cell distance
+    // test across the padded chord window). Identical visited sets;
+    // bench-diff keeps the scanline ahead.
+    c.bench_function("stamp_scanline_vs_chord", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &s in &centers {
+                total += grid.disk_cells(black_box(s), 40.0).len();
+            }
+            black_box(total)
+        })
+    });
+    c.bench_function("stamp_chord_reference", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &s in &centers {
+                total += grid.disk_cells_chord(black_box(s), 40.0).len();
+            }
+            black_box(total)
+        })
+    });
+}
+
 fn bench_diskgraph(c: &mut Criterion) {
     let pts = sites(240);
     c.bench_function("disk_graph_build_240_rc60", |b| {
@@ -175,6 +286,44 @@ fn bench_conntrack(c: &mut Criterion) {
             let (i, p) = wobble(&mut pts, step);
             tracker.set_sensor(i, p);
             black_box(tracker.is_connected(i))
+        })
+    });
+}
+
+fn bench_adjacency(c: &mut Criterion) {
+    let orig = sites(240);
+    let rc = 60.0;
+    // The same bounded wobble the other incremental-kernel pairs use.
+    let wobble = |pts: &mut [Point], step: u64| {
+        let i = (step % 240) as usize;
+        let w = ((step + step / 240) % 16) as f64;
+        let p = orig[i] + Point::new(3.0 * w - 24.0, 16.0 - 2.0 * w);
+        pts[i] = p;
+        (i, p)
+    };
+    // The per-tick pattern FLOOR used: rebuild the whole disk graph
+    // after one sensor moved, then read a neighbor list.
+    let mut pts = orig.clone();
+    let mut step = 0u64;
+    c.bench_function("tick_graph_rebuild_move_one", |b| {
+        b.iter(|| {
+            step = step.wrapping_add(1);
+            let (i, _) = wobble(&mut pts, step);
+            let g = DiskGraph::build(black_box(&pts), rc);
+            black_box(g.neighbors(i).len())
+        })
+    });
+    // The incremental path: same move, same read, served from
+    // maintained grid-order lists.
+    let mut pts = orig.clone();
+    let mut tracker = AdjacencyTracker::new(&pts, rc);
+    let mut step = 0u64;
+    c.bench_function("tick_adjacency_move_one", |b| {
+        b.iter(|| {
+            step = step.wrapping_add(1);
+            let (i, p) = wobble(&mut pts, step);
+            tracker.set_sensor(i, p);
+            black_box(tracker.neighbors(i).len())
         })
     });
 }
@@ -246,8 +395,11 @@ fn main() {
     bench_coverage(&mut c);
     bench_tracker(&mut c);
     bench_bug2(&mut c);
+    bench_nav_context(&mut c);
+    bench_disk_stamp(&mut c);
     bench_diskgraph(&mut c);
     bench_conntrack(&mut c);
+    bench_adjacency(&mut c);
     bench_point_index(&mut c);
 
     let kernels: Vec<Json> = c
@@ -261,11 +413,11 @@ fn main() {
         })
         .collect();
     let record = Json::obj()
-        .field("record", "BENCH_pr6")
+        .field("record", "BENCH_pr7")
         .field("suite", "kernels")
         .field("kernels", Json::Arr(kernels))
         .pretty();
-    let out = std::env::var("MSN_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr6.json".into());
+    let out = std::env::var("MSN_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr7.json".into());
     // Fail loudly: CI gates on this file, so an unwritable path must
     // break the job, not quietly skip the artifact.
     if let Err(e) = std::fs::write(&out, record) {

@@ -29,7 +29,7 @@ pub use osc::OscillationAvoidance;
 use crate::lazy::{lazy_plan_step, ConnectOutcome, LazyMover, Route};
 use msn_field::Field;
 use msn_geom::{Point, Segment, Vec2};
-use msn_nav::{Hand, Navigator};
+use msn_nav::{Hand, NavContext, Navigator};
 use msn_net::{within_range, MsgKind, Parent, Tree};
 use msn_sim::{RunResult, SimConfig, World};
 use rand::Rng;
@@ -142,6 +142,9 @@ pub fn run_with_grid(
     let mut connected = vec![false; n];
     attach_initial_flood(&mut world, &mut tree, &mut connected);
 
+    // One shared BUG2 context: every disconnected sensor's navigator
+    // probes obstacles through the same offset rings + edge grid.
+    let nav_ctx = std::sync::Arc::new(NavContext::new(field));
     let mut movers: Vec<Option<LazyMover>> = (0..n)
         .map(|i| {
             if connected[i] {
@@ -149,7 +152,12 @@ pub fn run_with_grid(
             } else {
                 let backoff = world.rng().gen_range(0.0..params.backoff_max.max(1e-9));
                 Some(LazyMover::new(
-                    Route::Single(Navigator::new(field, initial[i], cfg.base, Hand::Right)),
+                    Route::Single(Navigator::with_context(
+                        nav_ctx.clone(),
+                        initial[i],
+                        cfg.base,
+                        Hand::Right,
+                    )),
                     backoff,
                 ))
             }

@@ -35,10 +35,11 @@ pub use registry::{FloorRegistry, VirtualToken};
 use crate::lazy::{lazy_plan_step, ConnectOutcome, LazyMover, Route};
 use msn_field::Field;
 use msn_geom::Point;
-use msn_nav::{Hand, MultiLegPlan, Navigator};
-use msn_net::{random_walk, DiskGraph, MsgKind, Parent, Tree};
+use msn_nav::{Hand, MultiLegPlan, NavContext, Navigator};
+use msn_net::{random_walk, MsgKind, Parent, Tree};
 use msn_sim::{RunResult, SimConfig, World};
 use rand::Rng;
+use std::sync::Arc;
 
 /// Tuning parameters of FLOOR.
 #[derive(Debug, Clone, PartialEq)]
@@ -174,6 +175,9 @@ struct FloorSim<'a> {
     field: &'a Field,
     params: &'a FloorParams,
     cfg: &'a SimConfig,
+    /// Shared BUG2 context (offset rings + edge bucket grid), built
+    /// once per run and reused by every plan the scheme creates.
+    nav_ctx: Arc<NavContext>,
     world: World,
     tree: Tree,
     registry: FloorRegistry,
@@ -211,6 +215,7 @@ impl<'a> FloorSim<'a> {
             field,
             params,
             cfg,
+            nav_ctx: Arc::new(NavContext::new(field)),
             world,
             tree: Tree::new(n),
             registry,
@@ -251,12 +256,20 @@ impl<'a> FloorSim<'a> {
         // walker planning, EP coverage checks) answers from one
         // maintained point index instead of rebuilding a SpatialGrid
         // per tick — byte-identical results, order included. The
-        // connectivity tracker above privately maintains a second
-        // index over the same move stream; the duplication is
-        // deliberate — sharing one would thread an external `&mut
-        // PointIndex` through the tracker's whole public API — and
-        // cheap (O(1) per move to record, O(moved) per query round).
+        // connectivity and adjacency trackers privately maintain
+        // their own indexes over the same move stream; the
+        // duplication is deliberate — sharing one would thread an
+        // external `&mut PointIndex` through each tracker's whole
+        // public API — and cheap (O(1) per move to record, O(moved)
+        // per query round).
         self.world.track_points();
+        // Incremental adjacency: full neighbor lists (random-walk
+        // invitations, hop accounting, flood/classify scans) come
+        // from maintained grid-order lists — equal to a fresh
+        // `DiskGraph::build`, order included, so the RNG stream the
+        // walks consume is unchanged. This removes the last graph
+        // rebuild from the tick path.
+        self.world.track_adjacency();
         self.initial_flood();
         // Route the still-disconnected sensors per Algorithm 1.
         for i in 0..n {
@@ -265,7 +278,12 @@ impl<'a> FloorSim<'a> {
                 let legs = self.algorithm1_legs(pos);
                 let backoff = self.world.rng().gen_range(0.0..10.0f64);
                 self.movers[i] = Some(LazyMover::new(
-                    Route::Multi(MultiLegPlan::new(self.field, pos, legs, Hand::Right)),
+                    Route::Multi(MultiLegPlan::with_context(
+                        self.nav_ctx.clone(),
+                        pos,
+                        legs,
+                        Hand::Right,
+                    )),
                     backoff,
                 ));
             }
@@ -286,15 +304,6 @@ impl<'a> FloorSim<'a> {
                     self.classify();
                 }
             }
-            // The disk graph (random-walk invitations, hop
-            // accounting) is still built lazily per tick: positions
-            // are frozen until integrate_motion, so whichever
-            // planning sensor first needs it builds it for the whole
-            // tick — and ticks where no planner does (most of them,
-            // once the vine quiesces) build nothing. Range queries
-            // and base connectivity come from the world's incremental
-            // trackers.
-            let mut graph: Option<DiskGraph> = None;
             let plan = msn_obs::span("floor.plan");
             for i in 0..n {
                 if !self.world.is_plan_tick(i) {
@@ -302,7 +311,7 @@ impl<'a> FloorSim<'a> {
                 }
                 match self.state[i] {
                     FState::Walking => self.plan_walk(i),
-                    FState::Fixed if self.classified => self.expansion_step(i, &mut graph),
+                    FState::Fixed if self.classified => self.expansion_step(i),
                     FState::Movable => {
                         // §4.1 applies at all times: a movable whose
                         // surroundings were recruited away may find
@@ -318,7 +327,7 @@ impl<'a> FloorSim<'a> {
                         } else {
                             self.disconnected_periods[i] = 0;
                         }
-                        self.movable_step(i, &mut graph)
+                        self.movable_step(i)
                     }
                     _ => {}
                 }
@@ -364,7 +373,6 @@ impl<'a> FloorSim<'a> {
     /// predecessor edges and report to the base (§5.3).
     fn initial_flood(&mut self) {
         let base = self.cfg.base;
-        let graph = self.world.graph();
         let mut queue = std::collections::VecDeque::new();
         for i in 0..self.world.n() {
             if self.world.pos(i).dist(base) <= self.stop_dist {
@@ -374,7 +382,7 @@ impl<'a> FloorSim<'a> {
             }
         }
         while let Some(u) = queue.pop_front() {
-            for &v in graph.neighbors(u) {
+            for v in self.world.adjacency().neighbors(u).to_vec() {
                 if self.state[v] == FState::Walking
                     && self.world.pos(v).dist(self.world.pos(u)) <= self.stop_dist
                 {
@@ -408,7 +416,12 @@ impl<'a> FloorSim<'a> {
         self.waited[i] = 0;
         self.disconnected_periods[i] = 0;
         self.movers[i] = Some(LazyMover::new(
-            Route::Multi(MultiLegPlan::new(self.field, pos, legs, Hand::Right)),
+            Route::Multi(MultiLegPlan::with_context(
+                self.nav_ctx.clone(),
+                pos,
+                legs,
+                Hand::Right,
+            )),
             self.world.time(),
         ));
         self.walk_active[i] = true;
@@ -526,7 +539,6 @@ impl<'a> FloorSim<'a> {
     fn classify(&mut self) {
         self.classified = true;
         let n = self.world.n();
-        let graph = self.world.graph();
         // Serialized DFS traversal from the base's direct children.
         // Classification decisions ride on the token's way back up
         // (post-order): leaves decide first, so a departing subtree no
@@ -564,7 +576,7 @@ impl<'a> FloorSim<'a> {
             let mut ok = true;
             for &c in &kids {
                 let mut found: Option<(usize, f64)> = None;
-                for &j in graph.neighbors(c) {
+                for j in self.world.adjacency().neighbors(c).to_vec() {
                     if j == i || !self.tree.in_tree(j) || self.tree.would_create_loop(c, j) {
                         continue;
                     }
@@ -636,7 +648,7 @@ impl<'a> FloorSim<'a> {
 
     /// Phase 3 per-period step of a fixed node: maintain its set of
     /// concurrent EPs and invite movables for each (§5.5).
-    fn expansion_step(&mut self, i: usize, graph_cache: &mut Option<DiskGraph>) {
+    fn expansion_step(&mut self, i: usize) {
         if self.idle_search[i] >= self.params.idle_stop_periods {
             return;
         }
@@ -703,8 +715,7 @@ impl<'a> FloorSim<'a> {
         for k in 0..self.active_eps[i].len() {
             self.active_eps[i][k].invites_sent += 1;
             let ep = self.active_eps[i][k].ep;
-            let graph = tick_graph(graph_cache, &self.world);
-            self.send_invitation(i, ep, graph);
+            self.send_invitation(i, ep);
         }
     }
 
@@ -903,8 +914,11 @@ impl<'a> FloorSim<'a> {
 
     /// Sends one TTL random-walk invitation; movable sensors along the
     /// walk collect it (§5.5.2).
-    fn send_invitation(&mut self, i: usize, ep: ExpansionPoint, graph: &DiskGraph) {
-        let visits = random_walk(graph, i, self.ttl, self.world.rng());
+    fn send_invitation(&mut self, i: usize, ep: ExpansionPoint) {
+        let visits = {
+            let (graph, rng) = self.world.adjacency_and_rng();
+            random_walk(graph, i, self.ttl, rng)
+        };
         self.world
             .msgs()
             .record(MsgKind::Invitation, visits.len() as u64);
@@ -921,7 +935,7 @@ impl<'a> FloorSim<'a> {
 
     /// Per-period step of a movable sensor: commit to the best
     /// invitation once the quorum (or patience) is reached.
-    fn movable_step(&mut self, i: usize, graph_cache: &mut Option<DiskGraph>) {
+    fn movable_step(&mut self, i: usize) {
         if self.inbox[i].is_empty() {
             return;
         }
@@ -940,7 +954,7 @@ impl<'a> FloorSim<'a> {
                     .expect("finite")
             })
             .expect("inbox non-empty");
-        let hops = tick_graph(graph_cache, &self.world).hop_distances(i)[best.inviter];
+        let hops = self.world.adjacency().hop_distances(i)[best.inviter];
         let hops = if hops == usize::MAX { 0 } else { hops as u64 };
         self.world.msgs().record(MsgKind::AcceptInvitation, hops);
         // Inviter-side check: EP still unclaimed?
@@ -966,7 +980,7 @@ impl<'a> FloorSim<'a> {
                 .record(MsgKind::LocationUpdate, depth as u64);
         }
         self.reloc[i] = Some(Reloc {
-            nav: Navigator::new(self.field, my_pos, best.ep.pos, Hand::Right),
+            nav: Navigator::with_context(self.nav_ctx.clone(), my_pos, best.ep.pos, Hand::Right),
             token,
             inviter: best.inviter,
         });
@@ -1031,13 +1045,6 @@ impl<'a> FloorSim<'a> {
         self.state[i] = FState::Movable;
         self.waited[i] = 0;
     }
-}
-
-/// Builds the tick's shared disk graph on first use (random-walk
-/// invitations and hop accounting need full adjacency; the mere
-/// connected-to-base question does not — that is the tracker's job).
-fn tick_graph<'c>(cache: &'c mut Option<DiskGraph>, world: &World) -> &'c DiskGraph {
-    cache.get_or_insert_with(|| world.graph())
 }
 
 #[cfg(test)]

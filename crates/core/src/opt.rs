@@ -158,7 +158,7 @@ pub fn run_with_grid(
         Some(g) => g.clone(),
         None => CoverageGrid::new(field, cfg.coverage_cell),
     };
-    let coverage = grid.coverage(&positions, cfg.rs);
+    let coverage = grid.coverage_into(&positions, cfg.rs, &mut Vec::new());
     let graph = DiskGraph::build(&positions, cfg.rc);
     let connected = graph.all_connected_to_base(&positions, cfg.base, cfg.rc);
     RunResult::from_run(

@@ -135,7 +135,13 @@ pub fn run_with_grid(
             positions[i] = targets[t];
         }
     }
-    timeline.push((0.0, cov_grid.coverage(&positions, cfg.rs)));
+    // One scratch covered-mask reused across all timeline samples
+    // (identical values; saves a mask allocation per round).
+    let mut cov_scratch = Vec::new();
+    timeline.push((
+        0.0,
+        cov_grid.coverage_into(&positions, cfg.rs, &mut cov_scratch),
+    ));
 
     // ---- VD rounds on communication-restricted cells. ----
     let mut incorrect_vd = false;
@@ -186,10 +192,13 @@ pub fn run_with_grid(
                 positions[i] = next;
             }
         }
-        timeline.push(((round + 1) as f64, cov_grid.coverage(&positions, cfg.rs)));
+        timeline.push((
+            (round + 1) as f64,
+            cov_grid.coverage_into(&positions, cfg.rs, &mut cov_scratch),
+        ));
     }
 
-    let coverage = cov_grid.coverage(&positions, cfg.rs);
+    let coverage = cov_grid.coverage_into(&positions, cfg.rs, &mut cov_scratch);
     let graph = DiskGraph::build(&positions, cfg.rc);
     let connected = graph.all_connected_to_base(&positions, cfg.base, cfg.rc);
     let mut result = RunResult::from_run(

@@ -108,17 +108,30 @@ impl CoverageGrid {
         )
     }
 
+    /// `true` when the center of cell `(ix, iy)` passes the disk
+    /// membership test — the single authoritative predicate both stamp
+    /// kernels share.
+    #[inline]
+    fn center_in_disk(&self, ix: usize, iy: usize, s: Point, rs_sq: f64) -> bool {
+        self.cell_center(ix, iy).dist_sq(s) <= rs_sq
+    }
+
     /// Calls `f` with the flat index of every *free* cell whose center
-    /// lies within `rs` of `s`.
+    /// lies within `rs` of `s` — the scanline stamp kernel.
     ///
     /// This is the one disk-rasterization kernel behind
     /// [`CoverageGrid::covered_mask`], [`CoverageGrid::covered_count`]
     /// and the incremental [`crate::CoverageTracker`]: the visited set
     /// is exactly `{free (ix, iy) : dist(center, s) <= rs}`, so every
-    /// consumer agrees with the others bit-for-bit. Rows outside the
-    /// disk are skipped and each row's column scan is clipped to the
-    /// chord (plus a conservative margin; the per-cell distance test
-    /// stays authoritative).
+    /// consumer agrees with the others bit-for-bit. Per row, the
+    /// squared center distance is weakly unimodal in the column index
+    /// (monotone |Δx| into a monotone square, plus a constant), so the
+    /// passing columns form one contiguous interval: the kernel
+    /// refines the conservative chord window to that interval with a
+    /// handful of boundary distance tests and then stamps the interior
+    /// as a straight run over the free bitmap — no per-cell distance
+    /// test. [`CoverageGrid::disk_free_cells_chord`] keeps the
+    /// per-cell-test kernel as the property-tested oracle.
     #[inline]
     pub(crate) fn disk_free_cells(&self, s: Point, rs: f64, f: &mut impl FnMut(usize)) {
         let r_cells = (rs / self.cell).ceil() as isize + 1;
@@ -140,18 +153,89 @@ impl CoverageGrid {
             let half = (rem.sqrt() / self.cell) as isize + 2;
             let lo = (cx - half.min(r_cells)).max(0);
             let hi = (cx + half.min(r_cells)).min(self.nx as isize - 1);
+            if lo > hi {
+                continue;
+            }
+            let iyu = iy as usize;
+            // Shrink the padded window to the exact passing interval
+            // (the pad is at most a few cells, so this is a handful of
+            // distance tests per row).
+            let mut a = lo;
+            while a <= hi && !self.center_in_disk(a as usize, iyu, s, rs_sq) {
+                a += 1;
+            }
+            if a > hi {
+                continue;
+            }
+            let mut b = hi;
+            while b > a && !self.center_in_disk(b as usize, iyu, s, rs_sq) {
+                b -= 1;
+            }
+            // Stamp the interval as a straight slice walk: one bounds
+            // check for the whole run instead of one per cell, and no
+            // distance math left in the loop.
+            let start = iyu * self.nx + a as usize;
+            let run = &self.free[start..=start + (b - a) as usize];
+            for (off, &fr) in run.iter().enumerate() {
+                if fr {
+                    f(start + off);
+                }
+            }
+        }
+    }
+
+    /// The pre-scanline stamp kernel: same visited set as
+    /// [`CoverageGrid::disk_free_cells`], computed with a per-cell
+    /// distance test over the padded chord window. Kept as the oracle
+    /// for the scanline kernel's property tests and benchmark pair.
+    #[inline]
+    pub(crate) fn disk_free_cells_chord(&self, s: Point, rs: f64, f: &mut impl FnMut(usize)) {
+        let r_cells = (rs / self.cell).ceil() as isize + 1;
+        let rs_sq = rs * rs;
+        let cx = ((s.x - self.origin.x) / self.cell - 0.5).round() as isize;
+        let cy = ((s.y - self.origin.y) / self.cell - 0.5).round() as isize;
+        for dy in -r_cells..=r_cells {
+            let iy = cy + dy;
+            if iy < 0 || iy >= self.ny as isize {
+                continue;
+            }
+            let center_y = self.origin.y + (iy as f64 + 0.5) * self.cell;
+            let rem = rs_sq - (center_y - s.y) * (center_y - s.y);
+            if rem < 0.0 {
+                continue;
+            }
+            let half = (rem.sqrt() / self.cell) as isize + 2;
+            let lo = (cx - half.min(r_cells)).max(0);
+            let hi = (cx + half.min(r_cells)).min(self.nx as isize - 1);
             let row = iy as usize * self.nx;
             for ix in lo..=hi {
                 let idx = row + ix as usize;
                 if !self.free[idx] {
                     continue;
                 }
-                let c = self.cell_center(ix as usize, iy as usize);
-                if c.dist_sq(s) <= rs_sq {
+                if self.center_in_disk(ix as usize, iy as usize, s, rs_sq) {
                     f(idx);
                 }
             }
         }
+    }
+
+    /// Flat indices of the free cells one disk stamp visits, in visit
+    /// order — the scanline kernel, exposed for property tests and the
+    /// kernels benchmark.
+    pub fn disk_cells(&self, s: Point, rs: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.disk_free_cells(s, rs, &mut |idx| out.push(idx));
+        out
+    }
+
+    /// Flat indices of the free cells the chord-window oracle kernel
+    /// visits, in visit order. [`CoverageGrid::disk_cells`] must match
+    /// this exactly.
+    pub fn disk_cells_chord(&self, s: Point, rs: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.disk_free_cells_chord(s, rs, &mut |idx| out.push(idx));
+        out
     }
 
     /// Marks every free cell within `rs` of any sensor and returns the
@@ -194,10 +278,21 @@ impl CoverageGrid {
     ///
     /// Returns 0 when the field has no free cells.
     pub fn coverage(&self, sensors: &[Point], rs: f64) -> f64 {
+        let mut mask = Vec::new();
+        self.coverage_into(sensors, rs, &mut mask)
+    }
+
+    /// Like [`CoverageGrid::coverage`], but reuses `mask` as the
+    /// scratch buffer (see [`CoverageGrid::covered_mask_into`]) so
+    /// callers measuring coverage repeatedly allocate nothing per
+    /// measurement.
+    ///
+    /// Returns 0 when the field has no free cells.
+    pub fn coverage_into(&self, sensors: &[Point], rs: f64, mask: &mut Vec<bool>) -> f64 {
         if self.free_count == 0 {
             return 0.0;
         }
-        self.covered_count(sensors, rs) as f64 / self.free_count as f64
+        self.covered_mask_into(sensors, rs, mask) as f64 / self.free_count as f64
     }
 }
 
@@ -293,6 +388,40 @@ mod tests {
         let count = g.covered_mask_into(&sensors, 35.0, &mut scratch);
         assert_eq!(count, brute);
         assert_eq!(scratch, mask);
+    }
+
+    #[test]
+    fn scanline_stamp_matches_chord_oracle() {
+        let f = Field::with_obstacles(
+            100.0,
+            100.0,
+            vec![Rect::new(20.0, 20.0, 80.0, 80.0).to_polygon()],
+        );
+        let g = CoverageGrid::new(&f, 3.0);
+        for (s, rs) in [
+            (Point::new(50.0, 50.0), 40.0),
+            (Point::new(0.0, 0.0), 25.0),
+            (Point::new(-10.0, 103.0), 30.0), // off-field sensor
+            (Point::new(49.5, 49.5), 0.0),    // degenerate disk
+            (Point::new(10.5, 10.5), 1.5),    // center on cell boundary
+        ] {
+            assert_eq!(
+                g.disk_cells(s, rs),
+                g.disk_cells_chord(s, rs),
+                "s={s} rs={rs}"
+            );
+        }
+    }
+
+    #[test]
+    fn coverage_into_matches_coverage() {
+        let f = Field::open(100.0, 100.0);
+        let g = CoverageGrid::new(&f, 2.0);
+        let sensors = vec![Point::new(30.0, 40.0), Point::new(70.0, 60.0)];
+        let mut scratch = Vec::new();
+        let a = g.coverage(&sensors, 25.0);
+        let b = g.coverage_into(&sensors, 25.0, &mut scratch);
+        assert_eq!(a.to_bits(), b.to_bits());
     }
 
     #[test]

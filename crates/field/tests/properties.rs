@@ -22,6 +22,57 @@ fn obstacle_field(rects: &[(f64, f64, f64, f64)]) -> Field {
 
 proptest! {
     #[test]
+    fn scanline_disk_stamp_matches_chord_oracle(
+        rects in prop::collection::vec(
+            (50.0..900.0f64, 50.0..900.0f64, 20.0..250.0f64, 20.0..250.0f64),
+            0..4,
+        ),
+        centers in prop::collection::vec((-100.0..1100.0f64, -100.0..1100.0f64), 1..12),
+        rs in 0.0..200.0f64,
+        cell in 2.0..40.0f64,
+    ) {
+        // The scanline stamp must visit exactly the free in-disk cells
+        // the per-cell chord test visits, in the same order — centers
+        // off the field, radii below a cell, and centers parked on
+        // cell boundaries included.
+        let field = obstacle_field(&rects);
+        let grid = CoverageGrid::new(&field, cell);
+        for &(x, y) in &centers {
+            let s = Point::new(x, y);
+            prop_assert_eq!(
+                grid.disk_cells(s, rs),
+                grid.disk_cells_chord(s, rs),
+                "center {} rs {} cell {}", s, rs, cell
+            );
+            // snap the center onto an exact cell-boundary coordinate
+            let snapped = Point::new((x / cell).floor() * cell, (y / cell).floor() * cell);
+            prop_assert_eq!(
+                grid.disk_cells(snapped, rs),
+                grid.disk_cells_chord(snapped, rs),
+                "snapped center {} rs {} cell {}", snapped, rs, cell
+            );
+        }
+    }
+
+    #[test]
+    fn coverage_into_scratch_reuse_is_bitwise_stable(
+        pts in prop::collection::vec((0.0..1000.0f64, 0.0..1000.0f64), 0..25),
+        rs in 5.0..150.0f64,
+    ) {
+        let field = Field::open(1000.0, 1000.0);
+        let grid = CoverageGrid::new(&field, 10.0);
+        let sensors: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let mut scratch = Vec::new();
+        // growing prefixes reuse the same scratch mask; each result
+        // must equal the allocating path bit for bit
+        for k in 0..=sensors.len() {
+            let with_scratch = grid.coverage_into(&sensors[..k], rs, &mut scratch);
+            let fresh = grid.coverage(&sensors[..k], rs);
+            prop_assert_eq!(with_scratch.to_bits(), fresh.to_bits());
+        }
+    }
+
+    #[test]
     fn coverage_is_monotone_in_sensor_count(
         pts in prop::collection::vec((0.0..1000.0f64, 0.0..1000.0f64), 1..30),
         rs in 20.0..120.0f64,

@@ -1,9 +1,10 @@
 //! The incremental BUG2 navigator.
 
-use crate::offset_polygon;
+use crate::{NavContext, NavScratch};
 use msn_field::Field;
-use msn_geom::{Point, Polygon, Rect, Segment};
+use msn_geom::{Point, Segment};
 use std::fmt;
+use std::sync::Arc;
 
 /// Which hand a sensor keeps on the obstacle while circumnavigating.
 ///
@@ -38,20 +39,22 @@ enum State {
 /// An incremental BUG2 planner: repeatedly call
 /// [`Navigator::advance`] with a per-period movement budget.
 ///
+/// Navigators probe obstacle rings through a shared [`NavContext`]
+/// (offset rings + edge bucket grid, built once per run); the
+/// convenience constructors build a private context for one-off plans.
 /// See the [crate docs](crate) for the algorithm summary and an
 /// example.
 #[derive(Debug, Clone)]
 pub struct Navigator {
+    ctx: Arc<NavContext>,
+    scratch: NavScratch,
     start: Point,
     target: Point,
     pos: Point,
     hand: Hand,
     state: State,
-    rings: Vec<Polygon>,
-    bounds: Rect,
     traveled: f64,
     hit_obstacle: bool,
-    total_perimeter: f64,
     travel_cap: f64,
 }
 
@@ -62,7 +65,8 @@ impl Navigator {
         Navigator::with_clearance(field, start, target, hand, crate::DEFAULT_CLEARANCE)
     }
 
-    /// Plans a path keeping `clearance` meters from obstacle walls.
+    /// Plans a path keeping `clearance` meters from obstacle walls,
+    /// building a private [`NavContext`] for this plan alone.
     ///
     /// # Panics
     ///
@@ -74,37 +78,45 @@ impl Navigator {
         hand: Hand,
         clearance: f64,
     ) -> Self {
-        let rings: Vec<Polygon> = field
-            .obstacles()
-            .iter()
-            .map(|o| offset_polygon(o, clearance))
-            .collect();
-        let total_perimeter: f64 = rings.iter().map(Polygon::perimeter).sum();
+        Navigator::with_context(
+            Arc::new(NavContext::with_clearance(field, clearance)),
+            start,
+            target,
+            hand,
+        )
+    }
+
+    /// Plans a path probing obstacles through a shared, pre-built
+    /// context — the cheap constructor every per-run plan should use.
+    pub fn with_context(ctx: Arc<NavContext>, start: Point, target: Point, hand: Hand) -> Self {
+        let _span = msn_obs::span("nav.plan");
+        msn_obs::counter("nav.plans", 1);
         let d = start.dist(target);
         let state = if d <= 1e-9 {
             State::Reached
         } else {
             State::OnLine
         };
+        let scratch = ctx.scratch();
+        let travel_cap = 50.0 * (d + ctx.total_perimeter()) + 100.0;
         Navigator {
+            ctx,
+            scratch,
             start,
             target,
             pos: start,
             hand,
             state,
-            rings,
-            bounds: field.bounds(),
             traveled: 0.0,
             hit_obstacle: false,
-            total_perimeter,
-            travel_cap: 50.0 * (d + total_perimeter) + 100.0,
+            travel_cap,
         }
     }
 
     /// Current position (clamped into the field bounds).
     #[inline]
     pub fn pos(&self) -> Point {
-        self.bounds.clamp_point(self.pos)
+        self.ctx.bounds().clamp_point(self.pos)
     }
 
     /// The navigation target.
@@ -148,6 +160,12 @@ impl Navigator {
         matches!(self.state, State::Following { .. })
     }
 
+    /// The shared navigation context this plan probes through.
+    #[inline]
+    pub fn context(&self) -> &Arc<NavContext> {
+        &self.ctx
+    }
+
     /// Moves up to `max_dist` meters along the BUG2 path and returns
     /// the new (clamped) position.
     ///
@@ -172,7 +190,7 @@ impl Navigator {
                     }
                     let step = remaining.min(d_t);
                     let seg = Segment::new(self.pos, self.pos.step_toward(self.target, step));
-                    match self.first_ring_hit(&seg, None, true) {
+                    match self.ctx.first_ring_hit(&mut self.scratch, &seg, None, true) {
                         None => {
                             self.pos = seg.b;
                             self.traveled += step;
@@ -206,13 +224,14 @@ impl Navigator {
                     mut followed,
                 } => {
                     let ccw = matches!(self.hand, Hand::Left);
-                    let ring = &self.rings[poly];
-                    let e = ring.edge(edge);
-                    let corner = if ccw { e.b } else { e.a };
+                    let (corner, n) = {
+                        let ring = &self.ctx.rings()[poly];
+                        let e = ring.edge(edge);
+                        (if ccw { e.b } else { e.a }, ring.len())
+                    };
                     let to_corner = ring_pos.dist(corner);
                     if to_corner <= 1e-9 {
                         // Sitting on the corner: advance to the next edge.
-                        let n = ring.len();
                         edge = if ccw {
                             (edge + 1) % n
                         } else {
@@ -232,8 +251,11 @@ impl Navigator {
                     // Crossing into another obstacle's ring: switch rings
                     // there (walking the boundary of the obstacle union).
                     let mut switch: Option<(usize, usize)> = None;
-                    if self.rings.len() > 1 {
-                        if let Some((t, pj, ej)) = self.first_ring_hit(&chunk, Some(poly), false) {
+                    if self.ctx.rings().len() > 1 {
+                        if let Some((t, pj, ej)) =
+                            self.ctx
+                                .first_ring_hit(&mut self.scratch, &chunk, Some(poly), false)
+                        {
                             chunk = Segment::new(chunk.a, chunk.at(t));
                             switch = Some((pj, ej));
                         }
@@ -243,7 +265,9 @@ impl Navigator {
                     // progress?
                     let ref_seg = Segment::new(self.start, self.target);
                     if let Some(cross) = chunk.intersect(&ref_seg) {
-                        if cross.dist(self.target) < hit_dist - 1e-6 && self.can_progress(cross) {
+                        if cross.dist(self.target) < hit_dist - 1e-6
+                            && Self::can_progress(&self.ctx, &mut self.scratch, self.target, cross)
+                        {
                             let moved = ring_pos.dist(cross);
                             self.pos = cross;
                             self.traveled += moved;
@@ -259,7 +283,7 @@ impl Navigator {
                     self.traveled += moved;
                     remaining -= moved;
                     followed += moved;
-                    if followed > 2.0 * self.total_perimeter.max(1.0) + 50.0 {
+                    if followed > 2.0 * self.ctx.total_perimeter().max(1.0) + 50.0 {
                         self.state = State::Stuck;
                         break;
                     }
@@ -267,7 +291,6 @@ impl Navigator {
                         poly = pj;
                         edge = ej;
                     } else if ring_pos.dist(corner) <= 1e-9 {
-                        let n = ring.len();
                         edge = if ccw {
                             (edge + 1) % n
                         } else {
@@ -287,53 +310,17 @@ impl Navigator {
         self.pos()
     }
 
-    /// First boundary hit of `seg` against the rings, skipping hits in
-    /// the first micro-meter (so motion away from a wall the sensor
-    /// stands on is not self-blocking). `exclude` skips one ring (the
-    /// one currently being followed); `skip_inside` skips rings whose
-    /// interior strictly contains the segment start (escaping a ring
-    /// the sensor started inside).
-    fn first_ring_hit(
-        &self,
-        seg: &Segment,
-        exclude: Option<usize>,
-        skip_inside: bool,
-    ) -> Option<(f64, usize, usize)> {
-        let len = seg.length();
-        if len <= 1e-12 {
-            return None;
-        }
-        let t_min = 1e-6 / len;
-        let mut best: Option<(f64, usize, usize)> = None;
-        for (i, ring) in self.rings.iter().enumerate() {
-            if Some(i) == exclude {
-                continue;
-            }
-            if skip_inside && ring.contains(seg.a) && ring.boundary_dist(seg.a) > 1e-6 {
-                continue;
-            }
-            for ei in 0..ring.len() {
-                if let Some(t) = seg.first_hit(&ring.edge(ei)) {
-                    if t > t_min && best.is_none_or(|(bt, _, _)| t < bt) {
-                        best = Some((t, i, ei));
-                    }
-                }
-            }
-        }
-        best
-    }
-
     /// Returns `true` if a short probe from `p` toward the target is
     /// unobstructed — the "can make progress on the reference line"
     /// part of the BUG2 leave condition.
-    fn can_progress(&self, p: Point) -> bool {
-        let d = p.dist(self.target);
+    fn can_progress(ctx: &NavContext, scratch: &mut NavScratch, target: Point, p: Point) -> bool {
+        let d = p.dist(target);
         if d <= 1e-9 {
             return true;
         }
         let probe_len = d.min(1.0);
-        let probe = Segment::new(p, p.step_toward(self.target, probe_len));
-        self.first_ring_hit(&probe, None, true).is_none()
+        let probe = Segment::new(p, p.step_toward(target, probe_len));
+        ctx.first_ring_hit(scratch, &probe, None, true).is_none()
     }
 }
 
@@ -352,6 +339,7 @@ impl fmt::Display for Navigator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use msn_geom::Rect;
 
     fn run(nav: &mut Navigator, step: f64, max_steps: usize) -> bool {
         for _ in 0..max_steps {
@@ -561,5 +549,29 @@ mod tests {
         let before = nav.traveled();
         nav.advance(2.0);
         assert!((nav.traveled() - before - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_context_matches_private_context_path() {
+        let f = Field::with_obstacles(
+            200.0,
+            100.0,
+            vec![
+                Rect::new(40.0, 30.0, 70.0, 70.0).to_polygon(),
+                Rect::new(110.0, 20.0, 140.0, 60.0).to_polygon(),
+            ],
+        );
+        let ctx = Arc::new(NavContext::new(&f));
+        let start = Point::new(10.0, 50.0);
+        let target = Point::new(190.0, 40.0);
+        let mut a = Navigator::new(&f, start, target, Hand::Right);
+        let mut b = Navigator::with_context(ctx, start, target, Hand::Right);
+        while !a.is_done() && !a.is_stuck() {
+            let pa = a.advance(2.0);
+            let pb = b.advance(2.0);
+            assert_eq!(pa, pb);
+            assert_eq!(a.traveled().to_bits(), b.traveled().to_bits());
+        }
+        assert!(b.is_done());
     }
 }

@@ -45,10 +45,12 @@
 #![warn(missing_docs)]
 
 mod bug2;
+mod context;
 mod multileg;
 mod offset;
 
 pub use bug2::{Hand, Navigator};
+pub use context::{NavContext, NavScratch};
 pub use multileg::MultiLegPlan;
 pub use offset::offset_polygon;
 

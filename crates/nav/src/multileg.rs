@@ -1,9 +1,10 @@
 //! Multi-leg navigation plans (FLOOR's Algorithm 1).
 
-use crate::{Hand, Navigator};
+use crate::{Hand, NavContext, Navigator};
 use msn_field::Field;
 use msn_geom::Point;
 use std::fmt;
+use std::sync::Arc;
 
 /// A chain of BUG2 legs through intermediate destinations.
 ///
@@ -36,7 +37,7 @@ use std::fmt;
 /// ```
 #[derive(Debug, Clone)]
 pub struct MultiLegPlan {
-    field: Field,
+    ctx: Arc<NavContext>,
     legs: Vec<Point>,
     leg_idx: usize,
     nav: Navigator,
@@ -45,16 +46,27 @@ pub struct MultiLegPlan {
 }
 
 impl MultiLegPlan {
-    /// Creates a plan visiting `legs` in order from `start`.
+    /// Creates a plan visiting `legs` in order from `start`, building
+    /// a private [`NavContext`] at the default clearance.
     ///
     /// # Panics
     ///
     /// Panics if `legs` is empty.
     pub fn new(field: &Field, start: Point, legs: Vec<Point>, hand: Hand) -> Self {
+        Self::with_context(Arc::new(NavContext::new(field)), start, legs, hand)
+    }
+
+    /// Creates a plan whose legs all probe obstacles through a shared,
+    /// pre-built context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `legs` is empty.
+    pub fn with_context(ctx: Arc<NavContext>, start: Point, legs: Vec<Point>, hand: Hand) -> Self {
         assert!(!legs.is_empty(), "at least one leg required");
-        let nav = Navigator::new(field, start, legs[0], hand);
+        let nav = Navigator::with_context(ctx.clone(), start, legs[0], hand);
         MultiLegPlan {
-            field: field.clone(),
+            ctx,
             legs,
             leg_idx: 0,
             nav,
@@ -119,8 +131,8 @@ impl MultiLegPlan {
                 }
                 self.leg_idx += 1;
                 self.traveled_before += self.nav.traveled();
-                self.nav = Navigator::new(
-                    &self.field,
+                self.nav = Navigator::with_context(
+                    self.ctx.clone(),
                     self.nav.pos(),
                     self.legs[self.leg_idx],
                     self.hand,

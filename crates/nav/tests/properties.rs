@@ -1,8 +1,8 @@
 //! Property-based tests for BUG2 navigation.
 
 use msn_field::Field;
-use msn_geom::{Point, Rect};
-use msn_nav::{Hand, Navigator};
+use msn_geom::{Point, Rect, Segment};
+use msn_nav::{Hand, NavContext, Navigator};
 use proptest::prelude::*;
 
 fn single_obstacle_field(ox: f64, oy: f64, w: f64, h: f64) -> Field {
@@ -108,6 +108,48 @@ proptest! {
         let mut nav = Navigator::new(&field, start, target, Hand::Left);
         prop_assert!(drive(&mut nav, 7.0, 1000));
         prop_assert!((nav.traveled() - start.dist(target)).abs() < 1e-6);
+    }
+
+    /// The edge-bucket-indexed `first_ring_hit` must agree with the
+    /// linear scan over every ring edge — hit or miss, the same `t`
+    /// bit for bit, and the same `(ring, edge)` winner — over random
+    /// obstacle sets, clearances, and probes (including short and
+    /// degenerate ones).
+    #[test]
+    fn indexed_ring_hit_matches_linear_scan(
+        rects in prop::collection::vec(
+            (50.0..900.0f64, 50.0..900.0f64, 20.0..250.0f64, 20.0..250.0f64),
+            1..6,
+        ),
+        clearance in 0.1..2.0f64,
+        probes in prop::collection::vec(
+            (-50.0..1050.0f64, -50.0..1050.0f64, -50.0..1050.0f64, -50.0..1050.0f64),
+            1..20,
+        ),
+        skip_inside in prop::bool::ANY,
+        exclude_first in prop::bool::ANY,
+    ) {
+        let obstacles = rects
+            .iter()
+            .map(|&(x, y, w, h)| Rect::new(x, y, x + w, y + h).to_polygon())
+            .collect();
+        let field = Field::with_obstacles(1000.0, 1000.0, obstacles);
+        let ctx = NavContext::with_clearance(&field, clearance);
+        let mut scratch = ctx.scratch();
+        let exclude = exclude_first.then_some(0);
+        for &(ax, ay, bx, by) in &probes {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            // the full probe, a short sub-probe, and a degenerate one
+            let near = a + (b - a) * 1e-4;
+            for seg in [Segment::new(a, b), Segment::new(a, near), Segment::new(a, a)] {
+                prop_assert_eq!(
+                    ctx.first_ring_hit(&mut scratch, &seg, exclude, skip_inside),
+                    ctx.first_ring_hit_linear(&seg, exclude, skip_inside),
+                    "probe {:?} exclude {:?} skip {}", seg, exclude, skip_inside
+                );
+            }
+        }
     }
 
     /// Budgets are respected: each advance() call walks at most the

@@ -25,14 +25,21 @@
 //! * [`Tree`] — the parent/children forest rooted at the base station,
 //!   with ancestor lists (§5.3), loop-free reparent checks and subtree
 //!   enumeration (the `LockTree` protocol of §4.2);
-//! * [`random_walk`] — TTL-bounded random walks for FLOOR's
-//!   `Invitation` messages (§5.5.2);
+//! * [`AdjacencyTracker`] — incremental counterpart of the full
+//!   `DiskGraph::build`: maintains every neighbor list (grid scan
+//!   order included) under sensor moves, so per-tick graph consumers
+//!   (FLOOR's random-walk invitations and hop accounting) stop
+//!   rebuilding the graph;
+//! * [`random_walk`] / [`Neighbors`] — TTL-bounded random walks for
+//!   FLOOR's `Invitation` messages (§5.5.2), generic over the
+//!   neighbor-list provider;
 //! * [`MsgKind`] / [`MessageCounter`] — the message taxonomy and hop
 //!   accounting behind Table 1.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adjacency;
 mod conntrack;
 mod diskgraph;
 mod messages;
@@ -42,11 +49,12 @@ mod range;
 mod spatial;
 mod tree;
 
+pub use adjacency::AdjacencyTracker;
 pub use conntrack::ConnectivityTracker;
 pub use diskgraph::DiskGraph;
 pub use messages::{MessageCounter, MsgKind};
 pub use point_index::PointIndex;
-pub use randomwalk::random_walk;
+pub use randomwalk::{random_walk, Neighbors};
 pub use range::{within_range, RANGE_EPS};
 pub use spatial::SpatialGrid;
 pub use tree::{Parent, Tree};

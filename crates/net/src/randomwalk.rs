@@ -3,6 +3,26 @@
 use crate::DiskGraph;
 use rand::Rng;
 
+/// Read-only neighbor-list access for disk-graph consumers.
+///
+/// Both the snapshot [`DiskGraph`] and the incremental
+/// [`crate::AdjacencyTracker`] expose their adjacency through this
+/// trait, so walk-style consumers ([`random_walk`]) run on either.
+/// Implementations must return lists in the shared grid scan order —
+/// consumers observe both order and length (a random walk draws its
+/// neighbor picks from the list), so the order is part of the
+/// simulation output.
+pub trait Neighbors {
+    /// Neighbors of node `i`, in the shared grid scan order.
+    fn neighbors_of(&self, i: usize) -> &[usize];
+}
+
+impl Neighbors for DiskGraph {
+    fn neighbors_of(&self, i: usize) -> &[usize] {
+        self.neighbors(i)
+    }
+}
+
 /// Performs a TTL-bounded *non-backtracking* random walk on the disk
 /// graph starting at `start`.
 ///
@@ -31,12 +51,17 @@ use rand::Rng;
 /// let visits = random_walk(&g, 0, 10, &mut rng);
 /// assert_eq!(visits.len(), 10);
 /// ```
-pub fn random_walk<R: Rng>(graph: &DiskGraph, start: usize, ttl: usize, rng: &mut R) -> Vec<usize> {
+pub fn random_walk<G: Neighbors + ?Sized, R: Rng>(
+    graph: &G,
+    start: usize,
+    ttl: usize,
+    rng: &mut R,
+) -> Vec<usize> {
     let mut out = Vec::with_capacity(ttl);
     let mut prev: Option<usize> = None;
     let mut cur = start;
     for _ in 0..ttl {
-        let nbrs = graph.neighbors(cur);
+        let nbrs = graph.neighbors_of(cur);
         if nbrs.is_empty() {
             break;
         }

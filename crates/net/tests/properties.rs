@@ -2,7 +2,8 @@
 
 use msn_geom::Point;
 use msn_net::{
-    random_walk, ConnectivityTracker, DiskGraph, Parent, PointIndex, SpatialGrid, Tree, RANGE_EPS,
+    random_walk, AdjacencyTracker, ConnectivityTracker, DiskGraph, Parent, PointIndex, SpatialGrid,
+    Tree, RANGE_EPS,
 };
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -292,6 +293,63 @@ proptest! {
         pts[0] = Point::new(rc + 3.0 * RANGE_EPS, 0.0);
         tracker.set_sensor(0, pts[0]);
         assert_tracker_matches_oracle(&pts, base, rc, &mut tracker);
+    }
+
+    #[test]
+    fn adjacency_tracker_matches_graph_builds_in_order(
+        pts in pts_strategy(),
+        moves in moves_strategy(),
+        rc in 10.0..200.0f64,
+    ) {
+        // Every neighbor list must equal a fresh DiskGraph::build —
+        // the same indices in the same (grid scan) order, because
+        // random walks draw picks from the lists — and BFS hop
+        // distances must match, after every batch of moves.
+        let mut pts = pts;
+        let mut tracker = AdjacencyTracker::new(&pts, rc);
+        for round in moves {
+            for (i, x, y) in round {
+                let i = i % pts.len();
+                pts[i] = Point::new(x, y);
+                tracker.set_sensor(i, pts[i]);
+            }
+            let g = DiskGraph::build(&pts, rc);
+            for q in 0..pts.len() {
+                prop_assert_eq!(tracker.neighbors(q), g.neighbors(q), "list {} rc {}", q, rc);
+                prop_assert_eq!(tracker.hop_distances(q), g.hop_distances(q), "hops {}", q);
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_tracker_walks_consume_identical_rng_stream(
+        pts in pts_strategy(),
+        moves in moves_strategy(),
+        rc in 10.0..200.0f64,
+        seed in 0u64..100,
+    ) {
+        // The exact consumer contract: a TTL random walk on the
+        // tracker visits the same nodes AND leaves the RNG in the
+        // same state as one on a fresh graph build.
+        use rand::Rng;
+        let mut pts = pts;
+        let mut tracker = AdjacencyTracker::new(&pts, rc);
+        for round in moves {
+            for (i, x, y) in round {
+                let i = i % pts.len();
+                pts[i] = Point::new(x, y);
+                tracker.set_sensor(i, pts[i]);
+            }
+            tracker.sync();
+            let g = DiskGraph::build(&pts, rc);
+            let mut rng_a = SmallRng::seed_from_u64(seed);
+            let mut rng_b = SmallRng::seed_from_u64(seed);
+            prop_assert_eq!(
+                random_walk(&tracker, 0, 25, &mut rng_a),
+                random_walk(&g, 0, 25, &mut rng_b)
+            );
+            prop_assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>(), "RNG streams diverged");
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::SimConfig;
 use msn_field::{CoverageGrid, CoverageTracker, Field};
 use msn_geom::Point;
-use msn_net::{ConnectivityTracker, DiskGraph, MessageCounter, PointIndex};
+use msn_net::{AdjacencyTracker, ConnectivityTracker, DiskGraph, MessageCounter, PointIndex};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -47,6 +47,9 @@ pub struct World {
     /// Incremental proximity index, fed by every position change once
     /// [`World::track_points`] is called.
     points_index: Option<PointIndex>,
+    /// Incremental disk-graph adjacency, fed by every position change
+    /// once [`World::track_adjacency`] is called.
+    adj: Option<AdjacencyTracker>,
 }
 
 impl World {
@@ -66,6 +69,7 @@ impl World {
             tracker: None,
             conn: None,
             points_index: None,
+            adj: None,
         }
     }
 
@@ -162,6 +166,9 @@ impl World {
         }
         if let Some(x) = self.points_index.as_mut() {
             x.set_point(i, p);
+        }
+        if let Some(a) = self.adj.as_mut() {
+            a.set_sensor(i, p);
         }
     }
 
@@ -331,6 +338,43 @@ impl World {
             .as_mut()
             .expect("neighbors_tracked_grid_order requires track_points")
             .neighbors_within_grid_order(i, r, order_cell)
+    }
+
+    /// Installs an incremental [`AdjacencyTracker`] on the current
+    /// positions at the configured `rc`. From here on every position
+    /// change feeds it, and [`World::adjacency`] answers graph queries
+    /// from maintained neighbor lists — equal to a fresh
+    /// [`World::graph`] build, order included, but `O(moved sensors ·
+    /// local repair)` per tick instead of `O(N · deg)`.
+    pub fn track_adjacency(&mut self) {
+        self.adj = Some(AdjacencyTracker::new(&self.positions, self.cfg.rc));
+    }
+
+    /// The installed incremental adjacency view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`World::track_adjacency`] was never called.
+    pub fn adjacency(&mut self) -> &mut AdjacencyTracker {
+        self.adj
+            .as_mut()
+            .expect("adjacency requires track_adjacency")
+    }
+
+    /// The adjacency view (synced) and the RNG, borrowed together —
+    /// for consumers like [`msn_net::random_walk`] that draw picks
+    /// from neighbor lists while consuming the world RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`World::track_adjacency`] was never called.
+    pub fn adjacency_and_rng(&mut self) -> (&AdjacencyTracker, &mut SmallRng) {
+        let adj = self
+            .adj
+            .as_mut()
+            .expect("adjacency_and_rng requires track_adjacency");
+        adj.sync();
+        (adj, &mut self.rng)
     }
 
     /// The seeded RNG.
@@ -535,6 +579,33 @@ mod tests {
         }
         w.teleport(2, Point::new(11.0, 7.0));
         assert_eq!(w.neighbors_tracked(2, rc), oracle(&w, 2, rc, rc.max(1.0)));
+    }
+
+    #[test]
+    fn tracked_adjacency_equals_graph_builds() {
+        let mut w = world_with(5);
+        w.track_adjacency();
+        for (i, p) in [
+            (0, Point::new(70.0, 30.0)),
+            (3, Point::new(12.0, 6.0)),
+            (4, Point::new(95.0, 95.0)), // disconnects
+            (0, Point::new(14.0, 5.5)),
+        ] {
+            w.set_pos(i, p);
+            let g = w.graph();
+            for q in 0..w.n() {
+                assert_eq!(w.adjacency().neighbors(q), g.neighbors(q), "list {q}");
+                assert_eq!(w.adjacency().hop_distances(q), g.hop_distances(q));
+            }
+        }
+        w.teleport(2, Point::new(11.0, 7.0));
+        let n = w.n();
+        let g = w.graph();
+        let (adj, _rng) = w.adjacency_and_rng();
+        use msn_net::Neighbors;
+        for q in 0..n {
+            assert_eq!(adj.neighbors_of(q), g.neighbors(q));
+        }
     }
 
     #[test]
