@@ -5,10 +5,10 @@
 //! construction.
 //!
 //! Besides printing per-iteration times, the harness exports the
-//! measurements as a machine-readable perf record: `BENCH_pr7.json`
+//! measurements as a machine-readable perf record: `BENCH_pr8.json`
 //! in the working directory, or wherever `MSN_BENCH_OUT` points. CI
 //! uploads it as an artifact and gates it against the committed
-//! `BENCH_pr6.json` baseline via `scenario bench-diff` (see the
+//! `BENCH_pr7.json` baseline via `scenario bench-diff` (see the
 //! baseline-rotation policy in the README's Performance section).
 
 use criterion::{BatchSize, Criterion};
@@ -384,6 +384,76 @@ fn bench_point_index(c: &mut Criterion) {
     black_box(msn_obs::finish());
 }
 
+/// A quasi-uniform fleet over an `extent`-sized square (the R2
+/// low-discrepancy sequence), deterministic and dense enough that
+/// every sensor has a handful of rc-neighbors — the scale-tier
+/// analogue of [`sites`].
+fn fleet(n: usize, extent: f64) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            let a = i as f64 + 1.0;
+            Point::new(
+                extent * (a * 0.754_877_666_2).fract(),
+                extent * (a * 0.569_840_290_998).fract(),
+            )
+        })
+        .collect()
+}
+
+fn bench_scale_10k(c: &mut Criterion) {
+    // The 10k tier of the incremental move-one kernels: same bounded
+    // wobble, same single-sensor query, a fleet 40x larger spread over
+    // a 7 km field at comparable density. bench-diff keeps these
+    // within tolerance so the sharded index's per-move cost stays
+    // O(neighborhood) — a fleet-size-proportional sync would blow the
+    // gate immediately.
+    let n = 10_000;
+    let extent = 7_000.0;
+    let rc = 60.0;
+    let orig = fleet(n, extent);
+    let wobble = |pts: &mut [Point], step: u64| {
+        let i = (step % n as u64) as usize;
+        let w = ((step + step / n as u64) % 16) as f64;
+        let p = orig[i] + Point::new(3.0 * w - 24.0, 16.0 - 2.0 * w);
+        pts[i] = p;
+        (i, p)
+    };
+    let mut pts = orig.clone();
+    let mut index = PointIndex::new(&pts, rc);
+    let mut step = 0u64;
+    c.bench_function("point_index_move_one_10k", |b| {
+        b.iter(|| {
+            step = step.wrapping_add(1);
+            let (i, p) = wobble(&mut pts, step);
+            index.set_point(i, p);
+            black_box(index.neighbors_within(i, rc).len())
+        })
+    });
+    let mut pts = orig.clone();
+    let mut tracker = AdjacencyTracker::new(&pts, rc);
+    let mut step = 0u64;
+    c.bench_function("tick_adjacency_move_one_10k", |b| {
+        b.iter(|| {
+            step = step.wrapping_add(1);
+            let (i, p) = wobble(&mut pts, step);
+            tracker.set_sensor(i, p);
+            black_box(tracker.neighbors(i).len())
+        })
+    });
+    let mut pts = orig.clone();
+    let base = Point::new(extent / 2.0, extent / 2.0);
+    let mut tracker = ConnectivityTracker::new(&pts, base, rc);
+    let mut step = 0u64;
+    c.bench_function("conn_tracker_move_one_10k", |b| {
+        b.iter(|| {
+            step = step.wrapping_add(1);
+            let (i, p) = wobble(&mut pts, step);
+            tracker.set_sensor(i, p);
+            black_box(tracker.is_connected(i))
+        })
+    });
+}
+
 /// Runs every kernel group and writes the perf record. A hand-rolled
 /// `main` (instead of `criterion_main!`) so the collected
 /// measurements can be serialized after the run.
@@ -401,6 +471,7 @@ fn main() {
     bench_conntrack(&mut c);
     bench_adjacency(&mut c);
     bench_point_index(&mut c);
+    bench_scale_10k(&mut c);
 
     let kernels: Vec<Json> = c
         .results()
@@ -413,11 +484,11 @@ fn main() {
         })
         .collect();
     let record = Json::obj()
-        .field("record", "BENCH_pr7")
+        .field("record", "BENCH_pr8")
         .field("suite", "kernels")
         .field("kernels", Json::Arr(kernels))
         .pretty();
-    let out = std::env::var("MSN_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr7.json".into());
+    let out = std::env::var("MSN_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr8.json".into());
     // Fail loudly: CI gates on this file, so an unwritable path must
     // break the job, not quietly skip the artifact.
     if let Err(e) = std::fs::write(&out, record) {

@@ -286,9 +286,10 @@ pub fn run_with_grid(
 
     let _finish = msn_obs::span("cpvf.finish");
     let coverage = world.coverage_tracked();
-    let all_connected = world
-        .graph()
-        .all_connected_to_base(world.positions(), cfg.base, cfg.rc);
+    let all_connected =
+        world
+            .graph()
+            .all_connected_to_base(&world.positions().to_vec(), cfg.base, cfg.rc);
     let moved: Vec<f64> = (0..n).map(|i| world.moved(i)).collect();
     let msgs = world.msgs_ref().clone();
     let positions = world.positions().to_vec();
@@ -301,6 +302,7 @@ pub fn run_with_grid(
         timeline,
         positions,
     )
+    .with_movement(world.move_count(), world.move_dist())
 }
 
 /// Floods from the base station at t = 0 and attaches all reached

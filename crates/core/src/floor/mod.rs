@@ -357,6 +357,7 @@ impl<'a> FloorSim<'a> {
         RunResult::from_run(
             "FLOOR", coverage, &moved, msgs, connected, timeline, positions,
         )
+        .with_movement(self.world.move_count(), self.world.move_dist())
     }
 
     /// Algorithm 1's waypoints from a starting position.

@@ -126,7 +126,7 @@ pub(crate) fn lazy_plan_step(
     let candidate: Option<(usize, f64)> = {
         let nbrs = world.neighbors_tracked(i, rc);
         let positions = world.positions();
-        let my_dist = positions[i].dist(target);
+        let my_dist = positions.get(i).dist(target);
         let mut best: Option<(usize, f64)> = None;
         for j in nbrs {
             if blacklist.contains(&j) {
@@ -140,8 +140,8 @@ pub(crate) fn lazy_plan_step(
             if other.path_parent == Some(i) {
                 continue; // mutual adoption forbidden
             }
-            if positions[j].dist(target) + 1e-9 < my_dist {
-                let d = positions[i].dist(positions[j]);
+            if positions.get(j).dist(target) + 1e-9 < my_dist {
+                let d = positions.get(i).dist(positions.get(j));
                 if best.is_none_or(|(_, bd)| d < bd) {
                     best = Some((j, d));
                 }

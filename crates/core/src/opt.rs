@@ -161,6 +161,10 @@ pub fn run_with_grid(
     let coverage = grid.coverage_into(&positions, cfg.rs, &mut Vec::new());
     let graph = DiskGraph::build(&positions, cfg.rc);
     let connected = graph.all_connected_to_base(&positions, cfg.base, cfg.rc);
+    // OPT commands each displaced sensor straight to its target: one
+    // movement action per sensor that actually relocates.
+    let moves = moved.iter().filter(|&&d| d > 0.0).count() as u64;
+    let move_dist: f64 = moved.iter().sum();
     RunResult::from_run(
         "OPT",
         coverage,
@@ -170,6 +174,7 @@ pub fn run_with_grid(
         vec![(0.0, coverage)],
         positions,
     )
+    .with_movement(moves, move_dist)
 }
 
 #[cfg(test)]

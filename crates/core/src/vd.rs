@@ -122,6 +122,9 @@ pub fn run_with_grid(
     };
     let mut positions = initial.to_vec();
     let mut moved = vec![0.0f64; n];
+    // Per-round position updates with nonzero travel (`world.moves`
+    // equivalent for this World-less baseline).
+    let mut move_ops: u64 = 0;
     let mut timeline = Vec::new();
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
 
@@ -188,7 +191,11 @@ pub fn run_with_grid(
                 // VD baselines assume an obstacle-free field; clamp into
                 // bounds to stay well-defined if misused.
                 let next = bounds.clamp_point(next);
-                moved[i] += positions[i].dist(next);
+                let step_dist = positions[i].dist(next);
+                if step_dist > 0.0 {
+                    move_ops += 1;
+                }
+                moved[i] += step_dist;
                 positions[i] = next;
             }
         }
@@ -209,7 +216,8 @@ pub fn run_with_grid(
         connected,
         timeline,
         positions,
-    );
+    )
+    .with_movement(move_ops, moved.iter().sum());
     if !connected {
         result = result.with_flag("Disconn.");
     }

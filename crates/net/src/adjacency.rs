@@ -163,11 +163,11 @@ impl AdjacencyTracker {
         let n = self.synced.len();
         msn_obs::counter("adj.syncs", 1);
         msn_obs::value("adj.dirty", self.dirty.len() as f64);
-        if 2 * self.dirty.len() >= n {
-            msn_obs::counter("adj.rebuilds", 1);
-            self.rebuild();
-            return;
-        }
+        // Filter no-op moves *before* the rebuild decision: a burst of
+        // redundant `set_sensor` calls must not push a 10k fleet over
+        // the fleet-wide rebuild threshold. The bucket-level work
+        // below reconciles per shard inside the shared [`PointIndex`];
+        // this tracker's own link repair is O(moved · degree).
         let dirty = std::mem::take(&mut self.dirty);
         let mut moved: Vec<u32> = Vec::with_capacity(dirty.len());
         for &i in &dirty {
@@ -181,6 +181,14 @@ impl AdjacencyTracker {
             moved.push(i);
         }
         if moved.is_empty() {
+            return;
+        }
+        if 2 * moved.len() >= n {
+            msn_obs::counter("adj.rebuilds", 1);
+            for &i in &moved {
+                self.is_dirty[i as usize] = false;
+            }
+            self.rebuild();
             return;
         }
         msn_obs::counter("adj.repairs", 1);

@@ -97,6 +97,11 @@ pub struct ConnectivityTracker {
     raised: Vec<bool>,
     settled: Vec<bool>,
     levels: Vec<Vec<u32>>,
+    /// Every index whose `queued` flag was set during the current
+    /// repair — flags are reset through this list afterwards, so a
+    /// repair touching 50 sensors of a 10k fleet never pays three
+    /// fleet-sized scratch fills.
+    touched: Vec<u32>,
 }
 
 impl ConnectivityTracker {
@@ -122,6 +127,7 @@ impl ConnectivityTracker {
             raised: vec![false; n],
             settled: vec![false; n],
             levels: Vec::new(),
+            touched: Vec::new(),
         };
         tracker.rebuild();
         tracker
@@ -266,14 +272,10 @@ impl ConnectivityTracker {
         let n = self.synced.len();
         msn_obs::counter("conn.syncs", 1);
         msn_obs::value("conn.dirty", self.dirty.len() as f64);
-        if 2 * self.dirty.len() >= n {
-            msn_obs::counter("conn.rebuilds", 1);
-            self.rebuild();
-            return;
-        }
-        // The point index reconciles every pending bucket move on its
-        // first query below, so all neighborhoods already see the new
-        // positions.
+        // Filter no-op moves *before* the rebuild decision, so
+        // redundant `set_sensor` calls never push a large fleet over
+        // the fleet-wide rebuild threshold. (Bucket maintenance below
+        // reconciles per shard inside the shared [`PointIndex`].)
         let dirty = std::mem::take(&mut self.dirty);
         let mut moved: Vec<u32> = Vec::with_capacity(dirty.len());
         for i in dirty {
@@ -287,6 +289,11 @@ impl ConnectivityTracker {
             moved.push(i);
         }
         if moved.is_empty() {
+            return;
+        }
+        if 2 * moved.len() >= n {
+            msn_obs::counter("conn.rebuilds", 1);
+            self.rebuild();
             return;
         }
         msn_obs::counter("conn.repairs", 1);
@@ -335,12 +342,28 @@ impl ConnectivityTracker {
         }
     }
 
+    /// Resets the per-repair scratch flags by walking exactly the
+    /// entries a repair set (`queued` via the touched list, `raised` /
+    /// `settled` via the raised list) — `O(affected region)`, never a
+    /// fleet-wide fill. Must run on *every* repair exit, including the
+    /// rebuild fallback, or stale flags would corrupt the next repair.
+    fn reset_repair_flags(&mut self, raised_list: &[(u32, u32)]) {
+        let touched = std::mem::take(&mut self.touched);
+        for &v in &touched {
+            self.queued[v as usize] = false;
+        }
+        self.touched = touched;
+        self.touched.clear();
+        for &(v, _) in raised_list {
+            self.raised[v as usize] = false;
+            self.settled[v as usize] = false;
+        }
+    }
+
     /// Exact hop-distance repair after a batch of link events.
     fn repair(&mut self, moved: &[u32], removed: &[(u32, u32)], added: &[(u32, u32)]) {
         let n = self.synced.len();
-        self.queued.fill(false);
-        self.raised.fill(false);
-        self.settled.fill(false);
+        debug_assert!(self.touched.is_empty(), "scratch reset on last exit");
         for lvl in &mut self.levels {
             lvl.clear();
         }
@@ -355,6 +378,7 @@ impl ConnectivityTracker {
             let d = this.dist[v as usize];
             if d != UNREACHED && !this.queued[v as usize] {
                 this.queued[v as usize] = true;
+                this.touched.push(v);
                 this.ensure_level(d as usize);
                 this.levels[d as usize].push(v);
             }
@@ -392,6 +416,7 @@ impl ConnectivityTracker {
                     let uu = u as usize;
                     if !self.raised[uu] && !self.queued[uu] && self.dist[uu] == dv + 1 {
                         self.queued[uu] = true;
+                        self.touched.push(u);
                         self.ensure_level(lvl + 1);
                         self.levels[lvl + 1].push(u);
                     }
@@ -404,6 +429,7 @@ impl ConnectivityTracker {
         msn_obs::value("conn.raised", raised_list.len() as f64);
         if 2 * raised_list.len() >= n.max(1) {
             msn_obs::counter("conn.repair_fallbacks", 1);
+            self.reset_repair_flags(&raised_list);
             self.rebuild();
             return;
         }
@@ -502,6 +528,7 @@ impl ConnectivityTracker {
             }
             lvl += 1;
         }
+        self.reset_repair_flags(&raised_list);
     }
 }
 

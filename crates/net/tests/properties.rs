@@ -9,9 +9,25 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-fn pts_strategy() -> impl Strategy<Value = Vec<Point>> {
-    prop::collection::vec((0.0..500.0f64, 0.0..500.0f64), 1..60)
+fn pts_sized(count: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((0.0..500.0f64, 0.0..500.0f64), count)
         .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+fn pts_strategy() -> impl Strategy<Value = Vec<Point>> {
+    pts_sized(1..60)
+}
+
+/// Fleet-size-parameterized point sets: the incremental kernels must
+/// hold their oracle bit-identity at paper scale *and* at the scale
+/// tier (where the shard layer's per-shard rebuild decisions kick
+/// in). Large fleets are sampled more sparingly to keep the suite
+/// fast; the `scale_tier_*` tests below cover 10k deterministically.
+fn pts_fleet_strategy() -> impl Strategy<Value = Vec<Point>> {
+    prop_oneof![
+        4 => pts_sized(1..60),
+        1 => pts_sized(120..200),
+    ]
 }
 
 /// A move sequence: which sensor goes where, batched into query
@@ -110,7 +126,7 @@ proptest! {
 
     #[test]
     fn point_index_matches_grid_oracle_in_order(
-        pts in pts_strategy(),
+        pts in pts_fleet_strategy(),
         moves in moves_strategy(),
         cell in 5.0..150.0f64,
         r in 5.0..150.0f64,
@@ -224,7 +240,7 @@ proptest! {
 
     #[test]
     fn connectivity_tracker_matches_flood_oracle(
-        pts in pts_strategy(),
+        pts in pts_fleet_strategy(),
         moves in moves_strategy(),
         rc in 10.0..200.0f64,
         base in (0.0..500.0f64, 0.0..500.0f64),
@@ -297,7 +313,7 @@ proptest! {
 
     #[test]
     fn adjacency_tracker_matches_graph_builds_in_order(
-        pts in pts_strategy(),
+        pts in pts_fleet_strategy(),
         moves in moves_strategy(),
         rc in 10.0..200.0f64,
     ) {
@@ -386,4 +402,143 @@ proptest! {
             }
         }
     }
+}
+
+/// Deterministic 10k scatter over a 1000×1000 field (the scale-tier
+/// workload shape): golden-ratio low-discrepancy placement, no RNG.
+fn scale_fleet(n: usize) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64 * 0.618_033_988_749_894_9;
+            let x = (t - t.floor()) * 1000.0;
+            let y = (i as f64 + 0.5) / n as f64 * 1000.0;
+            Point::new(x, y)
+        })
+        .collect()
+}
+
+/// Satellite regression: far-off-field sensors — huge positive and
+/// negative coordinates whose cell keys saturate the i64 range — must
+/// keep every index and tracker byte-identical to its oracle, through
+/// moves in and out of the pathological region.
+#[test]
+fn far_off_field_sensors_stay_oracle_exact() {
+    let cell = 60.0;
+    let mut pts = vec![
+        Point::new(5.0, 5.0),
+        Point::new(40.0, 20.0),
+        Point::new(-1.0e9, 2.5e9),     // far off-field, large cell keys
+        Point::new(1.0e300, -1.0e300), // saturates the i64 cell keys
+        Point::new(80.0, 50.0),
+        Point::new(-3.0e18, -3.0e18), // near the i64 edge after /cell
+    ];
+    let mut index = PointIndex::new(&pts, cell);
+    let mut adj = AdjacencyTracker::new(&pts, cell);
+    let check = |index: &mut PointIndex, adj: &mut AdjacencyTracker, pts: &[Point]| {
+        let grid = SpatialGrid::build(pts, cell);
+        let g = DiskGraph::build(pts, cell);
+        for q in 0..pts.len() {
+            assert_eq!(
+                index.neighbors_within(q, cell),
+                grid.neighbors(pts, q, cell)
+            );
+            assert_eq!(adj.neighbors(q), g.neighbors(q));
+        }
+    };
+    check(&mut index, &mut adj, &pts);
+    // an off-field sensor returns to the fleet, a fleet sensor leaves
+    for (i, p) in [
+        (3, Point::new(42.0, 22.0)),
+        (0, Point::new(7.7e18, -9.1e18)),
+        (2, Point::new(-2.0e9, 2.5e9)), // moves *within* the far region
+        (0, Point::new(6.0, 4.0)),      // and back
+    ] {
+        pts[i] = p;
+        index.set_point(i, p);
+        adj.set_sensor(i, p);
+        check(&mut index, &mut adj, &pts);
+    }
+}
+
+/// Scale tier: a 10k fleet with a small dirty set reconciles through
+/// the shard layer and stays bit-identical to a fresh grid build.
+/// Oracle comparison is spot-checked (movers + a stride sample) — the
+/// full-fleet comparison lives in the sized property tests above.
+#[test]
+fn scale_tier_10k_sharded_moves_match_oracle() {
+    let cell = 60.0;
+    let n = 10_000;
+    let mut pts = scale_fleet(n);
+    let mut index = PointIndex::new(&pts, cell);
+    assert!(
+        index.shard_count() > 1,
+        "a 1000x1000 field at cell 60 spans several shards"
+    );
+    assert!(
+        index.shard_population(pts[0]) < n,
+        "shards partition the fleet"
+    );
+    // Three rounds of 50 scattered movers (≪ n/2: the per-shard path).
+    for round in 0..3 {
+        for k in 0..50 {
+            let i = (k * 199 + round * 7) % n;
+            let p = Point::new((pts[i].x + 250.0) % 1000.0, (pts[i].y + 125.0) % 1000.0);
+            pts[i] = p;
+            index.set_point(i, p);
+        }
+        let grid = SpatialGrid::build(&pts, cell);
+        for k in 0..50 {
+            let mover = (k * 199 + round * 7) % n;
+            assert_eq!(
+                index.neighbors_within(mover, cell),
+                grid.neighbors(&pts, mover, cell),
+                "mover {mover} round {round}"
+            );
+        }
+        for q in (0..n).step_by(617) {
+            assert_eq!(
+                index.neighbors_within(q, cell),
+                grid.neighbors(&pts, q, cell),
+                "sample {q} round {round}"
+            );
+        }
+    }
+}
+
+/// Scale tier: a dense local cluster churning inside one shard takes
+/// the per-shard rebuild path; results stay oracle-exact and the
+/// untouched remainder of the fleet keeps its buckets.
+#[test]
+fn scale_tier_clustered_churn_rebuilds_only_its_shard() {
+    let cell = 10.0; // small cells: the cluster spans one 8x8 shard
+    let n = 2_000;
+    let mut pts = scale_fleet(n);
+    // park a dense cluster inside one shard block (cells 0..8 → x,y < 80)
+    for i in 0..60 {
+        pts[i] = Point::new(5.0 + (i % 8) as f64 * 9.0, 5.0 + (i / 8) as f64 * 9.0);
+    }
+    let mut index = PointIndex::new(&pts, cell);
+    let before = index.shard_count();
+    // churn most of the cluster (over half its shard's population,
+    // far below the fleet threshold)
+    for i in 0..60 {
+        pts[i] = Point::new(
+            5.0 + ((i + 3) % 8) as f64 * 9.0,
+            5.0 + (((i / 8) + 1) % 8) as f64 * 9.0,
+        );
+        index.set_point(i, pts[i]);
+    }
+    let grid = SpatialGrid::build(&pts, cell);
+    for q in (0..n).step_by(97).chain(0..60) {
+        assert_eq!(
+            index.neighbors_within(q, cell),
+            grid.neighbors(&pts, q, cell),
+            "sensor {q}"
+        );
+    }
+    assert_eq!(
+        index.shard_count(),
+        before,
+        "cluster stayed within its shards"
+    );
 }

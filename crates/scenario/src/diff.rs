@@ -40,6 +40,12 @@ pub struct FileRun {
     pub convergence_time: Option<f64>,
     /// Annotation flags.
     pub flags: Vec<String>,
+    /// Movement actions (`world.moves`); 0 when the file was written
+    /// without `movement_summary` enabled.
+    pub moves: u64,
+    /// Commanded travel distance (`world.move_dist`, m); 0.0 when the
+    /// file was written without `movement_summary` enabled.
+    pub move_dist: f64,
 }
 
 /// Identity of one aggregate cell: radio ranges (as exact bit
@@ -164,6 +170,20 @@ impl BatchFile {
                     })?,
                     convergence_time,
                     flags,
+                    // Optional: absent in files written without
+                    // movement_summary (and in all pre-scale files).
+                    moves: match run.get("moves") {
+                        None => 0,
+                        Some(v) => v.as_u64().ok_or_else(|| {
+                            ScenarioError("batch.json: 'moves' must be an integer".into())
+                        })?,
+                    },
+                    move_dist: match run.get("move_dist") {
+                        None => 0.0,
+                        Some(v) => v.as_f64().ok_or_else(|| {
+                            ScenarioError("batch.json: 'move_dist' must be numeric".into())
+                        })?,
+                    },
                 };
                 if runs.insert(rep, record).is_some() {
                     return Err(ScenarioError(format!(

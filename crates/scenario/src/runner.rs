@@ -1,10 +1,11 @@
 //! Parallel batch execution of scenario specs.
 //!
 //! [`BatchRunner`] expands a [`ScenarioSpec`] into its run matrix and
-//! executes every run — on a scoped worker pool, one worker per core
-//! by default — collecting a [`BatchResult`] that aggregates per-cell
-//! statistics and exports JSON, CSV and the ASCII report tables the
-//! older `figN` harness prints.
+//! executes every run — on the shared persistent work-stealing pool
+//! (`rayon::run_indexed`), one participant per core by default —
+//! collecting a [`BatchResult`] that aggregates per-cell statistics
+//! and exports JSON, CSV and the ASCII report tables the older `figN`
+//! harness prints.
 //!
 //! Determinism: every run's randomness derives from the spec's base
 //! seed and the run's matrix coordinates (see
@@ -71,6 +72,16 @@ pub struct RunRecord {
     pub convergence_time: Option<f64>,
     /// Annotations such as `Disconn.` / `Incorrect VD` (Figure 10).
     pub flags: Vec<String>,
+    /// Number of movement actions (the `world.moves` aggregate).
+    /// Serialized (and aggregated) only for specs with
+    /// `movement_summary` enabled; restored records from other specs
+    /// carry 0.
+    pub moves: u64,
+    /// Commanded travel distance (m; the `world.move_dist`
+    /// aggregate, excluding detour-accounting penalties). Serialized
+    /// under the same `movement_summary` gate as
+    /// [`RunRecord::moves`].
+    pub move_dist: f64,
     /// Final sensor positions. Kept in memory for layout rendering
     /// and movement lower bounds; *not* serialized to `batch.json`,
     /// so records restored by batch resume carry an empty vector —
@@ -130,6 +141,10 @@ pub struct CellStats {
     pub avg_move: Summary,
     /// Total messages over repetitions.
     pub messages: Summary,
+    /// Movement actions over repetitions (`world.moves`).
+    pub moves: Summary,
+    /// Commanded travel distance over repetitions (`world.move_dist`, m).
+    pub move_dist: Summary,
     /// Number of repetitions that ended fully connected.
     pub connected_runs: usize,
     /// The per-repetition records behind the aggregates.
@@ -303,6 +318,8 @@ impl BatchRunner {
                         connected: run.connected,
                         convergence_time: run.convergence_time,
                         flags: run.flags.clone(),
+                        moves: run.moves,
+                        move_dist: run.move_dist,
                         positions: Vec::new(),
                     });
                 }
@@ -353,13 +370,14 @@ type SliceEnv = (
     std::sync::Arc<EnvSlot>,
 );
 
-/// Executes the matrix cells on `threads` scoped workers. Cells are
-/// scheduled individually (schemes and variants of one slice run
-/// concurrently); cells sharing an env seed resolve the same
-/// lazily-built [`EnvSlot`] unless a batch-wide `shared` env exists.
-/// Results are written back by matrix index, so record order equals
-/// matrix order at any thread count. `restored` pre-fills the slots
-/// of resumed cells.
+/// Executes the matrix cells on up to `threads` participants of the
+/// shared work-stealing pool (the calling thread included; see the
+/// `rayon` shim). Cells are scheduled individually (schemes and
+/// variants of one slice run concurrently); cells sharing an env seed
+/// resolve the same lazily-built [`EnvSlot`] unless a batch-wide
+/// `shared` env exists. Results are written back by matrix index, so
+/// record order equals matrix order at any thread count. `restored`
+/// pre-fills the slots of resumed cells.
 #[allow(clippy::too_many_arguments)] // internal seam; the builder is the public surface
 fn run_matrix(
     spec: &ScenarioSpec,
@@ -371,7 +389,7 @@ fn run_matrix(
     profiling: bool,
     progress: Option<&ProgressSink>,
 ) -> (Vec<RunRecord>, Vec<Option<Report>>) {
-    use std::collections::{HashMap, VecDeque};
+    use std::collections::HashMap;
     use std::sync::atomic::Ordering;
     use std::sync::Arc;
     let envs: Mutex<HashMap<u64, Arc<EnvSlot>>> = {
@@ -399,7 +417,6 @@ fn run_matrix(
     // matrix index (restored cells were never executed: no profile).
     let profile_slots: Vec<Mutex<Option<Report>>> =
         (0..slots.len()).map(|_| Mutex::new(None)).collect();
-    let queue: Mutex<VecDeque<RunCell>> = Mutex::new(cells.into_iter().collect());
     let completed = Mutex::new(0usize);
     // Runs covered by the last checkpoint actually written; orders
     // concurrent checkpoint writers and drops stale snapshots.
@@ -413,134 +430,134 @@ fn run_matrix(
             threads: workers,
         });
     }
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let cell = queue.lock().unwrap().pop_front();
-                let Some(cell) = cell else { break };
-                if let Some(sink) = progress {
-                    sink.emit(&ProgressEvent::RunStarted {
-                        index: cell.index,
-                        rc: cell.radio.rc,
-                        rs: cell.radio.rs,
-                        n: cell.n,
-                        scheme: cell.scheme.name().to_string(),
-                        variant: spec.variant_label(cell.variant).to_string(),
-                        rep: cell.rep,
-                        env_seed: cell.env_seed,
-                    });
+    rayon::run_indexed(
+        cells,
+        &|cell: RunCell| {
+            if let Some(sink) = progress {
+                sink.emit(&ProgressEvent::RunStarted {
+                    index: cell.index,
+                    rc: cell.radio.rc,
+                    rs: cell.radio.rs,
+                    n: cell.n,
+                    scheme: cell.scheme.name().to_string(),
+                    variant: spec.variant_label(cell.variant).to_string(),
+                    rep: cell.rep,
+                    env_seed: cell.env_seed,
+                });
+            }
+            // Resolve the cell's environment: the batch-wide one,
+            // or its slice's slot (first user rasterizes it).
+            let local: Option<SliceEnv> = match shared {
+                Some(_) => None,
+                None => {
+                    let slot = envs
+                        .lock()
+                        .unwrap()
+                        .get(&cell.env_seed)
+                        .expect("slot prepared for every env seed")
+                        .clone();
+                    let env = slot
+                        .env
+                        .get_or_init(|| {
+                            let field = cell.build_field(spec);
+                            let grid = CoverageGrid::new(&field, spec.coverage_cell);
+                            Arc::new((field, grid))
+                        })
+                        .clone();
+                    Some((env, slot))
                 }
-                // Resolve the cell's environment: the batch-wide one,
-                // or its slice's slot (first user rasterizes it).
-                let local: Option<SliceEnv> = match shared {
-                    Some(_) => None,
-                    None => {
-                        let slot = envs
-                            .lock()
-                            .unwrap()
-                            .get(&cell.env_seed)
-                            .expect("slot prepared for every env seed")
-                            .clone();
-                        let env = slot
-                            .env
-                            .get_or_init(|| {
-                                let field = cell.build_field(spec);
-                                let grid = CoverageGrid::new(&field, spec.coverage_cell);
-                                Arc::new((field, grid))
+            };
+            let env: &(Field, CoverageGrid) = match &local {
+                Some((env, _)) => env,
+                None => shared.expect("either shared or per-slice env"),
+            };
+            let index = cell.index;
+            let env_seed = cell.env_seed;
+            // The run executes entirely on this worker thread, so
+            // a thread-local collector observes exactly this run.
+            // Profiling feeds only the side profile table — the
+            // record (and batch.json) is untouched by it.
+            if profiling {
+                msn_obs::start();
+            }
+            let record = execute(spec, cell, env);
+            if profiling {
+                *profile_slots[index].lock().unwrap() = msn_obs::finish();
+            }
+            let coverage = record.coverage;
+            *slots[index].lock().unwrap() = Some(record);
+            if let Some((_, slot)) = &local {
+                // last cell of the slice: drop the cached env
+                if slot.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    envs.lock().unwrap().remove(&env_seed);
+                }
+            }
+            let done = {
+                let mut done = completed.lock().unwrap();
+                *done += 1;
+                *done
+            };
+            if let Some(sink) = progress {
+                let elapsed_s = started.elapsed().as_secs_f64();
+                sink.emit(&ProgressEvent::RunFinished {
+                    index,
+                    rc: cell.radio.rc,
+                    rs: cell.radio.rs,
+                    n: cell.n,
+                    scheme: cell.scheme.name().to_string(),
+                    variant: spec.variant_label(cell.variant).to_string(),
+                    rep: cell.rep,
+                    env_seed,
+                    coverage,
+                    completed: done,
+                    total: to_run_total,
+                    elapsed_s,
+                    eta_s: eta_seconds(done, to_run_total, elapsed_s),
+                });
+            }
+            if let Some(policy) = checkpoint {
+                if done.is_multiple_of(policy.every) {
+                    // Snapshot, render and write outside the run
+                    // counter so other workers keep finishing runs
+                    // during checkpoint IO. Positions are never
+                    // serialized, so the snapshot drops them
+                    // instead of deep-cloning every layout.
+                    let mut last = last_written.lock().unwrap();
+                    let records: Vec<RunRecord> = slots
+                        .iter()
+                        .filter_map(|slot| {
+                            slot.lock().unwrap().as_ref().map(|r| RunRecord {
+                                cell: r.cell,
+                                coverage: r.coverage,
+                                avg_move: r.avg_move,
+                                max_move: r.max_move,
+                                total_move: r.total_move,
+                                messages: r.messages,
+                                connected: r.connected,
+                                convergence_time: r.convergence_time,
+                                flags: r.flags.clone(),
+                                moves: r.moves,
+                                move_dist: r.move_dist,
+                                positions: Vec::new(),
                             })
-                            .clone();
-                        Some((env, slot))
-                    }
-                };
-                let env: &(Field, CoverageGrid) = match &local {
-                    Some((env, _)) => env,
-                    None => shared.expect("either shared or per-slice env"),
-                };
-                let index = cell.index;
-                let env_seed = cell.env_seed;
-                // The run executes entirely on this worker thread, so
-                // a thread-local collector observes exactly this run.
-                // Profiling feeds only the side profile table — the
-                // record (and batch.json) is untouched by it.
-                if profiling {
-                    msn_obs::start();
-                }
-                let record = execute(spec, cell, env);
-                if profiling {
-                    *profile_slots[index].lock().unwrap() = msn_obs::finish();
-                }
-                let coverage = record.coverage;
-                *slots[index].lock().unwrap() = Some(record);
-                if let Some((_, slot)) = &local {
-                    // last cell of the slice: drop the cached env
-                    if slot.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                        envs.lock().unwrap().remove(&env_seed);
-                    }
-                }
-                let done = {
-                    let mut done = completed.lock().unwrap();
-                    *done += 1;
-                    *done
-                };
-                if let Some(sink) = progress {
-                    let elapsed_s = started.elapsed().as_secs_f64();
-                    sink.emit(&ProgressEvent::RunFinished {
-                        index,
-                        rc: cell.radio.rc,
-                        rs: cell.radio.rs,
-                        n: cell.n,
-                        scheme: cell.scheme.name().to_string(),
-                        variant: spec.variant_label(cell.variant).to_string(),
-                        rep: cell.rep,
-                        env_seed,
-                        coverage,
-                        completed: done,
-                        total: to_run_total,
-                        elapsed_s,
-                        eta_s: eta_seconds(done, to_run_total, elapsed_s),
-                    });
-                }
-                if let Some(policy) = checkpoint {
-                    if done.is_multiple_of(policy.every) {
-                        // Snapshot, render and write outside the run
-                        // counter so other workers keep finishing runs
-                        // during checkpoint IO. Positions are never
-                        // serialized, so the snapshot drops them
-                        // instead of deep-cloning every layout.
-                        let mut last = last_written.lock().unwrap();
-                        let records: Vec<RunRecord> = slots
-                            .iter()
-                            .filter_map(|slot| {
-                                slot.lock().unwrap().as_ref().map(|r| RunRecord {
-                                    cell: r.cell,
-                                    coverage: r.coverage,
-                                    avg_move: r.avg_move,
-                                    max_move: r.max_move,
-                                    total_move: r.total_move,
-                                    messages: r.messages,
-                                    connected: r.connected,
-                                    convergence_time: r.convergence_time,
-                                    flags: r.flags.clone(),
-                                    positions: Vec::new(),
-                                })
-                            })
-                            .collect();
-                        if records.len() > *last {
-                            *last = records.len();
-                            if write_checkpoint(spec, &records, &policy.path) {
-                                if let Some(sink) = progress {
-                                    sink.emit(&ProgressEvent::CheckpointWritten {
-                                        path: policy.path.display().to_string(),
-                                        runs: records.len(),
-                                    });
-                                }
+                        })
+                        .collect();
+                    if records.len() > *last {
+                        *last = records.len();
+                        if write_checkpoint(spec, &records, &policy.path) {
+                            if let Some(sink) = progress {
+                                sink.emit(&ProgressEvent::CheckpointWritten {
+                                    path: policy.path.display().to_string(),
+                                    runs: records.len(),
+                                });
                             }
                         }
                     }
                 }
-            });
-        }
-    });
+            }
+        },
+        workers,
+    );
     if let Some(sink) = progress {
         sink.emit(&ProgressEvent::BatchFinished {
             scenario: spec.name.clone(),
@@ -608,6 +625,8 @@ fn execute(spec: &ScenarioSpec, cell: RunCell, env: &(Field, CoverageGrid)) -> R
         connected: r.connected,
         convergence_time: r.convergence_time,
         flags: r.flags,
+        moves: r.moves,
+        move_dist: r.move_dist,
         positions: r.positions,
     }
 }
@@ -655,6 +674,8 @@ fn cell_stats_of(spec: &ScenarioSpec, records: &[RunRecord]) -> Vec<CellStats> {
                     coverage: Summary::new(),
                     avg_move: Summary::new(),
                     messages: Summary::new(),
+                    moves: Summary::new(),
+                    move_dist: Summary::new(),
                     connected_runs: 0,
                     runs: Vec::new(),
                 });
@@ -664,6 +685,8 @@ fn cell_stats_of(spec: &ScenarioSpec, records: &[RunRecord]) -> Vec<CellStats> {
         slot.coverage.add(record.coverage);
         slot.avg_move.add(record.avg_move);
         slot.messages.add(record.messages as f64);
+        slot.moves.add(record.moves as f64);
+        slot.move_dist.add(record.move_dist);
         slot.connected_runs += usize::from(record.connected);
         for flag in &record.flags {
             if !slot.flags.contains(flag) {
@@ -717,12 +740,14 @@ fn render_json(spec: &ScenarioSpec, records: &[RunRecord]) -> String {
                         .field("avg_move", r.avg_move)
                         .field("max_move", r.max_move)
                         .field("total_move", r.total_move)
-                        .field("messages", r.messages)
-                        .field("connected", r.connected)
-                        .field(
-                            "convergence_time",
-                            r.convergence_time.filter(|t| t.is_finite()),
-                        );
+                        .field("messages", r.messages);
+                    if spec.movement_summary {
+                        run = run.field("moves", r.moves).field("move_dist", r.move_dist);
+                    }
+                    run = run.field("connected", r.connected).field(
+                        "convergence_time",
+                        r.convergence_time.filter(|t| t.is_finite()),
+                    );
                     if !r.flags.is_empty() {
                         run = run.field(
                             "flags",
@@ -740,10 +765,16 @@ fn render_json(spec: &ScenarioSpec, records: &[RunRecord]) -> String {
             if has_variants {
                 cell = cell.field("variant", s.variant_label.as_str());
             }
-            cell.field("coverage", summary_json(&s.coverage))
+            cell = cell
+                .field("coverage", summary_json(&s.coverage))
                 .field("avg_move", summary_json(&s.avg_move))
-                .field("messages", summary_json(&s.messages))
-                .field("connected_runs", s.connected_runs)
+                .field("messages", summary_json(&s.messages));
+            if spec.movement_summary {
+                cell = cell
+                    .field("moves", summary_json(&s.moves))
+                    .field("move_dist", summary_json(&s.move_dist));
+            }
+            cell.field("connected_runs", s.connected_runs)
                 .field("runs", Json::Arr(runs))
         })
         .collect();
@@ -765,7 +796,7 @@ fn render_json(spec: &ScenarioSpec, records: &[RunRecord]) -> String {
 impl BatchResult {
     /// Serializes per-cell aggregates as CSV.
     pub fn to_csv(&self) -> String {
-        let headers: Vec<String> = [
+        let mut headers: Vec<String> = [
             "scenario",
             "rc",
             "rs",
@@ -780,16 +811,20 @@ impl BatchResult {
             "avg_move_mean",
             "avg_move_ci95",
             "messages_mean",
-            "connected_runs",
         ]
         .into_iter()
         .map(String::from)
         .collect();
+        if self.spec.movement_summary {
+            headers.push("moves_mean".to_string());
+            headers.push("move_dist_mean".to_string());
+        }
+        headers.push("connected_runs".to_string());
         let rows: Vec<Vec<String>> = self
             .cell_stats()
             .into_iter()
             .map(|s| {
-                vec![
+                let mut row = vec![
                     self.spec.name.clone(),
                     format!("{:?}", s.radio.rc),
                     format!("{:?}", s.radio.rs),
@@ -804,8 +839,13 @@ impl BatchResult {
                     format!("{:.3}", s.avg_move.mean()),
                     format!("{:.3}", s.avg_move.ci95_half_width()),
                     format!("{:.1}", s.messages.mean()),
-                    s.connected_runs.to_string(),
-                ]
+                ];
+                if self.spec.movement_summary {
+                    row.push(format!("{:.1}", s.moves.mean()));
+                    row.push(format!("{:.3}", s.move_dist.mean()));
+                }
+                row.push(s.connected_runs.to_string());
+                row
             })
             .collect();
         to_csv(&headers, &rows)
@@ -841,6 +881,11 @@ impl BatchResult {
             for scheme in &spec.schemes {
                 headers.push(format!("{scheme} move (m)"));
             }
+            if spec.movement_summary {
+                for scheme in &spec.schemes {
+                    headers.push(format!("{scheme} cmd (m)"));
+                }
+            }
             let mut table = Table::new(headers);
             for &n in &spec.sensor_counts {
                 for variant in 0..spec.variant_count() {
@@ -861,6 +906,11 @@ impl BatchResult {
                     }
                     for &scheme in &spec.schemes {
                         row.push(find(scheme).map_or("-".into(), |s| fmt_move(&s.avg_move)));
+                    }
+                    if spec.movement_summary {
+                        for &scheme in &spec.schemes {
+                            row.push(find(scheme).map_or("-".into(), |s| fmt_move(&s.move_dist)));
+                        }
                     }
                     table.row(row);
                 }

@@ -223,6 +223,13 @@ pub struct ScenarioSpec {
     /// [`ScenarioSpec::params`]. Empty means one unlabeled default
     /// variant.
     pub variants: Vec<ParamVariant>,
+    /// Whether batch outputs additionally report the movement-cost
+    /// aggregates (`moves` action counts and commanded `move_dist`)
+    /// per run and per cell — the scale tier's headline metric,
+    /// recorded natively by the world with no profiling needed. Off
+    /// by default so pre-existing specs' outputs stay byte-identical;
+    /// the TOML key `movement_summary = true` opts a spec in.
+    pub movement_summary: bool,
 }
 
 impl ScenarioSpec {
@@ -244,6 +251,7 @@ impl ScenarioSpec {
             seed: 42,
             params: SchemeOverrides::default(),
             variants: Vec::new(),
+            movement_summary: false,
         }
     }
 
@@ -338,6 +346,14 @@ impl ScenarioSpec {
     #[must_use]
     pub fn with_variant(mut self, label: impl Into<String>, overrides: SchemeOverrides) -> Self {
         self.variants.push(ParamVariant::new(label, overrides));
+        self
+    }
+
+    /// Enables the movement-cost aggregates (`moves` / `move_dist`)
+    /// in batch outputs.
+    #[must_use]
+    pub fn with_movement_summary(mut self, enabled: bool) -> Self {
+        self.movement_summary = enabled;
         self
     }
 
@@ -512,6 +528,11 @@ impl ScenarioSpec {
             TomlValue::Int(self.repetitions as i64),
         );
         root.insert("seed".into(), TomlValue::from_u64(self.seed));
+        // Emitted only when set: pre-existing specs (and their resume
+        // digests, which hash this serialization) stay byte-identical.
+        if self.movement_summary {
+            root.insert("movement_summary".into(), TomlValue::Bool(true));
+        }
         root.insert("field".into(), field_to_toml(&self.field));
         root.insert("scatter".into(), scatter_to_toml(&self.scatter));
         if let Some(params) = overrides_to_toml(&self.params) {
@@ -603,6 +624,11 @@ impl ScenarioSpec {
             spec.seed = v
                 .as_u64()
                 .ok_or_else(|| TomlError("'seed' must be a non-negative integer".into()))?;
+        }
+        if let Some(v) = root.get("movement_summary") {
+            spec.movement_summary = v
+                .as_bool()
+                .ok_or_else(|| TomlError("'movement_summary' must be a boolean".into()))?;
         }
         if let Some(v) = root.get("field") {
             spec.field = field_from_toml(v)?;

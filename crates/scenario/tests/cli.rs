@@ -1,0 +1,93 @@
+//! CLI integration: the `scenario` binary's `--threads` flag must be
+//! accepted, validated, and must not change a single output byte —
+//! the determinism contract holds at the process boundary, not just
+//! in-library.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// A scratch directory under the system temp dir, cleaned up on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("msn-cli-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn dir(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn repo_file(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+fn scenario_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_scenario"))
+}
+
+#[test]
+fn threads_flag_is_byte_invariant_at_the_process_boundary() {
+    let scratch = Scratch::new("threads");
+    let spec = repo_file("scenarios/smoke.toml");
+    let mut outputs = Vec::new();
+    for threads in ["1", "4"] {
+        let out = scratch.dir(&format!("t{threads}"));
+        let status = scenario_bin()
+            .args(["run"])
+            .arg(&spec)
+            .args(["--threads", threads, "--out"])
+            .arg(&out)
+            .status()
+            .expect("spawn scenario binary");
+        assert!(status.success(), "--threads {threads} run failed");
+        outputs.push(std::fs::read(out.join("batch.json")).expect("batch.json written"));
+    }
+    assert_eq!(
+        outputs[0], outputs[1],
+        "batch.json must be byte-identical across --threads values"
+    );
+}
+
+#[test]
+fn invalid_thread_count_is_rejected() {
+    let out = scenario_bin()
+        .args(["run"])
+        .arg(repo_file("scenarios/smoke.toml"))
+        .args(["--threads", "lots"])
+        .output()
+        .expect("spawn scenario binary");
+    assert!(!out.status.success(), "non-numeric --threads must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("invalid thread count"),
+        "stderr should name the bad flag value, got: {stderr}"
+    );
+}
+
+#[test]
+fn zero_threads_clamps_to_sequential() {
+    // `--threads 0` is documented to clamp to 1 rather than error.
+    let scratch = Scratch::new("zero");
+    let out = scratch.dir("t0");
+    let status = scenario_bin()
+        .args(["run"])
+        .arg(repo_file("scenarios/smoke.toml"))
+        .args(["--threads", "0", "--out"])
+        .arg(&out)
+        .status()
+        .expect("spawn scenario binary");
+    assert!(status.success(), "--threads 0 must clamp, not fail");
+    assert!(out.join("batch.json").exists());
+}

@@ -1,0 +1,142 @@
+//! Scale-tier integration: a trimmed 10k-sensor cell must stay
+//! thread-count invariant and checkpoint/resume byte-identical, and
+//! the opt-in movement-cost aggregates (`movement_summary`) must
+//! surface in every output format without perturbing specs that do
+//! not ask for them.
+
+use msn_deploy::SchemeKind;
+use msn_field::RandomObstacleParams;
+use msn_scenario::{BatchFile, BatchResult, BatchRunner, FieldSpec, ScenarioSpec};
+
+/// A trimmed 10k smoke cell: CPVF only (its incremental tick is cheap
+/// enough for debug-mode CI), short horizon, coarse raster. Exercises
+/// the sharded index/tracker paths at real fleet size without the
+/// FLOOR tick cost.
+fn scale_spec() -> ScenarioSpec {
+    ScenarioSpec::new("scale-smoke")
+        .with_field(FieldSpec::RandomObstacles(RandomObstacleParams {
+            width: 7000.0,
+            height: 7000.0,
+            ..RandomObstacleParams::default()
+        }))
+        .with_schemes(vec![SchemeKind::Cpvf])
+        .with_sensor_counts(vec![10_000])
+        .with_duration(5.0)
+        .with_coverage_cell(50.0)
+        .with_repetitions(2)
+        .with_seed(42)
+        .with_movement_summary(true)
+}
+
+fn small_spec() -> ScenarioSpec {
+    ScenarioSpec::new("movement-small")
+        .with_schemes(vec![SchemeKind::Cpvf, SchemeKind::Floor])
+        .with_sensor_counts(vec![12])
+        .with_duration(20.0)
+        .with_coverage_cell(25.0)
+        .with_repetitions(2)
+        .with_seed(7)
+}
+
+#[test]
+fn scale_cell_is_thread_count_invariant() {
+    let spec = scale_spec();
+    let reference = BatchRunner::new().with_threads(1).run(&spec).unwrap();
+    let parallel = BatchRunner::new().with_threads(4).run(&spec).unwrap();
+    assert_eq!(
+        reference.to_json(),
+        parallel.to_json(),
+        "10k cell diverged between 1 and 4 threads"
+    );
+    // the fleet actually moves, so the invariance covers real churn
+    assert!(reference.records.iter().all(|r| r.moves > 0));
+}
+
+#[test]
+fn scale_cell_resumes_byte_identically() {
+    let spec = scale_spec();
+    let full = BatchRunner::new().with_threads(1).run(&spec).unwrap();
+    // simulate a kill after the first of two repetitions
+    let partial = BatchResult {
+        spec: spec.clone(),
+        records: full.records[..1].to_vec(),
+        profiles: Vec::new(),
+    };
+    let prior = BatchFile::parse(&partial.to_json()).unwrap();
+    assert_eq!(prior.run_count(), 1);
+    let resumed = BatchRunner::new()
+        .with_threads(1)
+        .run_resuming(&spec, Some(&prior))
+        .unwrap();
+    assert_eq!(
+        resumed.to_json(),
+        full.to_json(),
+        "resume must restore movement aggregates byte-identically"
+    );
+}
+
+#[test]
+fn movement_summary_surfaces_in_every_format() {
+    let spec = small_spec().with_movement_summary(true);
+    let result = BatchRunner::new().with_threads(1).run(&spec).unwrap();
+    let json = result.to_json();
+    assert!(json.contains("\"moves\""), "per-run moves missing in JSON");
+    assert!(json.contains("\"move_dist\""), "move_dist missing in JSON");
+    let csv = result.to_csv();
+    assert!(csv.lines().next().unwrap().contains("moves_mean"));
+    assert!(csv.lines().next().unwrap().contains("move_dist_mean"));
+    let report = result.report();
+    assert!(
+        report.contains("cmd (m)"),
+        "command-distance column missing in report:\n{report}"
+    );
+    // schemes that relocate sensors must record movement actions
+    assert!(result.records.iter().any(|r| r.moves > 0));
+    assert!(result.records.iter().any(|r| r.move_dist > 0.0));
+}
+
+#[test]
+fn movement_summary_off_leaves_output_untouched() {
+    let spec = small_spec();
+    let result = BatchRunner::new().with_threads(1).run(&spec).unwrap();
+    let json = result.to_json();
+    assert!(!json.contains("\"move_dist\""));
+    assert!(!result
+        .to_csv()
+        .lines()
+        .next()
+        .unwrap()
+        .contains("moves_mean"));
+    assert!(!result.report().contains("cmd (m)"));
+    // the spec serialization (and hence the resume digest) must not
+    // mention the flag either, or every pre-existing digest breaks
+    assert!(!spec.to_toml_string().contains("movement_summary"));
+}
+
+#[test]
+fn movement_summary_roundtrips_through_toml() {
+    let spec = small_spec().with_movement_summary(true);
+    let text = spec.to_toml_string();
+    assert!(text.contains("movement_summary = true"));
+    let parsed = ScenarioSpec::from_toml_str(&text).unwrap();
+    assert!(parsed.movement_summary);
+    assert_eq!(parsed.resume_digest(), spec.resume_digest());
+}
+
+#[test]
+fn movement_summary_resumes_byte_identically() {
+    // the gated fields ride through batch.json parse -> restore
+    let spec = small_spec().with_movement_summary(true);
+    let full = BatchRunner::new().with_threads(1).run(&spec).unwrap();
+    let partial = BatchResult {
+        spec: spec.clone(),
+        records: full.records[..3].to_vec(),
+        profiles: Vec::new(),
+    };
+    let prior = BatchFile::parse(&partial.to_json()).unwrap();
+    let resumed = BatchRunner::new()
+        .with_threads(1)
+        .run_resuming(&spec, Some(&prior))
+        .unwrap();
+    assert_eq!(resumed.to_json(), full.to_json());
+}

@@ -24,4 +24,4 @@ mod world;
 
 pub use config::SimConfig;
 pub use result::{convergence_time, RunResult};
-pub use world::World;
+pub use world::{PositionsView, World};

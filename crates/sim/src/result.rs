@@ -30,6 +30,15 @@ pub struct RunResult {
     pub positions: Vec<Point>,
     /// Annotations such as `Disconn.` or `Incorrect VD` (Figure 10).
     pub flags: Vec<String>,
+    /// Number of movement actions performed (the `world.moves`
+    /// aggregate): how many times a sensor was commanded to a new
+    /// position, as opposed to how far it travelled.
+    pub moves: u64,
+    /// Total commanded travel distance (m; the `world.move_dist`
+    /// aggregate). Unlike [`RunResult::total_move`] this excludes
+    /// bookkeeping penalties charged via detour accounting, so it is
+    /// the movement-energy headline metric of the scale tier.
+    pub move_dist: f64,
 }
 
 impl RunResult {
@@ -63,6 +72,8 @@ impl RunResult {
             convergence_time,
             positions,
             flags: Vec::new(),
+            moves: 0,
+            move_dist: 0.0,
         }
     }
 
@@ -70,6 +81,17 @@ impl RunResult {
     #[must_use]
     pub fn with_flag(mut self, flag: impl Into<String>) -> Self {
         self.flags.push(flag.into());
+        self
+    }
+
+    /// Records the movement-cost aggregates (builder style): schemes
+    /// running on a [`crate::World`] pass
+    /// `world.move_count()` / `world.move_dist()`; synthetic schemes
+    /// count their own position updates.
+    #[must_use]
+    pub fn with_movement(mut self, moves: u64, move_dist: f64) -> Self {
+        self.moves = moves;
+        self.move_dist = move_dist;
         self
     }
 }

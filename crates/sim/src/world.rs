@@ -8,6 +8,72 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::fmt;
 
+/// Borrowed structure-of-arrays view of all sensor positions.
+///
+/// `World` stores coordinates as split `xs`/`ys` arrays (cache-friendly
+/// at 10k+ sensors, where scanning interleaved `Point`s wastes half of
+/// every cache line on the coordinate a pass does not read). This view
+/// is the thin `Point`-shaped window over those halves: call sites that
+/// held a `&[Point]` migrate mechanically — `positions()[i]` becomes
+/// `positions().get(i)`, and slice-taking oracles take
+/// `&positions().to_vec()`.
+#[derive(Clone, Copy, Debug)]
+pub struct PositionsView<'a> {
+    xs: &'a [f64],
+    ys: &'a [f64],
+}
+
+impl<'a> PositionsView<'a> {
+    /// Number of sensors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether there are no sensors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Position of sensor `i`, recomposed from the two halves.
+    #[inline]
+    pub fn get(&self, i: usize) -> Point {
+        Point::new(self.xs[i], self.ys[i])
+    }
+
+    /// Iterates positions in index order.
+    pub fn iter(&self) -> impl Iterator<Item = Point> + 'a {
+        self.xs
+            .iter()
+            .zip(self.ys.iter())
+            .map(|(&x, &y)| Point::new(x, y))
+    }
+
+    /// Materializes the view as a contiguous `Vec<Point>` — for the
+    /// slice-taking oracle paths (graph builds, rasterization) that are
+    /// cold by design.
+    pub fn to_vec(&self) -> Vec<Point> {
+        self.iter().collect()
+    }
+}
+
+/// One position change, the single record every mutation path builds
+/// before anything is written. Applying it updates both SoA halves,
+/// the moved-distance array and every installed tracker in one step,
+/// so no tracker can observe an `x` that has moved while `y` has not.
+struct PosChange {
+    i: usize,
+    p: Point,
+    /// Path length charged to the sensor's moving-distance account
+    /// (zero for teleports).
+    charged: f64,
+    /// Whether this change counts as a movement for the
+    /// movement-cost aggregates (teleports and cost-free layout
+    /// adjustments do not).
+    counted: bool,
+}
+
 /// All mutable state of one simulation run: sensor positions with
 /// moving-distance accounting, simulated time, a seeded RNG and the
 /// message counter.
@@ -32,8 +98,17 @@ use std::fmt;
 pub struct World {
     field: Field,
     cfg: SimConfig,
-    positions: Vec<Point>,
+    /// Sensor x coordinates (SoA half; see [`PositionsView`]).
+    xs: Vec<f64>,
+    /// Sensor y coordinates (SoA half; see [`PositionsView`]).
+    ys: Vec<f64>,
     moved: Vec<f64>,
+    /// Number of charged movements (`set_pos` family, not teleports) —
+    /// maintained natively so movement-cost summaries work without
+    /// profiling and under `obs-off`.
+    move_count: u64,
+    /// Total path length charged through the `set_pos` family.
+    move_charged: f64,
     time: f64,
     tick: u64,
     rng: SmallRng,
@@ -57,11 +132,15 @@ impl World {
     pub fn new(field: Field, cfg: SimConfig, positions: Vec<Point>) -> Self {
         let n = positions.len();
         let rng = SmallRng::seed_from_u64(cfg.seed);
+        let (xs, ys) = positions.into_iter().map(|p| (p.x, p.y)).unzip();
         World {
             field,
             cfg,
-            positions,
+            xs,
+            ys,
             moved: vec![0.0; n],
+            move_count: 0,
+            move_charged: 0.0,
             time: 0.0,
             tick: 0,
             rng,
@@ -76,7 +155,7 @@ impl World {
     /// Number of sensors.
     #[inline]
     pub fn n(&self) -> usize {
-        self.positions.len()
+        self.xs.len()
     }
 
     /// The sensing field.
@@ -136,23 +215,58 @@ impl World {
     /// Position of sensor `i`.
     #[inline]
     pub fn pos(&self, i: usize) -> Point {
-        self.positions[i]
+        Point::new(self.xs[i], self.ys[i])
     }
 
-    /// All sensor positions.
+    /// View of all sensor positions (structure-of-arrays backed; see
+    /// [`PositionsView`]).
     #[inline]
-    pub fn positions(&self) -> &[Point] {
-        &self.positions
+    pub fn positions(&self) -> PositionsView<'_> {
+        PositionsView {
+            xs: &self.xs,
+            ys: &self.ys,
+        }
+    }
+
+    /// The raw x-coordinate array (SoA half) — for vectorizable passes
+    /// that scan one axis.
+    #[inline]
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The raw y-coordinate array (SoA half).
+    #[inline]
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
     }
 
     /// Moves sensor `i` to `p`, charging the straight-line distance.
     pub fn set_pos(&mut self, i: usize, p: Point) {
-        let dist = self.positions[i].dist(p);
-        msn_obs::counter("world.moves", 1);
-        msn_obs::value("world.move_dist", dist);
-        self.moved[i] += dist;
-        self.positions[i] = p;
-        self.feed_trackers(i, p);
+        let dist = self.pos(i).dist(p);
+        self.apply_change(PosChange {
+            i,
+            p,
+            charged: dist,
+            counted: true,
+        });
+    }
+
+    /// Applies one change record: movement accounting, both SoA
+    /// halves, then every installed tracker — the only path that
+    /// writes positions, so readers and trackers never see the halves
+    /// out of step.
+    fn apply_change(&mut self, c: PosChange) {
+        if c.counted {
+            msn_obs::counter("world.moves", 1);
+            msn_obs::value("world.move_dist", c.charged);
+            self.move_count += 1;
+            self.move_charged += c.charged;
+        }
+        self.moved[c.i] += c.charged;
+        self.xs[c.i] = c.p.x;
+        self.ys[c.i] = c.p.y;
+        self.feed_trackers(c.i, c.p);
     }
 
     /// Feeds an updated position to every installed tracker.
@@ -182,23 +296,28 @@ impl World {
     /// displacement (path lengths can never undercut a straight line).
     pub fn set_pos_with_distance(&mut self, i: usize, p: Point, dist: f64) {
         debug_assert!(
-            dist + 1e-6 >= self.positions[i].dist(p),
+            dist + 1e-6 >= self.pos(i).dist(p),
             "path length {dist} below displacement {}",
-            self.positions[i].dist(p)
+            self.pos(i).dist(p)
         );
-        msn_obs::counter("world.moves", 1);
-        msn_obs::value("world.move_dist", dist);
-        self.moved[i] += dist;
-        self.positions[i] = p;
-        self.feed_trackers(i, p);
+        self.apply_change(PosChange {
+            i,
+            p,
+            charged: dist,
+            counted: true,
+        });
     }
 
     /// Places sensor `i` without charging distance (initial layout
     /// adjustments whose cost is charged elsewhere, e.g. Hungarian
     /// matching baselines).
     pub fn teleport(&mut self, i: usize, p: Point) {
-        self.positions[i] = p;
-        self.feed_trackers(i, p);
+        self.apply_change(PosChange {
+            i,
+            p,
+            charged: 0.0,
+            counted: false,
+        });
     }
 
     /// Distance sensor `i` has moved so far.
@@ -228,17 +347,36 @@ impl World {
         }
     }
 
+    /// Number of charged movements so far (`set_pos` /
+    /// `set_pos_with_distance` calls; teleports excluded) — the
+    /// `world.moves` aggregate, maintained natively so it is available
+    /// without profiling and under `obs-off`.
+    #[inline]
+    pub fn move_count(&self) -> u64 {
+        self.move_count
+    }
+
+    /// Total path length charged through the `set_pos` family — the
+    /// `world.move_dist` aggregate. Unlike [`World::total_moved`] this
+    /// excludes [`World::add_distance`] adjustments: it is movement
+    /// the fleet actually executed, the headline movement-cost metric
+    /// at scale.
+    #[inline]
+    pub fn move_dist(&self) -> f64 {
+        self.move_charged
+    }
+
     /// Builds the current `rc`-disk graph.
     pub fn graph(&self) -> DiskGraph {
-        DiskGraph::build(&self.positions, self.cfg.rc)
+        DiskGraph::build(&self.positions().to_vec(), self.cfg.rc)
     }
 
     /// Connected-to-base mask for the current positions, by full graph
     /// rebuild + flood (the reference oracle; unaffected by any
     /// installed tracker).
     pub fn connected_mask(&self) -> Vec<bool> {
-        self.graph()
-            .flood_from_base(&self.positions, self.cfg.base, self.cfg.rc)
+        let pts = self.positions().to_vec();
+        DiskGraph::build(&pts, self.cfg.rc).flood_from_base(&pts, self.cfg.base, self.cfg.rc)
     }
 
     /// Installs an incremental [`ConnectivityTracker`] on the current
@@ -249,7 +387,7 @@ impl World {
     /// `O(N · deg + N + E)`.
     pub fn track_connectivity(&mut self) {
         self.conn = Some(ConnectivityTracker::new(
-            &self.positions,
+            &self.positions().to_vec(),
             self.cfg.base,
             self.cfg.rc,
         ));
@@ -303,7 +441,10 @@ impl World {
     /// sensors)` reconciliation per query round instead of `O(N)`
     /// rebuilds.
     pub fn track_points(&mut self) {
-        self.points_index = Some(PointIndex::new(&self.positions, self.cfg.rc.max(1.0)));
+        self.points_index = Some(PointIndex::new(
+            &self.positions().to_vec(),
+            self.cfg.rc.max(1.0),
+        ));
     }
 
     /// Sensors within `r` of sensor `i` (excluding `i`), from the
@@ -347,7 +488,10 @@ impl World {
     /// [`World::graph`] build, order included, but `O(moved sensors ·
     /// local repair)` per tick instead of `O(N · deg)`.
     pub fn track_adjacency(&mut self) {
-        self.adj = Some(AdjacencyTracker::new(&self.positions, self.cfg.rc));
+        self.adj = Some(AdjacencyTracker::new(
+            &self.positions().to_vec(),
+            self.cfg.rc,
+        ));
     }
 
     /// The installed incremental adjacency view.
@@ -409,7 +553,11 @@ impl World {
     /// `O(disk)` per moved sensor instead of `O(N · disk)` per
     /// measurement.
     pub fn track_coverage(&mut self, grid: CoverageGrid) {
-        self.tracker = Some(CoverageTracker::new(grid, &self.positions, self.cfg.rs));
+        self.tracker = Some(CoverageTracker::new(
+            grid,
+            &self.positions().to_vec(),
+            self.cfg.rs,
+        ));
     }
 
     /// Current coverage fraction from the installed tracker.
@@ -430,7 +578,7 @@ impl World {
     /// rasterization (the reference oracle; unaffected by any
     /// installed tracker).
     pub fn coverage(&self, grid: &CoverageGrid) -> f64 {
-        grid.coverage(&self.positions, self.cfg.rs)
+        grid.coverage(&self.positions().to_vec(), self.cfg.rs)
     }
 }
 
@@ -556,7 +704,8 @@ mod tests {
         w.track_points();
         let rc = w.cfg().rc;
         let oracle = |w: &World, i: usize, r: f64, cell: f64| {
-            SpatialGrid::build(w.positions(), cell).neighbors(w.positions(), i, r)
+            let pts = w.positions().to_vec();
+            SpatialGrid::build(&pts, cell).neighbors(&pts, i, r)
         };
         for (i, p) in [
             (0, Point::new(70.0, 30.0)),
@@ -606,6 +755,42 @@ mod tests {
         for q in 0..n {
             assert_eq!(adj.neighbors_of(q), g.neighbors(q));
         }
+    }
+
+    #[test]
+    fn soa_view_matches_point_accessors() {
+        let mut w = world_with(4);
+        w.set_pos(1, Point::new(33.0, 44.0));
+        w.teleport(3, Point::new(-2.0, 7.5));
+        let view = w.positions();
+        assert_eq!(view.len(), 4);
+        assert!(!view.is_empty());
+        for i in 0..w.n() {
+            assert_eq!(view.get(i), w.pos(i));
+            assert_eq!(w.xs()[i], w.pos(i).x);
+            assert_eq!(w.ys()[i], w.pos(i).y);
+        }
+        let materialized = view.to_vec();
+        assert_eq!(materialized.len(), 4);
+        assert_eq!(materialized[1], Point::new(33.0, 44.0));
+        assert_eq!(view.iter().collect::<Vec<_>>(), materialized);
+    }
+
+    #[test]
+    fn native_movement_aggregates() {
+        let mut w = world_with(2);
+        assert_eq!(w.move_count(), 0);
+        assert_eq!(w.move_dist(), 0.0);
+        w.set_pos(0, Point::new(8.0, 9.0)); // 5 m
+        w.set_pos_with_distance(1, Point::new(10.0, 8.0), 7.0);
+        assert_eq!(w.move_count(), 2);
+        assert_eq!(w.move_dist(), 12.0);
+        // Teleports and side-channel charges are not fleet movement.
+        w.teleport(0, Point::new(0.0, 0.0));
+        w.add_distance(0, 1.5);
+        assert_eq!(w.move_count(), 2);
+        assert_eq!(w.move_dist(), 12.0);
+        assert_eq!(w.total_moved(), 13.5, "total_moved still sees add_distance");
     }
 
     #[test]

@@ -4,9 +4,9 @@
 //! workspace-local crate implements the subset of proptest the
 //! repository's property tests use: the [`Strategy`] trait with
 //! `prop_map`, range and tuple strategies, `prop::collection::vec`,
-//! `prop::bool::ANY`, [`ProptestConfig`] and the `proptest!`,
-//! `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!` and
-//! `prop_assume!` macros.
+//! `prop::bool::ANY`, the `prop_oneof!` weighted union,
+//! [`ProptestConfig`] and the `proptest!`, `prop_assert!`,
+//! `prop_assert_eq!`, `prop_assert_ne!` and `prop_assume!` macros.
 //!
 //! Differences from real proptest: cases are sampled from a
 //! deterministic per-test generator (seeded from the test name), and
@@ -94,6 +94,56 @@ pub trait Strategy {
         Self: Sized,
     {
         Map { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type (for heterogeneous unions).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy, as returned by [`Strategy::boxed`].
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy drawing each value from one of several weighted
+/// alternatives (built by the [`prop_oneof!`] macro).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// A union over `arms`; each `(weight, strategy)` arm is chosen
+    /// with probability proportional to its weight.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof: all weights are zero");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let mut r = rng.next_u64() % self.total;
+        for (w, s) in &self.arms {
+            let w = *w as u64;
+            if r < w {
+                return s.sample(rng);
+            }
+            r -= w;
+        }
+        unreachable!("weighted draw exceeded total weight")
     }
 }
 
@@ -276,8 +326,22 @@ pub mod prop {
 /// Common imports, mirroring `proptest::prelude::*`.
 pub mod prelude {
     pub use crate::{
-        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
-        ProptestConfig, Strategy,
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Builds a [`Union`] strategy over weighted (`weight => strategy`) or
+/// unweighted alternatives, mirroring proptest's `prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
     };
 }
 
@@ -436,5 +500,19 @@ mod tests {
             prop_assume!(n % 2 == 0);
             prop_assert!(n % 2 == 0);
         }
+
+        #[test]
+        fn oneof_draws_only_from_arms(n in prop_oneof![3 => 0usize..10, 1 => 100usize..110]) {
+            prop_assert!(n < 10 || (100..110).contains(&n));
+        }
+    }
+
+    #[test]
+    fn oneof_respects_weights() {
+        let s = prop_oneof![9 => Just(0u8), 1 => Just(1u8)];
+        let mut rng = crate::TestRng::deterministic("oneof_respects_weights");
+        let ones: usize = (0..1000).filter(|_| s.sample(&mut rng) == 1).count();
+        // ~10% expected; allow generous slack for the small sample.
+        assert!((40..250).contains(&ones), "ones = {ones}");
     }
 }
