@@ -520,7 +520,7 @@ fn a_find<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::BatchRunner;
+    use crate::runner::RunConfig;
     use crate::spec::ScenarioSpec;
     use msn_deploy::SchemeKind;
 
@@ -531,8 +531,9 @@ mod tests {
             .with_duration(10.0)
             .with_coverage_cell(30.0)
             .with_repetitions(2);
-        BatchRunner::new()
-            .with_threads(1)
+        RunConfig::new()
+            .threads(1)
+            .runner()
             .run(&spec)
             .unwrap()
             .to_json()

@@ -1,0 +1,409 @@
+//! The content-addressed job store behind `scenario serve`.
+//!
+//! Every submitted spec becomes a job directory
+//! `<root>/<digest>/` — the digest is
+//! [`ScenarioSpec::job_digest`], the FNV-1a address of the canonical
+//! spec TOML — holding the spec itself, a `job.json` state record and
+//! the batch artifacts (`batch.json`, `batch.csv`, `report.txt`,
+//! `profile.json`). Identical resubmissions land on the same
+//! directory, which is what makes dedup trivial: the address *is* the
+//! spec.
+//!
+//! State lives in `job.json` and moves only along the edges
+//! [`JobState::can_transition`] allows; every write is
+//! write-then-rename so a killed daemon never leaves a torn record.
+//! On restart [`JobStore::recover`] re-queues whatever was in flight —
+//! the checkpointed `batch.json` next to it makes the rerun resume
+//! instead of starting over.
+//!
+//! [`BatchLock`] is the same discipline for the standalone CLI:
+//! `scenario run` takes a pid-stamped lock file next to `batch.json`
+//! so two concurrent invocations can't interleave checkpoint writes.
+
+use crate::api::{ApiError, JobInfo, JobState};
+use crate::spec::ScenarioSpec;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Artifact files a job directory may serve.
+pub const ARTIFACTS: &[&str] = &[
+    "spec.toml",
+    "job.json",
+    "batch.json",
+    "batch.csv",
+    "report.txt",
+    "profile.json",
+];
+
+/// Writes `contents` to `path` atomically (write-then-rename), so a
+/// concurrent reader or a mid-write kill sees either the old file or
+/// the new one, never a torn mix.
+pub fn write_atomic(path: &Path, contents: &str) -> Result<(), ApiError> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, contents)
+        .and_then(|()| std::fs::rename(&tmp, path))
+        .map_err(|e| ApiError::Io(format!("cannot write {}: {e}", path.display())))
+}
+
+/// The on-disk job registry: digest-addressed directories plus an
+/// in-memory index guarded by one mutex.
+#[derive(Debug)]
+pub struct JobStore {
+    root: PathBuf,
+    jobs: Mutex<BTreeMap<String, JobInfo>>,
+}
+
+impl JobStore {
+    /// Opens (creating if needed) the store at `root` and indexes
+    /// every job directory holding a parseable `job.json`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<JobStore, ApiError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)
+            .map_err(|e| ApiError::Io(format!("cannot create {}: {e}", root.display())))?;
+        let mut jobs = BTreeMap::new();
+        for entry in std::fs::read_dir(&root)
+            .map_err(|e| ApiError::Io(format!("cannot read {}: {e}", root.display())))?
+        {
+            let Ok(entry) = entry else { continue };
+            let record = entry.path().join("job.json");
+            let Ok(text) = std::fs::read_to_string(&record) else {
+                continue;
+            };
+            let value = crate::json::Json::parse(&text)
+                .map_err(|e| ApiError::Internal(format!("{}: {e}", record.display())))?;
+            let info = JobInfo::from_json(&value)?;
+            jobs.insert(info.digest.clone(), info);
+        }
+        Ok(JobStore {
+            root,
+            jobs: Mutex::new(jobs),
+        })
+    }
+
+    /// The directory of job `digest` (whether or not it exists yet).
+    pub fn job_dir(&self, digest: &str) -> PathBuf {
+        self.root.join(digest)
+    }
+
+    /// One job's current description.
+    pub fn get(&self, digest: &str) -> Option<JobInfo> {
+        self.jobs.lock().unwrap().get(digest).cloned()
+    }
+
+    /// Every job, sorted by digest.
+    pub fn list(&self) -> Vec<JobInfo> {
+        self.jobs.lock().unwrap().values().cloned().collect()
+    }
+
+    /// Registers a new queued job for `spec`, writing its directory,
+    /// canonical `spec.toml` and `job.json`. Fails with
+    /// [`ApiError::Conflict`] if the digest already exists — callers
+    /// dedup via [`JobStore::get`] first.
+    pub fn create(&self, spec: &ScenarioSpec) -> Result<JobInfo, ApiError> {
+        let digest = spec.job_digest();
+        let mut jobs = self.jobs.lock().unwrap();
+        if jobs.contains_key(&digest) {
+            return Err(ApiError::Conflict(format!("job {digest} already exists")));
+        }
+        let dir = self.root.join(&digest);
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| ApiError::Io(format!("cannot create {}: {e}", dir.display())))?;
+        let info = JobInfo {
+            digest: digest.clone(),
+            scenario: spec.name.clone(),
+            state: JobState::Queued,
+            total_runs: spec.matrix().len(),
+            completed_runs: 0,
+        };
+        write_atomic(&dir.join("spec.toml"), &spec.to_toml_string())?;
+        write_atomic(&dir.join("job.json"), &info.to_json().pretty())?;
+        jobs.insert(digest, info.clone());
+        Ok(info)
+    }
+
+    /// Moves job `digest` to `next`, enforcing the lifecycle edges and
+    /// persisting the new record atomically. Progress counters sync
+    /// with the state: `checkpointed { runs }` sets `completed_runs`
+    /// to `runs`, `done` to the full matrix, `queued` keeps whatever a
+    /// checkpoint already covers.
+    pub fn transition(&self, digest: &str, next: JobState) -> Result<JobInfo, ApiError> {
+        let mut jobs = self.jobs.lock().unwrap();
+        let info = jobs
+            .get_mut(digest)
+            .ok_or_else(|| ApiError::NotFound(format!("job {digest}")))?;
+        if !info.state.can_transition(&next) {
+            return Err(ApiError::Internal(format!(
+                "illegal job transition {} -> {} for {digest}",
+                info.state.kind(),
+                next.kind()
+            )));
+        }
+        match &next {
+            JobState::Checkpointed { runs } => info.completed_runs = *runs,
+            JobState::Done => info.completed_runs = info.total_runs,
+            JobState::Queued | JobState::Running => {}
+            JobState::Failed { .. } => {}
+        }
+        info.state = next;
+        write_atomic(
+            &self.root.join(digest).join("job.json"),
+            &info.to_json().pretty(),
+        )?;
+        Ok(info.clone())
+    }
+
+    /// Records in-memory run progress (not persisted — checkpoints
+    /// are the durable marks) so `status` answers stay live mid-run.
+    pub fn note_progress(&self, digest: &str, completed: usize) {
+        if let Some(info) = self.jobs.lock().unwrap().get_mut(digest) {
+            info.completed_runs = info.completed_runs.max(completed);
+        }
+    }
+
+    /// Re-queues every non-terminal job (daemon restart recovery) and
+    /// returns their digests in deterministic (sorted) order.
+    pub fn recover(&self) -> Result<Vec<String>, ApiError> {
+        let unfinished: Vec<String> = self
+            .list()
+            .into_iter()
+            .filter(|j| !j.state.is_terminal())
+            .map(|j| j.digest)
+            .collect();
+        for digest in &unfinished {
+            let state = self.get(digest).expect("listed job exists").state;
+            if state != JobState::Queued {
+                self.transition(digest, JobState::Queued)?;
+            }
+        }
+        Ok(unfinished)
+    }
+
+    /// Reads a stored artifact. Only the fixed [`ARTIFACTS`] names are
+    /// served — the digest and name never form an arbitrary path.
+    pub fn artifact(&self, digest: &str, name: &str) -> Result<String, ApiError> {
+        if !ARTIFACTS.contains(&name) {
+            return Err(ApiError::NotFound(format!(
+                "artifact '{name}' (one of: {})",
+                ARTIFACTS.join(", ")
+            )));
+        }
+        if self.get(digest).is_none() {
+            return Err(ApiError::NotFound(format!("job {digest}")));
+        }
+        let path = self.root.join(digest).join(name);
+        std::fs::read_to_string(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                ApiError::NotFound(format!("artifact '{name}' of job {digest} not written yet"))
+            } else {
+                ApiError::Io(format!("cannot read {}: {e}", path.display()))
+            }
+        })
+    }
+}
+
+/// A pid-stamped exclusive lock on a batch output directory.
+///
+/// `scenario run` (and the daemon's executor) takes the lock before
+/// touching `batch.json`; a second invocation against the same
+/// directory fails with [`ApiError::Conflict`] instead of silently
+/// interleaving checkpoint writes. A lock whose owner pid is no
+/// longer alive (per `/proc`) is stale — left behind by a hard kill —
+/// and is stolen.
+#[derive(Debug)]
+pub struct BatchLock {
+    path: PathBuf,
+}
+
+impl BatchLock {
+    /// Acquires the lock file `batch.json.lock` inside `dir`,
+    /// creating the directory if needed.
+    pub fn acquire(dir: &Path) -> Result<BatchLock, ApiError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| ApiError::Io(format!("cannot create {}: {e}", dir.display())))?;
+        let path = dir.join("batch.json.lock");
+        for attempt in 0..2 {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut file) => {
+                    let _ = write!(file, "{}", std::process::id());
+                    return Ok(BatchLock { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let owner = std::fs::read_to_string(&path).unwrap_or_default();
+                    let alive = owner
+                        .trim()
+                        .parse::<u32>()
+                        .is_ok_and(|pid| Path::new(&format!("/proc/{pid}")).exists());
+                    if alive || attempt > 0 {
+                        return Err(ApiError::Conflict(format!(
+                            "{} is locked by pid {} — another `scenario run` \
+                             is writing this batch (remove the lock file if that \
+                             process is gone)",
+                            dir.display(),
+                            owner.trim()
+                        )));
+                    }
+                    // stale lock from a killed run: steal it
+                    let _ = std::fs::remove_file(&path);
+                }
+                Err(e) => {
+                    return Err(ApiError::Io(format!(
+                        "cannot create lock {}: {e}",
+                        path.display()
+                    )));
+                }
+            }
+        }
+        unreachable!("lock acquisition loops at most twice");
+    }
+}
+
+impl Drop for BatchLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msn_deploy::SchemeKind;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("msn-jobstore-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn tiny_spec() -> ScenarioSpec {
+        ScenarioSpec::new("store-test")
+            .with_schemes(vec![SchemeKind::Floor])
+            .with_sensor_counts(vec![10])
+            .with_duration(20.0)
+            .with_coverage_cell(25.0)
+    }
+
+    #[test]
+    fn create_get_list_and_dedup_by_digest() {
+        let root = scratch("create");
+        let store = JobStore::open(&root).unwrap();
+        let spec = tiny_spec();
+        let info = store.create(&spec).unwrap();
+        assert_eq!(info.digest, spec.job_digest());
+        assert_eq!(info.state, JobState::Queued);
+        assert_eq!(info.total_runs, spec.matrix().len());
+        assert!(root.join(&info.digest).join("spec.toml").exists());
+        // second create of the same digest is a conflict; get() is how
+        // callers dedup
+        assert_eq!(store.create(&spec).unwrap_err().code(), "conflict");
+        assert_eq!(store.get(&info.digest).unwrap(), info);
+        assert_eq!(store.list().len(), 1);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn transitions_follow_the_state_machine_and_persist() {
+        let root = scratch("transition");
+        let store = JobStore::open(&root).unwrap();
+        let spec = tiny_spec();
+        let digest = store.create(&spec).unwrap().digest;
+        assert_eq!(
+            store
+                .transition(&digest, JobState::Done)
+                .unwrap_err()
+                .code(),
+            "internal",
+            "queued -> done skips running"
+        );
+        store.transition(&digest, JobState::Running).unwrap();
+        let info = store
+            .transition(&digest, JobState::Checkpointed { runs: 1 })
+            .unwrap();
+        assert_eq!(info.completed_runs, 1);
+        store.transition(&digest, JobState::Done).unwrap();
+        // a fresh open() sees the persisted terminal state
+        let reopened = JobStore::open(&root).unwrap();
+        let info = reopened.get(&digest).unwrap();
+        assert_eq!(info.state, JobState::Done);
+        assert_eq!(info.completed_runs, info.total_runs);
+        assert_eq!(
+            store
+                .transition("nope", JobState::Running)
+                .unwrap_err()
+                .code(),
+            "not-found"
+        );
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn recovery_requeues_unfinished_jobs() {
+        let root = scratch("recover");
+        let store = JobStore::open(&root).unwrap();
+        let a = store.create(&tiny_spec()).unwrap().digest;
+        let b = store.create(&tiny_spec().with_seed(7)).unwrap().digest;
+        let c = store.create(&tiny_spec().with_seed(8)).unwrap().digest;
+        store.transition(&a, JobState::Running).unwrap();
+        store.transition(&b, JobState::Running).unwrap();
+        store.transition(&b, JobState::Done).unwrap();
+        // reopen as a restarted daemon would
+        let store = JobStore::open(&root).unwrap();
+        let requeued = store.recover().unwrap();
+        let mut expected = vec![a.clone(), c.clone()];
+        expected.sort();
+        assert_eq!(requeued, expected);
+        assert_eq!(store.get(&a).unwrap().state, JobState::Queued);
+        assert_eq!(store.get(&b).unwrap().state, JobState::Done);
+        assert_eq!(store.get(&c).unwrap().state, JobState::Queued);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn artifacts_are_whitelisted() {
+        let root = scratch("artifact");
+        let store = JobStore::open(&root).unwrap();
+        let digest = store.create(&tiny_spec()).unwrap().digest;
+        assert!(store.artifact(&digest, "spec.toml").is_ok());
+        assert_eq!(
+            store.artifact(&digest, "batch.json").unwrap_err().code(),
+            "not-found",
+            "not written yet"
+        );
+        assert_eq!(
+            store
+                .artifact(&digest, "../../etc/passwd")
+                .unwrap_err()
+                .code(),
+            "not-found",
+            "names outside the whitelist never touch the filesystem"
+        );
+        assert_eq!(
+            store.artifact("missing", "spec.toml").unwrap_err().code(),
+            "not-found"
+        );
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn batch_lock_excludes_and_steals_stale() {
+        let dir = scratch("lock");
+        let lock = BatchLock::acquire(&dir).unwrap();
+        let err = BatchLock::acquire(&dir).unwrap_err();
+        assert_eq!(err.code(), "conflict");
+        assert!(err.to_string().contains("locked by pid"));
+        drop(lock);
+        // lock released on drop: reacquire works
+        let lock = BatchLock::acquire(&dir).unwrap();
+        drop(lock);
+        // a lock held by a dead pid is stale and stolen
+        std::fs::write(dir.join("batch.json.lock"), "4294000000").unwrap();
+        let _lock = BatchLock::acquire(&dir).unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

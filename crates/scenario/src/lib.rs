@@ -38,24 +38,40 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod api;
 mod bench;
 mod diff;
+mod jobstore;
 mod json;
 mod junit;
+mod loadtest;
 mod profile;
 mod progress;
 mod runner;
+mod serve;
 mod spec;
 mod toml;
+mod wire;
 
+pub use api::{
+    job_event_line, job_state_line, ApiError, JobInfo, JobState, LoadTestReport, Request, Response,
+    SpecEntry, API_VERSION,
+};
 pub use bench::{diff_bench, BenchDiffReport, BenchKernel, BenchRecord, DeltaStatus, KernelDelta};
 pub use diff::{diff_batches, BatchFile, CellDiff, CellKey, DiffReport, FileRun, MetricSummary};
+pub use jobstore::{write_atomic, BatchLock, JobStore, ARTIFACTS};
 pub use json::{Json, JsonError};
 pub use junit::junit_xml;
+pub use loadtest::{load_test, LoadTestConfig};
 pub use profile::{ProfileCell, ProfileRecord};
 pub use progress::{eta_seconds, ProgressEvent, ProgressSink};
-pub use runner::{BatchResult, BatchRunner, CellStats, RunRecord, ScenarioError};
+pub use runner::{BatchResult, BatchRunner, CellStats, RunConfig, RunRecord, ScenarioError};
+pub use serve::{serve, ServeConfig};
 pub use spec::{
     derive_seed, FieldSpec, ParamVariant, RadioSpec, RunCell, ScatterSpec, ScenarioSpec,
 };
 pub use toml::{TomlError, TomlValue};
+pub use wire::{
+    read_request, read_response, reason_phrase, write_ndjson_header, write_request, write_response,
+    Client, Subscription, MAX_BODY, MAX_HEADER,
+};

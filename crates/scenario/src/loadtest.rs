@@ -1,0 +1,147 @@
+//! Submission-burst load testing against a running daemon.
+//!
+//! [`load_test`] replays a burst of spec submissions — each with a
+//! rotated base seed, so every submission is a distinct digest — from
+//! N concurrent submitter threads, measuring per-request latency and
+//! the queue depth the daemon reports back. The result is a
+//! [`LoadTestReport`] with p50/p99/max submission latency, the
+//! accept/dedup/reject split and the deepest queue observed: the
+//! numbers that tell you whether the front door keeps up while the
+//! executor grinds through the backlog.
+
+use crate::api::{ApiError, LoadTestReport, Request, Response};
+use crate::spec::ScenarioSpec;
+use crate::wire::Client;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How a load-test burst is shaped.
+#[derive(Debug, Clone)]
+pub struct LoadTestConfig {
+    /// Daemon socket to submit against.
+    pub socket: PathBuf,
+    /// Template spec; submission `i` uses `seed + i`.
+    pub spec: ScenarioSpec,
+    /// Submissions in the burst.
+    pub count: usize,
+    /// Concurrent submitter threads.
+    pub concurrency: usize,
+}
+
+/// One submission's outcome, tallied into the report.
+enum Outcome {
+    Accepted { queue_depth: usize },
+    Deduped { queue_depth: usize },
+    Rejected,
+    Errored,
+}
+
+/// Replays the burst and aggregates the report. Individual submission
+/// failures are tallied (`rejected`/`errors`), not propagated — the
+/// burst itself only fails if a submitter thread panics.
+pub fn load_test(config: &LoadTestConfig) -> Result<LoadTestReport, ApiError> {
+    let concurrency = config.concurrency.max(1);
+    let results: Mutex<Vec<(f64, Outcome)>> = Mutex::new(Vec::with_capacity(config.count));
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for worker in 0..concurrency {
+            let results = &results;
+            let config = &config;
+            scope.spawn(move || {
+                let client = Client::new(&config.socket);
+                // worker w submits every count-th spec starting at w
+                for i in (worker..config.count).step_by(concurrency) {
+                    let spec = config
+                        .spec
+                        .clone()
+                        .with_seed(config.spec.seed.wrapping_add(i as u64));
+                    let request = Request::Submit {
+                        spec_toml: spec.to_toml_string(),
+                    };
+                    let sent = Instant::now();
+                    let outcome = match client.request(&request) {
+                        Ok(Response::Submitted {
+                            deduped,
+                            queue_depth,
+                            ..
+                        }) => {
+                            if deduped {
+                                Outcome::Deduped { queue_depth }
+                            } else {
+                                Outcome::Accepted { queue_depth }
+                            }
+                        }
+                        Ok(Response::Error {
+                            error: ApiError::QueueFull { .. },
+                        }) => Outcome::Rejected,
+                        Ok(_) | Err(_) => Outcome::Errored,
+                    };
+                    let latency_ms = sent.elapsed().as_secs_f64() * 1e3;
+                    results.lock().unwrap().push((latency_ms, outcome));
+                }
+            });
+        }
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+    let results = results.into_inner().unwrap();
+    let mut latencies: Vec<f64> = results.iter().map(|(ms, _)| *ms).collect();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let (mut accepted, mut deduped, mut rejected, mut errors, mut max_depth) = (0, 0, 0, 0, 0);
+    for (_, outcome) in &results {
+        match outcome {
+            Outcome::Accepted { queue_depth } => {
+                accepted += 1;
+                max_depth = max_depth.max(*queue_depth);
+            }
+            Outcome::Deduped { queue_depth } => {
+                deduped += 1;
+                max_depth = max_depth.max(*queue_depth);
+            }
+            Outcome::Rejected => rejected += 1,
+            Outcome::Errored => errors += 1,
+        }
+    }
+    Ok(LoadTestReport {
+        specs: config.count,
+        concurrency,
+        accepted,
+        deduped,
+        rejected,
+        errors,
+        p50_ms: percentile(&latencies, 50.0),
+        p99_ms: percentile(&latencies, 99.0),
+        max_ms: latencies.last().copied().unwrap_or(0.0),
+        max_queue_depth: max_depth,
+        wall_s,
+    })
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice (0.0 for an
+/// empty burst).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50.0);
+        assert_eq!(percentile(&sorted, 99.0), 99.0);
+        assert_eq!(percentile(&sorted, 100.0), 100.0);
+        assert_eq!(percentile(&[7.5], 50.0), 7.5);
+        assert_eq!(percentile(&[7.5], 99.0), 7.5);
+        assert_eq!(percentile(&[], 99.0), 0.0);
+        // small bursts round up to the next observed sample
+        assert_eq!(percentile(&[1.0, 2.0, 3.0], 50.0), 2.0);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0], 99.0), 3.0);
+    }
+}

@@ -61,7 +61,7 @@ impl ProfileRecord {
         if result.profiles.len() != result.records.len() {
             return Err(ScenarioError(
                 "batch carries no profiles: run it with profiling enabled \
-                 (BatchRunner::with_profiling)"
+                 (RunConfig::profiling)"
                     .into(),
             ));
         }

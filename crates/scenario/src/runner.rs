@@ -19,10 +19,10 @@
 //! slice — every scheme and variant of the slice shares the drawn
 //! field and its [`CoverageGrid`] instead of re-rasterizing it.
 //!
-//! With [`BatchRunner::with_checkpoint`], completed runs are
-//! periodically flushed to `batch.json` through an atomic
-//! write-then-rename, so `--resume` can pick up after a hard kill
-//! mid-batch, not just after a partial-repetition run.
+//! With [`RunConfig::checkpoint`], completed runs are periodically
+//! flushed to `batch.json` through an atomic write-then-rename, so
+//! `--resume` can pick up after a hard kill mid-batch, not just after
+//! a partial-repetition run.
 
 use crate::diff::BatchFile;
 use crate::json::Json;
@@ -161,27 +161,33 @@ struct CheckpointPolicy {
     every: usize,
 }
 
-/// Executes [`ScenarioSpec`]s, optionally pinned to a thread count
-/// and/or checkpointing completed runs to disk.
+/// Everything a batch execution can be configured with, in one
+/// builder: thread pinning, checkpointing, profiling and progress
+/// streaming. The CLI, the test suites and the `scenario serve`
+/// daemon all assemble a `RunConfig` and turn it into a runner with
+/// [`RunConfig::runner`] — the former per-knob `BatchRunner::with_*`
+/// constructors survive only as deprecated shims.
 #[derive(Debug, Clone, Default)]
-pub struct BatchRunner {
+pub struct RunConfig {
     threads: Option<usize>,
     checkpoint: Option<CheckpointPolicy>,
     profiling: bool,
     progress: Option<ProgressSink>,
 }
 
-impl BatchRunner {
-    /// A runner using one worker per core (or `RAYON_NUM_THREADS`).
+impl RunConfig {
+    /// The default configuration: one worker per core (or
+    /// `RAYON_NUM_THREADS`), no checkpointing, no profiling, no
+    /// progress sink.
     pub fn new() -> Self {
-        BatchRunner::default()
+        RunConfig::default()
     }
 
     /// Pins execution to exactly `threads` workers; `1` forces fully
     /// sequential execution (used by the determinism tests as the
-    /// reference).
+    /// reference). `0` clamps to `1`.
     #[must_use]
-    pub fn with_threads(mut self, threads: usize) -> Self {
+    pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
         self
     }
@@ -198,7 +204,7 @@ impl BatchRunner {
     /// [`BatchResult::to_json`] as before; it is byte-identical to an
     /// uncheckpointed run.
     #[must_use]
-    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>, every: usize) -> Self {
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>, every: usize) -> Self {
         self.checkpoint = (every > 0).then(|| CheckpointPolicy {
             path: path.into(),
             every,
@@ -214,7 +220,7 @@ impl BatchRunner {
     /// the `obs-off` feature the collectors record nothing and every
     /// profile comes back `None`.
     #[must_use]
-    pub fn with_profiling(mut self, enabled: bool) -> Self {
+    pub fn profiling(mut self, enabled: bool) -> Self {
         self.profiling = enabled;
         self
     }
@@ -223,14 +229,75 @@ impl BatchRunner {
     /// writes) to `sink` during execution. Workers emit concurrently;
     /// the sink must be line-atomic (see [`ProgressSink`]).
     #[must_use]
-    pub fn with_progress(mut self, sink: ProgressSink) -> Self {
+    pub fn progress(mut self, sink: ProgressSink) -> Self {
         self.progress = Some(sink);
+        self
+    }
+
+    /// A [`BatchRunner`] executing under this configuration.
+    pub fn runner(self) -> BatchRunner {
+        BatchRunner { cfg: self }
+    }
+}
+
+/// Executes [`ScenarioSpec`]s under a [`RunConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct BatchRunner {
+    cfg: RunConfig,
+}
+
+impl BatchRunner {
+    /// A runner under the default [`RunConfig`]: one worker per core
+    /// (or `RAYON_NUM_THREADS`).
+    pub fn new() -> Self {
+        BatchRunner::default()
+    }
+
+    /// Deprecated shim for [`RunConfig::threads`].
+    #[deprecated(since = "0.9.0", note = "build a RunConfig and use RunConfig::threads")]
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.cfg = self.cfg.threads(threads);
+        self
+    }
+
+    /// Deprecated shim for [`RunConfig::checkpoint`].
+    #[deprecated(
+        since = "0.9.0",
+        note = "build a RunConfig and use RunConfig::checkpoint"
+    )]
+    #[must_use]
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>, every: usize) -> Self {
+        self.cfg = self.cfg.checkpoint(path, every);
+        self
+    }
+
+    /// Deprecated shim for [`RunConfig::profiling`].
+    #[deprecated(
+        since = "0.9.0",
+        note = "build a RunConfig and use RunConfig::profiling"
+    )]
+    #[must_use]
+    pub fn with_profiling(mut self, enabled: bool) -> Self {
+        self.cfg = self.cfg.profiling(enabled);
+        self
+    }
+
+    /// Deprecated shim for [`RunConfig::progress`].
+    #[deprecated(
+        since = "0.9.0",
+        note = "build a RunConfig and use RunConfig::progress"
+    )]
+    #[must_use]
+    pub fn with_progress(mut self, sink: ProgressSink) -> Self {
+        self.cfg = self.cfg.progress(sink);
         self
     }
 
     /// The number of workers a run will actually use.
     pub fn effective_threads(&self) -> usize {
-        self.threads
+        self.cfg
+            .threads
             .unwrap_or_else(rayon::current_num_threads)
             .max(1)
     }
@@ -342,9 +409,9 @@ impl BatchRunner {
             self.effective_threads(),
             shared.as_ref(),
             restored,
-            self.checkpoint.as_ref(),
-            self.profiling,
-            self.progress.as_ref(),
+            self.cfg.checkpoint.as_ref(),
+            self.cfg.profiling,
+            self.cfg.progress.as_ref(),
         );
         Ok(BatchResult {
             spec: spec.clone(),
@@ -998,8 +1065,9 @@ mod tests {
 
     #[test]
     fn outputs_are_well_formed() {
-        let result = BatchRunner::new()
-            .with_threads(1)
+        let result = RunConfig::new()
+            .threads(1)
+            .runner()
             .run(&tiny_spec())
             .unwrap();
         let json = result.to_json();
@@ -1018,9 +1086,22 @@ mod tests {
     #[test]
     fn pinned_thread_counts_match_sequential_output() {
         let spec = tiny_spec();
-        let sequential = BatchRunner::new().with_threads(1).run(&spec).unwrap();
-        let pinned = BatchRunner::new().with_threads(3).run(&spec).unwrap();
+        let sequential = RunConfig::new().threads(1).runner().run(&spec).unwrap();
+        let pinned = RunConfig::new().threads(3).runner().run(&spec).unwrap();
         assert_eq!(sequential.to_json(), pinned.to_json());
+    }
+
+    #[test]
+    #[allow(deprecated)] // the shims must keep working for one PR
+    fn deprecated_with_shims_match_run_config() {
+        let spec = tiny_spec().with_repetitions(1);
+        let via_config = RunConfig::new().threads(2).runner().run(&spec).unwrap();
+        let via_shims = BatchRunner::new()
+            .with_threads(2)
+            .with_profiling(false)
+            .run(&spec)
+            .unwrap();
+        assert_eq!(via_config.to_json(), via_shims.to_json());
     }
 
     #[test]
@@ -1032,17 +1113,23 @@ mod tests {
     #[test]
     fn resume_reproduces_uninterrupted_output_byte_for_byte() {
         let full_spec = tiny_spec();
-        let full = BatchRunner::new().with_threads(1).run(&full_spec).unwrap();
+        let full = RunConfig::new()
+            .threads(1)
+            .runner()
+            .run(&full_spec)
+            .unwrap();
         // "interrupt" after the first repetition: run the same spec
         // with fewer reps, persist, then resume at the full rep count
         let partial_spec = full_spec.clone().with_repetitions(1);
-        let partial = BatchRunner::new()
-            .with_threads(1)
+        let partial = RunConfig::new()
+            .threads(1)
+            .runner()
             .run(&partial_spec)
             .unwrap();
         let prior = BatchFile::parse(&partial.to_json()).unwrap();
-        let resumed = BatchRunner::new()
-            .with_threads(1)
+        let resumed = RunConfig::new()
+            .threads(1)
+            .runner()
             .run_resuming(&full_spec, Some(&prior))
             .unwrap();
         assert_eq!(resumed.to_json(), full.to_json());
@@ -1052,13 +1139,14 @@ mod tests {
     #[test]
     fn resume_actually_skips_cached_cells() {
         let spec = tiny_spec();
-        let full = BatchRunner::new().with_threads(1).run(&spec).unwrap();
+        let full = RunConfig::new().threads(1).runner().run(&spec).unwrap();
         let mut prior = BatchFile::parse(&full.to_json()).unwrap();
         // poison one cached record; if resume re-executed the cell the
         // poisoned value could not survive into the merged output
         prior.cells[0].1.get_mut(&0).unwrap().coverage = 0.123456789;
-        let resumed = BatchRunner::new()
-            .with_threads(1)
+        let resumed = RunConfig::new()
+            .threads(1)
+            .runner()
             .run_resuming(&spec, Some(&prior))
             .unwrap();
         assert!(
@@ -1070,11 +1158,12 @@ mod tests {
     #[test]
     fn resume_rejects_mismatched_seed_policy() {
         let spec = tiny_spec();
-        let full = BatchRunner::new().with_threads(1).run(&spec).unwrap();
+        let full = RunConfig::new().threads(1).runner().run(&spec).unwrap();
         let prior = BatchFile::parse(&full.to_json()).unwrap();
         let reseeded = spec.with_seed(4242);
-        let err = BatchRunner::new()
-            .with_threads(1)
+        let err = RunConfig::new()
+            .threads(1)
+            .runner()
             .run_resuming(&reseeded, Some(&prior))
             .unwrap_err();
         assert!(err.0.contains("different spec"), "{}", err.0);
@@ -1084,7 +1173,7 @@ mod tests {
     fn resume_rejects_edited_durations_and_params() {
         use msn_deploy::{FloorOverrides, SchemeOverrides};
         let spec = tiny_spec();
-        let full = BatchRunner::new().with_threads(1).run(&spec).unwrap();
+        let full = RunConfig::new().threads(1).runner().run(&spec).unwrap();
         let prior = BatchFile::parse(&full.to_json()).unwrap();
         // env seeds are untouched by these edits, but the digest
         // catches them: restored records would not reflect the edit
@@ -1134,7 +1223,7 @@ mod tests {
                     ..Default::default()
                 }
             });
-        let result = BatchRunner::new().with_threads(1).run(&spec).unwrap();
+        let result = RunConfig::new().threads(1).runner().run(&spec).unwrap();
         assert_eq!(result.records.len(), 2);
         let stats = result.cell_stats();
         assert_eq!(stats.len(), 2);
@@ -1151,7 +1240,7 @@ mod tests {
     #[test]
     fn restored_records_fail_position_consumers_loudly() {
         let spec = tiny_spec();
-        let full = BatchRunner::new().with_threads(1).run(&spec).unwrap();
+        let full = RunConfig::new().threads(1).runner().run(&spec).unwrap();
         // fresh runs carry their final layouts
         for record in &full.records {
             assert_eq!(
@@ -1162,8 +1251,9 @@ mod tests {
         }
         // a fully-restored batch must refuse to hand out positions
         let prior = BatchFile::parse(&full.to_json()).unwrap();
-        let resumed = BatchRunner::new()
-            .with_threads(1)
+        let resumed = RunConfig::new()
+            .threads(1)
+            .runner()
             .run_resuming(&spec, Some(&prior))
             .unwrap();
         let err = resumed.records[0].require_positions().unwrap_err();
@@ -1177,13 +1267,14 @@ mod tests {
         // missing across schemes *within* a repetition, not only as
         // whole trailing repetitions
         let spec = tiny_spec();
-        let full = BatchRunner::new().with_threads(1).run(&spec).unwrap();
+        let full = RunConfig::new().threads(1).runner().run(&spec).unwrap();
         let mut prior = BatchFile::parse(&full.to_json()).unwrap();
         prior.cells[1].1.remove(&0);
         prior.cells[2].1.remove(&1);
         prior.cells.remove(3);
-        let resumed = BatchRunner::new()
-            .with_threads(2)
+        let resumed = RunConfig::new()
+            .threads(2)
+            .runner()
             .run_resuming(&spec, Some(&prior))
             .unwrap();
         assert_eq!(resumed.to_json(), full.to_json());
@@ -1198,17 +1289,19 @@ mod tests {
             .with_duration(20.0)
             .with_coverage_cell(25.0)
             .with_repetitions(3);
-        let sequential = BatchRunner::new().with_threads(1).run(&spec).unwrap();
-        let pooled = BatchRunner::new().with_threads(3).run(&spec).unwrap();
+        let sequential = RunConfig::new().threads(1).runner().run(&spec).unwrap();
+        let pooled = RunConfig::new().threads(3).runner().run(&spec).unwrap();
         assert_eq!(sequential.to_json(), pooled.to_json());
         // and resuming a partial randomized batch merges bit-exactly
-        let partial = BatchRunner::new()
-            .with_threads(1)
+        let partial = RunConfig::new()
+            .threads(1)
+            .runner()
             .run(&spec.clone().with_repetitions(1))
             .unwrap();
         let prior = BatchFile::parse(&partial.to_json()).unwrap();
-        let resumed = BatchRunner::new()
-            .with_threads(2)
+        let resumed = RunConfig::new()
+            .threads(2)
+            .runner()
             .run_resuming(&spec, Some(&prior))
             .unwrap();
         assert_eq!(resumed.to_json(), sequential.to_json());

@@ -439,15 +439,17 @@ impl ScenarioSpec {
     /// are excluded because resume explicitly supports extending
     /// them.
     pub fn resume_digest(&self) -> String {
-        let normalized = self.clone().with_repetitions(1).to_toml_string();
-        // FNV-1a, 64-bit: stable, dependency-free, good enough for a
-        // consistency check (not a security boundary).
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        for byte in normalized.bytes() {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        format!("{hash:016x}")
+        fnv1a_hex(&self.clone().with_repetitions(1).to_toml_string())
+    }
+
+    /// A stable fingerprint of the *complete* spec, repetitions
+    /// included — the content address the job store files batches
+    /// under ([`crate::JobStore`]). Two submissions share a job (and
+    /// its artifacts) exactly when this digest matches; a submission
+    /// that only extends repetitions is a different job even though
+    /// its [`ScenarioSpec::resume_digest`] is unchanged.
+    pub fn job_digest(&self) -> String {
+        fnv1a_hex(&self.to_toml_string())
     }
 
     /// Expands the spec into its flat run matrix, in deterministic
@@ -708,6 +710,19 @@ impl RunCell {
     pub fn sim_seed(&self) -> u64 {
         stream_seed(self.env_seed, 3)
     }
+}
+
+/// FNV-1a, 64-bit, as lowercase hex: stable, dependency-free, good
+/// enough for consistency checks and content addressing (not a
+/// security boundary). Shared by the resume digest and the job
+/// store's job digest.
+pub(crate) fn fnv1a_hex(text: &str) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
 }
 
 /// Derives a run's environment seed from the base seed and its matrix

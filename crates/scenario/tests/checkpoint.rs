@@ -3,7 +3,7 @@
 //! file must be refused loudly instead of merged.
 
 use msn_deploy::SchemeKind;
-use msn_scenario::{BatchFile, BatchResult, BatchRunner, ScenarioSpec};
+use msn_scenario::{BatchFile, BatchResult, RunConfig, ScenarioSpec};
 use std::path::PathBuf;
 
 fn spec() -> ScenarioSpec {
@@ -42,9 +42,10 @@ fn checkpoints_land_atomically_and_cover_the_whole_batch() {
     let scratch = Scratch::new("atomic");
     let path = scratch.file("batch.json");
     let spec = spec();
-    let result = BatchRunner::new()
-        .with_threads(1)
-        .with_checkpoint(&path, 1)
+    let result = RunConfig::new()
+        .threads(1)
+        .checkpoint(&path, 1)
+        .runner()
         .run(&spec)
         .unwrap();
     // with a checkpoint after every run, the last checkpoint is the
@@ -60,7 +61,7 @@ fn killed_batch_resumes_byte_identically_from_checkpoint() {
     let scratch = Scratch::new("kill");
     let path = scratch.file("batch.json");
     let spec = spec();
-    let full = BatchRunner::new().with_threads(1).run(&spec).unwrap();
+    let full = RunConfig::new().threads(1).runner().run(&spec).unwrap();
     // simulate a SIGKILL after 3 of 4 runs: persist the checkpoint a
     // mid-batch write would have produced (records in matrix order,
     // holes across schemes within the final repetition)
@@ -72,8 +73,9 @@ fn killed_batch_resumes_byte_identically_from_checkpoint() {
     std::fs::write(&path, partial.to_json()).unwrap();
     let prior = BatchFile::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
     assert_eq!(prior.run_count(), 3);
-    let resumed = BatchRunner::new()
-        .with_threads(1)
+    let resumed = RunConfig::new()
+        .threads(1)
+        .runner()
         .run_resuming(&spec, Some(&prior))
         .unwrap();
     assert_eq!(
@@ -88,7 +90,7 @@ fn truncated_checkpoint_is_refused_not_merged() {
     let scratch = Scratch::new("truncated");
     let path = scratch.file("batch.json");
     let spec = spec();
-    let full = BatchRunner::new().with_threads(1).run(&spec).unwrap();
+    let full = RunConfig::new().threads(1).runner().run(&spec).unwrap();
     let json = full.to_json();
     // a torn write (kill mid-write without the atomic rename) leaves a
     // prefix; parsing must fail loudly so resume cannot merge garbage

@@ -77,6 +77,86 @@ fn invalid_thread_count_is_rejected() {
 }
 
 #[test]
+fn concurrent_runs_against_the_same_batch_are_refused() {
+    let scratch = Scratch::new("lock");
+    let out = scratch.dir("locked");
+    // stand in for a live `scenario run`: this test process holds the
+    // batch lock, so the spawned run must refuse to start
+    let lock = msn_scenario::BatchLock::acquire(&out).expect("take batch lock");
+    let output = scenario_bin()
+        .args(["run"])
+        .arg(repo_file("scenarios/smoke.toml"))
+        .arg("--out")
+        .arg(&out)
+        .output()
+        .expect("spawn scenario binary");
+    assert!(!output.status.success(), "second run must be refused");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("locked by pid"),
+        "stderr should name the lock owner, got: {stderr}"
+    );
+    drop(lock);
+    // with the lock released the same invocation goes through
+    let status = scenario_bin()
+        .args(["run"])
+        .arg(repo_file("scenarios/smoke.toml"))
+        .arg("--out")
+        .arg(&out)
+        .status()
+        .expect("spawn scenario binary");
+    assert!(status.success(), "run must proceed once the lock is free");
+}
+
+#[test]
+fn json_mode_emits_the_service_response_types() {
+    use msn_scenario::{Json, Response};
+    let scratch = Scratch::new("json");
+    let out = scratch.dir("run");
+
+    // `run --json` answers the same run-finished document the daemon
+    // stores in its job record
+    let output = scenario_bin()
+        .args(["--json", "run"])
+        .arg(repo_file("scenarios/smoke.toml"))
+        .arg("--out")
+        .arg(&out)
+        .output()
+        .expect("spawn scenario binary");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let parsed = Json::parse(&stdout).expect("stdout is JSON");
+    assert_eq!(
+        parsed.get("response").and_then(Json::as_str),
+        Some("run-finished")
+    );
+    match Response::from_json(&parsed).expect("decodes as a Response") {
+        Response::RunFinished { job, .. } => {
+            assert_eq!(job.scenario, "smoke");
+            assert_eq!(job.completed_runs, job.total_runs);
+        }
+        other => panic!("expected run-finished, got {other:?}"),
+    }
+
+    // errors come back as the structured error document with exit 1
+    let output = scenario_bin()
+        .args(["--json", "describe", "does-not-exist.toml"])
+        .output()
+        .expect("spawn scenario binary");
+    assert!(!output.status.success());
+    let parsed = Json::parse(&String::from_utf8_lossy(&output.stdout)).expect("error is JSON");
+    assert_eq!(parsed.get("response").and_then(Json::as_str), Some("error"));
+    assert_eq!(parsed.get("code").and_then(Json::as_str), Some("not-found"));
+
+    // usage errors keep their distinct exit code in JSON mode too
+    let status = scenario_bin()
+        .args(["--json", "frobnicate"])
+        .status()
+        .expect("spawn scenario binary");
+    assert_eq!(status.code(), Some(2), "usage errors must exit 2");
+}
+
+#[test]
 fn zero_threads_clamps_to_sequential() {
     // `--threads 0` is documented to clamp to 1 rather than error.
     let scratch = Scratch::new("zero");

@@ -5,7 +5,7 @@
 
 use msn_deploy::SchemeKind;
 use msn_field::RandomObstacleParams;
-use msn_scenario::{derive_seed, BatchRunner, FieldSpec, ScenarioSpec};
+use msn_scenario::{derive_seed, BatchRunner, FieldSpec, RunConfig, ScenarioSpec};
 
 fn spec() -> ScenarioSpec {
     ScenarioSpec::new("determinism")
@@ -20,14 +20,16 @@ fn spec() -> ScenarioSpec {
 
 #[test]
 fn json_is_byte_identical_at_any_thread_count() {
-    let reference = BatchRunner::new()
-        .with_threads(1)
+    let reference = RunConfig::new()
+        .threads(1)
+        .runner()
         .run(&spec())
         .unwrap()
         .to_json();
     for threads in [2, 4, 8] {
-        let parallel = BatchRunner::new()
-            .with_threads(threads)
+        let parallel = RunConfig::new()
+            .threads(threads)
+            .runner()
             .run(&spec())
             .unwrap()
             .to_json();
@@ -51,8 +53,8 @@ fn randomized_fields_are_also_thread_count_invariant() {
         .with_coverage_cell(25.0)
         .with_repetitions(4)
         .with_seed(99);
-    let a = BatchRunner::new().with_threads(1).run(&spec).unwrap();
-    let b = BatchRunner::new().with_threads(4).run(&spec).unwrap();
+    let a = RunConfig::new().threads(1).runner().run(&spec).unwrap();
+    let b = RunConfig::new().threads(4).runner().run(&spec).unwrap();
     assert_eq!(a.to_json(), b.to_json());
     assert_eq!(a.to_csv(), b.to_csv());
     assert_eq!(a.report(), b.report());

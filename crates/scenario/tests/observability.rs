@@ -6,7 +6,7 @@
 use msn_deploy::SchemeKind;
 use msn_field::RandomObstacleParams;
 use msn_scenario::{
-    BatchRunner, FieldSpec, ProfileRecord, ProgressEvent, ProgressSink, ScenarioSpec,
+    FieldSpec, ProfileRecord, ProgressEvent, ProgressSink, RunConfig, ScenarioSpec,
 };
 use std::sync::{Arc, Mutex};
 
@@ -22,10 +22,11 @@ fn spec() -> ScenarioSpec {
 #[test]
 fn profiling_is_zero_perturbation() {
     let spec = spec();
-    let plain = BatchRunner::new().with_threads(2).run(&spec).unwrap();
-    let profiled = BatchRunner::new()
-        .with_threads(2)
-        .with_profiling(true)
+    let plain = RunConfig::new().threads(2).runner().run(&spec).unwrap();
+    let profiled = RunConfig::new()
+        .threads(2)
+        .profiling(true)
+        .runner()
         .run(&spec)
         .unwrap();
     assert_eq!(
@@ -41,9 +42,10 @@ fn profiling_is_zero_perturbation() {
 #[test]
 fn profile_accounts_for_the_run() {
     let spec = spec();
-    let result = BatchRunner::new()
-        .with_threads(1)
-        .with_profiling(true)
+    let result = RunConfig::new()
+        .threads(1)
+        .profiling(true)
+        .runner()
         .run(&spec)
         .unwrap();
     let record = ProfileRecord::from_batch(&result).unwrap();
@@ -84,9 +86,10 @@ fn tracker_counters_fire_on_random_obstacle_workload() {
         .with_coverage_cell(25.0)
         .with_repetitions(1)
         .with_seed(11);
-    let result = BatchRunner::new()
-        .with_threads(1)
-        .with_profiling(true)
+    let result = RunConfig::new()
+        .threads(1)
+        .profiling(true)
+        .runner()
         .run(&spec)
         .unwrap();
     let merged = ProfileRecord::from_batch(&result).unwrap().merged();
@@ -114,9 +117,10 @@ fn progress_events_mirror_the_matrix() {
     let sink = ProgressSink::new(move |event: &ProgressEvent| {
         log.lock().unwrap().push(event.ndjson_line());
     });
-    BatchRunner::new()
-        .with_threads(2)
-        .with_progress(sink)
+    RunConfig::new()
+        .threads(2)
+        .progress(sink)
+        .runner()
         .run(&spec)
         .unwrap();
     let events = events.lock().unwrap();
@@ -154,10 +158,11 @@ fn checkpoint_event_fires_when_checkpointing() {
             log.lock().unwrap().push(event.ndjson_line());
         }
     });
-    BatchRunner::new()
-        .with_threads(1)
-        .with_checkpoint(&path, 2)
-        .with_progress(sink)
+    RunConfig::new()
+        .threads(1)
+        .checkpoint(&path, 2)
+        .progress(sink)
+        .runner()
         .run(&spec())
         .unwrap();
     let events = events.lock().unwrap();

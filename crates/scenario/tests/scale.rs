@@ -6,7 +6,7 @@
 
 use msn_deploy::SchemeKind;
 use msn_field::RandomObstacleParams;
-use msn_scenario::{BatchFile, BatchResult, BatchRunner, FieldSpec, ScenarioSpec};
+use msn_scenario::{BatchFile, BatchResult, FieldSpec, RunConfig, ScenarioSpec};
 
 /// A trimmed 10k smoke cell: CPVF only (its incremental tick is cheap
 /// enough for debug-mode CI), short horizon, coarse raster. Exercises
@@ -41,8 +41,8 @@ fn small_spec() -> ScenarioSpec {
 #[test]
 fn scale_cell_is_thread_count_invariant() {
     let spec = scale_spec();
-    let reference = BatchRunner::new().with_threads(1).run(&spec).unwrap();
-    let parallel = BatchRunner::new().with_threads(4).run(&spec).unwrap();
+    let reference = RunConfig::new().threads(1).runner().run(&spec).unwrap();
+    let parallel = RunConfig::new().threads(4).runner().run(&spec).unwrap();
     assert_eq!(
         reference.to_json(),
         parallel.to_json(),
@@ -55,7 +55,7 @@ fn scale_cell_is_thread_count_invariant() {
 #[test]
 fn scale_cell_resumes_byte_identically() {
     let spec = scale_spec();
-    let full = BatchRunner::new().with_threads(1).run(&spec).unwrap();
+    let full = RunConfig::new().threads(1).runner().run(&spec).unwrap();
     // simulate a kill after the first of two repetitions
     let partial = BatchResult {
         spec: spec.clone(),
@@ -64,8 +64,9 @@ fn scale_cell_resumes_byte_identically() {
     };
     let prior = BatchFile::parse(&partial.to_json()).unwrap();
     assert_eq!(prior.run_count(), 1);
-    let resumed = BatchRunner::new()
-        .with_threads(1)
+    let resumed = RunConfig::new()
+        .threads(1)
+        .runner()
         .run_resuming(&spec, Some(&prior))
         .unwrap();
     assert_eq!(
@@ -78,7 +79,7 @@ fn scale_cell_resumes_byte_identically() {
 #[test]
 fn movement_summary_surfaces_in_every_format() {
     let spec = small_spec().with_movement_summary(true);
-    let result = BatchRunner::new().with_threads(1).run(&spec).unwrap();
+    let result = RunConfig::new().threads(1).runner().run(&spec).unwrap();
     let json = result.to_json();
     assert!(json.contains("\"moves\""), "per-run moves missing in JSON");
     assert!(json.contains("\"move_dist\""), "move_dist missing in JSON");
@@ -98,7 +99,7 @@ fn movement_summary_surfaces_in_every_format() {
 #[test]
 fn movement_summary_off_leaves_output_untouched() {
     let spec = small_spec();
-    let result = BatchRunner::new().with_threads(1).run(&spec).unwrap();
+    let result = RunConfig::new().threads(1).runner().run(&spec).unwrap();
     let json = result.to_json();
     assert!(!json.contains("\"move_dist\""));
     assert!(!result
@@ -127,15 +128,16 @@ fn movement_summary_roundtrips_through_toml() {
 fn movement_summary_resumes_byte_identically() {
     // the gated fields ride through batch.json parse -> restore
     let spec = small_spec().with_movement_summary(true);
-    let full = BatchRunner::new().with_threads(1).run(&spec).unwrap();
+    let full = RunConfig::new().threads(1).runner().run(&spec).unwrap();
     let partial = BatchResult {
         spec: spec.clone(),
         records: full.records[..3].to_vec(),
         profiles: Vec::new(),
     };
     let prior = BatchFile::parse(&partial.to_json()).unwrap();
-    let resumed = BatchRunner::new()
-        .with_threads(1)
+    let resumed = RunConfig::new()
+        .threads(1)
+        .runner()
         .run_resuming(&spec, Some(&prior))
         .unwrap();
     assert_eq!(resumed.to_json(), full.to_json());

@@ -1,0 +1,369 @@
+//! Daemon integration: a real `scenario serve` process behind the
+//! Unix socket, driven through the typed [`Client`].
+//!
+//! Covers the wire contract end to end (byte-identical artifacts vs.
+//! an in-process run, oversized/truncated frame rejection), the
+//! submission critical section (concurrent identical digests dedup to
+//! exactly one job; distinct digests queue separately), and crash
+//! recovery (SIGKILL mid-batch, restart, resume from checkpoint,
+//! byte-identical result, dedup on resubmit).
+
+use msn_scenario::{ApiError, Client, JobState, Request, Response, RunConfig, ScenarioSpec};
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+/// A scratch directory under the system temp dir, cleaned up on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("msn-serve-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn repo_file(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+fn smoke_spec() -> ScenarioSpec {
+    let text = std::fs::read_to_string(repo_file("scenarios/smoke.toml")).expect("read smoke spec");
+    ScenarioSpec::from_toml_str(&text).expect("parse smoke spec")
+}
+
+/// A live `scenario serve` child process; killed on drop so a failing
+/// test cannot leak daemons.
+struct Daemon {
+    child: Child,
+    client: Client,
+}
+
+impl Daemon {
+    fn start(scratch: &Scratch, extra: &[&str]) -> Self {
+        let socket = scratch.path("scenario.sock");
+        let jobs = scratch.path("jobs");
+        let child = Command::new(env!("CARGO_BIN_EXE_scenario"))
+            .arg("serve")
+            .arg("--socket")
+            .arg(&socket)
+            .arg("--jobs")
+            .arg(&jobs)
+            .args(extra)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("spawn scenario serve");
+        let client = Client::new(&socket);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match client.request_timeout(&Request::Ping, Duration::from_millis(200)) {
+                Ok(Response::Pong { .. }) => break,
+                _ if Instant::now() > deadline => panic!("daemon never answered ping"),
+                _ => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+        Daemon { child, client }
+    }
+
+    fn submit(&self, spec: &ScenarioSpec) -> (String, bool) {
+        match self.client.request(&Request::Submit {
+            spec_toml: spec.to_toml_string(),
+        }) {
+            Ok(Response::Submitted { job, deduped, .. }) => (job.digest, deduped),
+            other => panic!("submit answered {other:?}"),
+        }
+    }
+
+    fn state(&self, digest: &str) -> JobState {
+        match self.client.request(&Request::Status {
+            job: digest.to_string(),
+        }) {
+            Ok(Response::Job { job }) => job.state,
+            other => panic!("status answered {other:?}"),
+        }
+    }
+
+    fn await_done(&self, digest: &str) {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            match self.state(digest) {
+                JobState::Done => return,
+                JobState::Failed { error } => panic!("job {digest} failed: {error}"),
+                _ if Instant::now() > deadline => panic!("job {digest} never finished"),
+                _ => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+    }
+
+    fn artifact(&self, digest: &str, name: &str) -> String {
+        match self.client.request(&Request::Artifact {
+            job: digest.to_string(),
+            name: name.to_string(),
+        }) {
+            Ok(Response::Artifact { contents, .. }) => contents,
+            other => panic!("artifact answered {other:?}"),
+        }
+    }
+
+    fn kill_hard(&mut self) {
+        // SIGKILL: no destructors, no checkpoint flush beyond what
+        // already hit the disk
+        self.child.kill().expect("kill daemon");
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn raw_exchange(socket: &Path, payload: &[u8]) -> String {
+    let mut stream = UnixStream::connect(socket).expect("connect raw");
+    stream.write_all(payload).expect("write raw frame");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut answer = String::new();
+    let _ = stream.read_to_string(&mut answer);
+    answer
+}
+
+#[test]
+fn served_artifacts_are_byte_identical_to_a_local_run() {
+    let scratch = Scratch::new("golden");
+    let daemon = Daemon::start(&scratch, &[]);
+    let spec = smoke_spec();
+
+    let (digest, deduped) = daemon.submit(&spec);
+    assert!(!deduped, "first submission must not dedup");
+    assert_eq!(digest, spec.job_digest(), "job keyed by spec digest");
+    daemon.await_done(&digest);
+
+    let local = RunConfig::new()
+        .runner()
+        .run_resuming(&spec, None)
+        .expect("local run");
+    assert_eq!(
+        daemon.artifact(&digest, "batch.json"),
+        local.to_json(),
+        "served batch.json must match an in-process run byte for byte"
+    );
+    let golden =
+        std::fs::read_to_string(repo_file("tests/fixtures/smoke-batch.json")).expect("fixture");
+    assert_eq!(
+        daemon.artifact(&digest, "batch.json"),
+        golden,
+        "served batch.json must match the golden fixture"
+    );
+
+    // resubmitting the finished spec attaches to the stored job
+    let (again, deduped) = daemon.submit(&spec);
+    assert_eq!(again, digest);
+    assert!(deduped, "identical spec must dedup onto the finished job");
+
+    // artifact names outside the whitelist never resolve
+    let answer = daemon.client.request(&Request::Artifact {
+        job: digest,
+        name: "../../../etc/passwd".to_string(),
+    });
+    assert!(
+        matches!(
+            answer,
+            Ok(Response::Error {
+                error: ApiError::NotFound(_)
+            })
+        ),
+        "non-whitelisted artifact must answer not-found, got {answer:?}"
+    );
+}
+
+#[test]
+fn oversized_and_truncated_frames_are_rejected_without_wedging_the_daemon() {
+    let scratch = Scratch::new("frames");
+    let daemon = Daemon::start(&scratch, &[]);
+    let socket = scratch.path("scenario.sock");
+
+    // a Content-Length beyond MAX_BODY is refused before any body
+    // byte is read
+    let huge = format!(
+        "POST /api HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        msn_scenario::MAX_BODY + 1
+    );
+    let answer = raw_exchange(&socket, huge.as_bytes());
+    assert!(
+        answer.starts_with("HTTP/1.1 400"),
+        "oversized frame should answer 400, got: {answer}"
+    );
+    assert!(answer.contains("protocol"), "error code in body: {answer}");
+
+    // a frame that dies mid-header gets dropped, not looped on
+    let answer = raw_exchange(&socket, b"POST /api HTTP/1.1\r\nContent-Len");
+    assert!(
+        answer.is_empty() || answer.starts_with("HTTP/1.1 400"),
+        "truncated frame should be dropped or 400'd, got: {answer}"
+    );
+
+    // and the daemon still serves the next well-formed request
+    match daemon.client.request(&Request::Ping) {
+        Ok(Response::Pong { .. }) => {}
+        other => panic!("daemon wedged after bad frames: {other:?}"),
+    }
+}
+
+#[test]
+fn concurrent_submissions_dedup_identical_digests_and_queue_distinct_ones() {
+    let scratch = Scratch::new("dedup");
+    let daemon = Daemon::start(&scratch, &[]);
+    let spec = smoke_spec();
+    let socket = scratch.path("scenario.sock");
+
+    // eight racing submissions of the same digest: exactly one may be
+    // accepted as new, the rest must attach to it
+    let outcomes: Vec<(String, bool)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let spec = spec.clone();
+                let socket = socket.clone();
+                scope.spawn(move || {
+                    match Client::new(socket).request(&Request::Submit {
+                        spec_toml: spec.to_toml_string(),
+                    }) {
+                        Ok(Response::Submitted { job, deduped, .. }) => (job.digest, deduped),
+                        other => panic!("racing submit answered {other:?}"),
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let accepted = outcomes.iter().filter(|(_, deduped)| !deduped).count();
+    assert_eq!(accepted, 1, "exactly one racing submission may be accepted");
+    assert!(
+        outcomes.iter().all(|(d, _)| *d == spec.job_digest()),
+        "every racer must land on the same job"
+    );
+
+    // a different seed is a different digest: its own queue slot
+    let rotated = spec.clone().with_seed(spec.seed + 1);
+    let (other_digest, deduped) = daemon.submit(&rotated);
+    assert!(!deduped, "distinct digest must not dedup");
+    assert_ne!(other_digest, spec.job_digest());
+
+    daemon.await_done(&spec.job_digest());
+    daemon.await_done(&other_digest);
+    match daemon.client.request(&Request::List) {
+        Ok(Response::Jobs { jobs }) => assert_eq!(jobs.len(), 2, "two digests, two jobs"),
+        other => panic!("list answered {other:?}"),
+    }
+}
+
+#[test]
+fn sigkill_mid_batch_resumes_on_restart_and_stays_byte_identical() {
+    let scratch = Scratch::new("crash");
+    // checkpoint after every run so the kill always lands past a
+    // durable prefix; more repetitions so the batch outlives the kill
+    // window
+    let spec = smoke_spec().with_repetitions(40);
+    let digest = spec.job_digest();
+
+    let mut daemon = Daemon::start(&scratch, &["--checkpoint-every", "1"]);
+    let (submitted, _) = daemon.submit(&spec);
+    assert_eq!(submitted, digest);
+
+    // wait until at least one checkpoint is durable, then pull the plug
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        match daemon.state(&digest) {
+            JobState::Checkpointed { runs } if runs >= 1 => break,
+            JobState::Done => panic!("batch finished before the kill — raise repetitions"),
+            JobState::Failed { error } => panic!("job failed before the kill: {error}"),
+            _ if Instant::now() > deadline => panic!("no checkpoint before deadline"),
+            _ => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    daemon.kill_hard();
+    drop(daemon);
+
+    let partial = std::fs::read_to_string(scratch.path("jobs").join(&digest).join("batch.json"))
+        .expect("checkpoint survived the kill");
+    assert!(!partial.is_empty(), "checkpoint must not be torn");
+
+    // restart over the same store: recovery re-queues the job and the
+    // executor resumes from the checkpoint (the dead daemon's stale
+    // socket and batch lock are both stolen)
+    let daemon = Daemon::start(&scratch, &["--checkpoint-every", "1"]);
+    daemon.await_done(&digest);
+
+    let local = RunConfig::new()
+        .runner()
+        .run_resuming(&spec, None)
+        .expect("local run");
+    assert_eq!(
+        daemon.artifact(&digest, "batch.json"),
+        local.to_json(),
+        "crash + resume must not change a single output byte"
+    );
+
+    // identical resubmission after recovery attaches to the done job
+    let (again, deduped) = daemon.submit(&spec);
+    assert_eq!(again, digest);
+    assert!(deduped, "resubmit after recovery must dedup");
+}
+
+#[test]
+fn subscribe_streams_events_and_closes_on_terminal_state() {
+    let scratch = Scratch::new("subscribe");
+    let daemon = Daemon::start(&scratch, &[]);
+    let spec = smoke_spec();
+
+    let (digest, _) = daemon.submit(&spec);
+    let mut saw_terminal = false;
+    let mut lines = 0usize;
+    for line in daemon.client.subscribe(&digest).expect("subscribe") {
+        let line = line.expect("event line");
+        assert!(
+            line.contains(&format!("\"job\":\"{digest}\"")),
+            "every event carries the job digest: {line}"
+        );
+        lines += 1;
+        if line.contains("\"event\":\"job-state\"")
+            && (line.contains("\"state\":\"done\"") || line.contains("\"state\":\"failed\""))
+        {
+            saw_terminal = true;
+        }
+    }
+    assert!(saw_terminal, "stream must end with a terminal job-state");
+    assert!(lines >= 1, "at least the terminal line must arrive");
+    daemon.await_done(&digest);
+
+    // subscribing to a finished job yields its terminal state
+    // immediately rather than hanging
+    let closing: Vec<String> = daemon
+        .client
+        .subscribe(&digest)
+        .expect("late subscribe")
+        .map(|l| l.expect("line"))
+        .collect();
+    assert_eq!(closing.len(), 1, "finished job answers one closing line");
+    assert!(closing[0].contains("\"state\":\"done\""));
+}

@@ -5,7 +5,7 @@
 //! CLI (`run` + `diff`), so a format or determinism regression fails
 //! both here and there.
 
-use msn_scenario::{diff_batches, BatchFile, BatchRunner, ScenarioSpec};
+use msn_scenario::{diff_batches, BatchFile, BatchRunner, RunConfig, ScenarioSpec};
 use std::path::PathBuf;
 
 fn repo_path(rel: &str) -> PathBuf {
@@ -34,8 +34,9 @@ fn smoke_spec_reproduces_the_committed_fixture() {
 
 #[test]
 fn smoke_output_is_thread_count_invariant() {
-    let result = BatchRunner::new()
-        .with_threads(3)
+    let result = RunConfig::new()
+        .threads(3)
+        .runner()
         .run(&smoke_spec())
         .unwrap();
     assert_eq!(result.to_json(), golden());
