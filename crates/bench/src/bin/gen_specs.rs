@@ -4,8 +4,8 @@
 //! in-code definitions, so the TOML files can never drift from the
 //! binaries. The hand-curated specs (`paper-field`, `campus-grid`,
 //! `corridor`, `disaster-zone`, `random-obstacle-sweep`,
-//! `campus-ttl-sweep`, `smoke`, `scale-10k`, `scale-50k`) are left
-//! alone.
+//! `campus-ttl-sweep`, `smoke`, `scale-10k`, `scale-50k`,
+//! `failure-recovery`) are left alone.
 
 use msn_bench::{ablation, fig10, fig11, fig12, fig3, table1, uniform_init, Profile};
 use msn_scenario::ScenarioSpec;

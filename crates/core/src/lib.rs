@@ -49,12 +49,14 @@
 #![warn(missing_docs)]
 
 pub mod cpvf;
+mod dynamic;
 pub mod floor;
 mod lazy;
 pub mod opt;
 mod overrides;
 pub mod vd;
 
+pub use dynamic::{run_scheme_dynamic, DynamicOutcome, EventRecord};
 pub use lazy::ConnectOutcome;
 pub use overrides::{CpvfOverrides, FloorOverrides, OptOverrides, SchemeOverrides, VdOverrides};
 

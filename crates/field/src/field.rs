@@ -91,6 +91,17 @@ impl Field {
         self.obstacles.push(obstacle);
     }
 
+    /// Removes and returns the obstacle at `index` (an obstacle
+    /// collapsing or being cleared mid-run). Later obstacles shift
+    /// down one index, matching [`Vec::remove`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn remove_obstacle(&mut self, index: usize) -> Polygon {
+        self.obstacles.remove(index)
+    }
+
     /// Returns `true` if `p` is inside the field and outside every
     /// obstacle (obstacle boundaries count as blocked).
     pub fn is_free(&self, p: Point) -> bool {

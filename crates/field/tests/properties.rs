@@ -200,6 +200,66 @@ proptest! {
     }
 
     #[test]
+    fn coverage_tracker_stays_oracle_exact_under_churn_and_obstacle_mutation(
+        starts in prop::collection::vec((0.0..600.0f64, 0.0..600.0f64), 1..16),
+        rounds in prop::collection::vec(
+            (
+                prop::collection::vec(
+                    (0u8..3, 0usize..16, -150.0..750.0f64, -150.0..750.0f64),
+                    1..6,
+                ),
+                0u8..4,
+            ),
+            1..10,
+        ),
+        rs in 15.0..90.0f64,
+    ) {
+        // The dynamic-world tier: sensor failure is a teleport to the
+        // far off-field parking lot (World::remove_sensor), revival a
+        // teleport back, and obstacle events rebuild the grid and
+        // re-track the surviving fleet (the engine's restart-on-event
+        // path). Coverage must stay bit-identical to the full
+        // rasterization oracle after every round. Per round, op kind
+        // 0 moves a sensor, 1 parks it, 2 revives it; the round tag
+        // 2 adds an obstacle, 3 removes the newest one.
+        let mut field = obstacle_field(&[(150.0, 150.0, 180.0, 120.0)]);
+        let mut sensors: Vec<Point> =
+            starts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let mut grid = CoverageGrid::new(&field, 10.0);
+        let mut tracker = CoverageTracker::new(grid.clone(), &sensors, rs);
+        let mut added = 0usize;
+        for (ops, mutate) in rounds {
+            for (op, i, x, y) in ops {
+                let i = i % sensors.len();
+                sensors[i] = match op {
+                    1 => Point::new(-1.0e7 - i as f64 * 360.0, -1.0e7),
+                    _ => Point::new(x, y),
+                };
+                tracker.set_sensor(i, sensors[i]);
+            }
+            match mutate {
+                2 => {
+                    let r = Rect::new(400.0 + added as f64 * 5.0, 50.0, 490.0, 350.0);
+                    field.push_obstacle(r.to_polygon());
+                    added += 1;
+                    grid = CoverageGrid::new(&field, 10.0);
+                    tracker = CoverageTracker::new(grid.clone(), &sensors, rs);
+                }
+                3 if !field.obstacles().is_empty() => {
+                    field.remove_obstacle(field.obstacles().len() - 1);
+                    grid = CoverageGrid::new(&field, 10.0);
+                    tracker = CoverageTracker::new(grid.clone(), &sensors, rs);
+                }
+                _ => {}
+            }
+            let oracle_mask = grid.covered_mask(&sensors, rs);
+            let oracle_count = oracle_mask.iter().filter(|&&c| c).count();
+            prop_assert_eq!(tracker.covered_cells(), oracle_count);
+            prop_assert_eq!(tracker.coverage(), grid.coverage(&sensors, rs));
+        }
+    }
+
+    #[test]
     fn random_obstacle_fields_never_partition(seed in 0u64..200) {
         let params = RandomObstacleParams::default();
         let mut rng = SmallRng::seed_from_u64(seed);

@@ -9,15 +9,19 @@
 //! * [`Cdf`] — empirical CDFs with quantile queries and fixed-step
 //!   series export;
 //! * [`Table`] — plain-text table builder with aligned columns;
-//! * [`to_csv`] — CSV export of row-oriented data.
+//! * [`to_csv`] — CSV export of row-oriented data;
+//! * [`recovery_stats`] — per-event coverage-dip / recovery-time
+//!   analysis for dynamic runs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cdf;
+mod recovery;
 mod stats;
 mod table;
 
 pub use cdf::Cdf;
+pub use recovery::{recovery_stats, EventMark, RecoveryStat};
 pub use stats::Summary;
 pub use table::{to_csv, Table};

@@ -39,6 +39,17 @@ fn moves_strategy() -> impl Strategy<Value = Vec<Vec<(usize, f64, f64)>>> {
     )
 }
 
+/// Churn rounds for the dynamic-world tier: each op is
+/// `(kind, sensor, x, y)` where kind 0 moves the sensor on-field,
+/// kind 1 fails it (the `World::remove_sensor` park teleport) and
+/// kind 2 revives it at `(x, y)` (`World::insert_sensor`).
+fn churn_strategy() -> impl Strategy<Value = Vec<Vec<(u8, usize, f64, f64)>>> {
+    prop::collection::vec(
+        prop::collection::vec((0u8..3, 0usize..60, 0.0..500.0f64, 0.0..500.0f64), 1..8),
+        1..10,
+    )
+}
+
 /// The tracker must agree with the build + flood oracle bit for bit
 /// after every query round.
 fn assert_tracker_matches_oracle(
@@ -333,6 +344,62 @@ proptest! {
             for q in 0..pts.len() {
                 prop_assert_eq!(tracker.neighbors(q), g.neighbors(q), "list {} rc {}", q, rc);
                 prop_assert_eq!(tracker.hop_distances(q), g.hop_distances(q), "hops {}", q);
+            }
+        }
+    }
+
+    #[test]
+    fn trackers_stay_oracle_exact_under_removal_and_insertion_churn(
+        pts in pts_fleet_strategy(),
+        churn in churn_strategy(),
+        rc in 10.0..200.0f64,
+        cell in 5.0..150.0f64,
+    ) {
+        // Dynamic runs express sensor death as a teleport to the far
+        // off-field parking lot and revival as a teleport back (the
+        // World::remove_sensor / insert_sensor change records), so the
+        // three network trackers must stay bit-identical to their
+        // batch oracles across interleaved moves, failures and
+        // reinforcements — and parked sensors must be invisible:
+        // disconnected from the base with an empty adjacency list.
+        let base = Point::new(250.0, 250.0);
+        let park = |i: usize| Point::new(-1.0e7 - i as f64 * 4.0 * rc.max(1.0), -1.0e7);
+        let mut pts = pts;
+        let mut parked = vec![false; pts.len()];
+        let mut index = PointIndex::new(&pts, cell);
+        let mut conn = ConnectivityTracker::new(&pts, base, rc);
+        let mut adj = AdjacencyTracker::new(&pts, rc);
+        for round in churn {
+            for (op, i, x, y) in round {
+                let i = i % pts.len();
+                let p = if op == 1 {
+                    parked[i] = true;
+                    park(i)
+                } else {
+                    parked[i] = false;
+                    Point::new(x, y)
+                };
+                pts[i] = p;
+                index.set_point(i, p);
+                conn.set_sensor(i, p);
+                adj.set_sensor(i, p);
+            }
+            assert_tracker_matches_oracle(&pts, base, rc, &mut conn);
+            let grid = SpatialGrid::build(&pts, cell);
+            let g = DiskGraph::build(&pts, rc);
+            for q in 0..pts.len() {
+                prop_assert_eq!(
+                    index.neighbors_within(q, rc),
+                    grid.neighbors(&pts, q, rc),
+                    "index {} rc {} cell {}", q, rc, cell
+                );
+                prop_assert_eq!(adj.neighbors(q), g.neighbors(q), "adjacency {}", q);
+            }
+            for (i, &dead) in parked.iter().enumerate() {
+                if dead {
+                    prop_assert!(!conn.connected_mask()[i], "parked sensor {} reached the base", i);
+                    prop_assert!(adj.neighbors(i).is_empty(), "parked sensor {} kept a link", i);
+                }
             }
         }
     }

@@ -13,6 +13,7 @@
 
 use crate::json::Json;
 use crate::runner::ScenarioError;
+use msn_metrics::RecoveryStat;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -46,6 +47,10 @@ pub struct FileRun {
     /// Commanded travel distance (`world.move_dist`, m); 0.0 when the
     /// file was written without `movement_summary` enabled.
     pub move_dist: f64,
+    /// Per-event recovery statistics; empty when the file was written
+    /// without a `[dynamics]` schedule. Restored on resume so a
+    /// resumed dynamic batch re-serializes byte-identically.
+    pub recovery: Vec<RecoveryStat>,
 }
 
 /// Identity of one aggregate cell: radio ranges (as exact bit
@@ -183,6 +188,46 @@ impl BatchFile {
                         Some(v) => v.as_f64().ok_or_else(|| {
                             ScenarioError("batch.json: 'move_dist' must be numeric".into())
                         })?,
+                    },
+                    // Optional: absent in files written without a
+                    // [dynamics] schedule.
+                    recovery: match run.get("recovery") {
+                        None => Vec::new(),
+                        Some(v) => v
+                            .as_array()
+                            .ok_or_else(|| {
+                                ScenarioError("batch.json: 'recovery' must be an array".into())
+                            })?
+                            .iter()
+                            .map(|s| {
+                                let ctx = "recovery";
+                                Ok(RecoveryStat {
+                                    event_time: need_f64(s, "time", ctx)?,
+                                    kind: need(s, "kind", ctx)?
+                                        .as_str()
+                                        .ok_or_else(|| {
+                                            ScenarioError(
+                                                "batch.json: recovery 'kind' must be a string"
+                                                    .into(),
+                                            )
+                                        })?
+                                        .to_string(),
+                                    pre_coverage: need_f64(s, "pre_coverage", ctx)?,
+                                    post_coverage: need_f64(s, "post_coverage", ctx)?,
+                                    min_coverage: need_f64(s, "min_coverage", ctx)?,
+                                    recovery_time: match need(s, "recovery_time", ctx)? {
+                                        Json::Null => None,
+                                        v => Some(v.as_f64().ok_or_else(|| {
+                                            ScenarioError(
+                                                "batch.json: 'recovery_time' must be numeric"
+                                                    .into(),
+                                            )
+                                        })?),
+                                    },
+                                    post_move_dist: need_f64(s, "post_move_dist", ctx)?,
+                                })
+                            })
+                            .collect::<Result<_, _>>()?,
                     },
                 };
                 if runs.insert(rep, record).is_some() {

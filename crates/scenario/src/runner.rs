@@ -28,9 +28,9 @@ use crate::diff::BatchFile;
 use crate::json::Json;
 use crate::progress::{eta_seconds, ProgressEvent, ProgressSink};
 use crate::spec::{RunCell, ScenarioSpec};
-use msn_deploy::run_scheme_with;
+use msn_deploy::{run_scheme_dynamic, run_scheme_with};
 use msn_field::{CoverageGrid, Field};
-use msn_metrics::{to_csv, Summary, Table};
+use msn_metrics::{recovery_stats, to_csv, EventMark, RecoveryStat, Summary, Table};
 use msn_obs::Report;
 use msn_sim::SimConfig;
 use rand::rngs::SmallRng;
@@ -82,6 +82,11 @@ pub struct RunRecord {
     /// under the same `movement_summary` gate as
     /// [`RunRecord::moves`].
     pub move_dist: f64,
+    /// Per-event recovery statistics (dip depth, climb-back time,
+    /// movement bill). Non-empty only for specs with a `[dynamics]`
+    /// schedule; serialized (and aggregated) only for those specs, so
+    /// static batches stay byte-identical.
+    pub recovery: Vec<RecoveryStat>,
     /// Final sensor positions. Kept in memory for layout rendering
     /// and movement lower bounds; *not* serialized to `batch.json`,
     /// so records restored by batch resume carry an empty vector —
@@ -145,6 +150,16 @@ pub struct CellStats {
     pub moves: Summary,
     /// Commanded travel distance over repetitions (`world.move_dist`, m).
     pub move_dist: Summary,
+    /// Recovery times over every *recovered* event of every
+    /// repetition (s); unrecovered events are excluded (their time is
+    /// unbounded), their count shows as the difference against
+    /// [`CellStats::coverage_dip`]'s count. Populated only for
+    /// `[dynamics]` specs.
+    pub recovery_time: Summary,
+    /// Minimum coverage during each event's dip window, over every
+    /// event of every repetition. Populated only for `[dynamics]`
+    /// specs.
+    pub coverage_dip: Summary,
     /// Number of repetitions that ended fully connected.
     pub connected_runs: usize,
     /// The per-repetition records behind the aggregates.
@@ -387,6 +402,7 @@ impl BatchRunner {
                         flags: run.flags.clone(),
                         moves: run.moves,
                         move_dist: run.move_dist,
+                        recovery: run.recovery.clone(),
                         positions: Vec::new(),
                     });
                 }
@@ -605,6 +621,7 @@ fn run_matrix(
                                 flags: r.flags.clone(),
                                 moves: r.moves,
                                 move_dist: r.move_dist,
+                                recovery: r.recovery.clone(),
                                 positions: Vec::new(),
                             })
                         })
@@ -672,7 +689,9 @@ fn write_checkpoint(spec: &ScenarioSpec, records: &[RunRecord], path: &Path) -> 
     }
 }
 
-/// Executes one cell of the matrix on its group's environment.
+/// Executes one cell of the matrix on its group's environment,
+/// dispatching to the dynamic engine when the spec carries a
+/// `[dynamics]` schedule.
 fn execute(spec: &ScenarioSpec, cell: RunCell, env: &(Field, CoverageGrid)) -> RunRecord {
     let (field, grid) = env;
     let cfg = SimConfig::paper(cell.radio.rc, cell.radio.rs)
@@ -681,7 +700,41 @@ fn execute(spec: &ScenarioSpec, cell: RunCell, env: &(Field, CoverageGrid)) -> R
         .with_seed(cell.sim_seed());
     let overrides = spec.effective_overrides(cell.variant);
     let initial = cell.build_scatter(spec, field);
-    let r = run_scheme_with(cell.scheme, field, &initial, &cfg, &overrides, Some(grid));
+    let (r, recovery) = match &spec.dynamics {
+        None => (
+            run_scheme_with(cell.scheme, field, &initial, &cfg, &overrides, Some(grid)),
+            Vec::new(),
+        ),
+        Some(schedule) => {
+            let outcome = run_scheme_dynamic(
+                cell.scheme,
+                field,
+                &initial,
+                &cfg,
+                &overrides,
+                Some(grid),
+                schedule,
+                cell.event_seed(),
+            );
+            let marks: Vec<EventMark> = outcome
+                .events
+                .iter()
+                .map(|e| EventMark {
+                    time: e.time,
+                    kind: e.kind.clone(),
+                    pre_coverage: e.pre_coverage,
+                    post_coverage: e.post_coverage,
+                    post_move_dist: e.post_move_dist,
+                })
+                .collect();
+            let recovery = recovery_stats(
+                &outcome.result.coverage_timeline,
+                &marks,
+                schedule.recovery_frac,
+            );
+            (outcome.result, recovery)
+        }
+    };
     RunRecord {
         cell,
         coverage: r.coverage,
@@ -694,6 +747,7 @@ fn execute(spec: &ScenarioSpec, cell: RunCell, env: &(Field, CoverageGrid)) -> R
         flags: r.flags,
         moves: r.moves,
         move_dist: r.move_dist,
+        recovery,
         positions: r.positions,
     }
 }
@@ -743,6 +797,8 @@ fn cell_stats_of(spec: &ScenarioSpec, records: &[RunRecord]) -> Vec<CellStats> {
                     messages: Summary::new(),
                     moves: Summary::new(),
                     move_dist: Summary::new(),
+                    recovery_time: Summary::new(),
+                    coverage_dip: Summary::new(),
                     connected_runs: 0,
                     runs: Vec::new(),
                 });
@@ -754,6 +810,12 @@ fn cell_stats_of(spec: &ScenarioSpec, records: &[RunRecord]) -> Vec<CellStats> {
         slot.messages.add(record.messages as f64);
         slot.moves.add(record.moves as f64);
         slot.move_dist.add(record.move_dist);
+        for stat in &record.recovery {
+            slot.coverage_dip.add(stat.min_coverage);
+            if let Some(t) = stat.recovery_time {
+                slot.recovery_time.add(t);
+            }
+        }
         slot.connected_runs += usize::from(record.connected);
         for flag in &record.flags {
             if !slot.flags.contains(flag) {
@@ -793,6 +855,7 @@ impl BatchResult {
 /// one format (`total_runs` reflects the records actually present).
 fn render_json(spec: &ScenarioSpec, records: &[RunRecord]) -> String {
     let has_variants = !spec.variants.is_empty();
+    let has_dynamics = spec.dynamics.is_some();
     let cells: Vec<Json> = cell_stats_of(spec, records)
         .into_iter()
         .map(|s| {
@@ -815,6 +878,26 @@ fn render_json(spec: &ScenarioSpec, records: &[RunRecord]) -> String {
                         "convergence_time",
                         r.convergence_time.filter(|t| t.is_finite()),
                     );
+                    if has_dynamics {
+                        run = run.field(
+                            "recovery",
+                            Json::Arr(
+                                r.recovery
+                                    .iter()
+                                    .map(|s| {
+                                        Json::obj()
+                                            .field("time", s.event_time)
+                                            .field("kind", s.kind.as_str())
+                                            .field("pre_coverage", s.pre_coverage)
+                                            .field("post_coverage", s.post_coverage)
+                                            .field("min_coverage", s.min_coverage)
+                                            .field("recovery_time", s.recovery_time)
+                                            .field("post_move_dist", s.post_move_dist)
+                                    })
+                                    .collect(),
+                            ),
+                        );
+                    }
                     if !r.flags.is_empty() {
                         run = run.field(
                             "flags",
@@ -840,6 +923,11 @@ fn render_json(spec: &ScenarioSpec, records: &[RunRecord]) -> String {
                 cell = cell
                     .field("moves", summary_json(&s.moves))
                     .field("move_dist", summary_json(&s.move_dist));
+            }
+            if has_dynamics {
+                cell = cell
+                    .field("recovery_time", summary_json(&s.recovery_time))
+                    .field("coverage_dip", summary_json(&s.coverage_dip));
             }
             cell.field("connected_runs", s.connected_runs)
                 .field("runs", Json::Arr(runs))
@@ -886,6 +974,11 @@ impl BatchResult {
             headers.push("moves_mean".to_string());
             headers.push("move_dist_mean".to_string());
         }
+        if self.spec.dynamics.is_some() {
+            headers.push("recovery_time_mean".to_string());
+            headers.push("recovered_events".to_string());
+            headers.push("coverage_dip_mean".to_string());
+        }
         headers.push("connected_runs".to_string());
         let rows: Vec<Vec<String>> = self
             .cell_stats()
@@ -910,6 +1003,11 @@ impl BatchResult {
                 if self.spec.movement_summary {
                     row.push(format!("{:.1}", s.moves.mean()));
                     row.push(format!("{:.3}", s.move_dist.mean()));
+                }
+                if self.spec.dynamics.is_some() {
+                    row.push(format!("{:.3}", s.recovery_time.mean()));
+                    row.push(s.recovery_time.count().to_string());
+                    row.push(format!("{:.6}", s.coverage_dip.mean()));
                 }
                 row.push(s.connected_runs.to_string());
                 row
@@ -953,6 +1051,11 @@ impl BatchResult {
                     headers.push(format!("{scheme} cmd (m)"));
                 }
             }
+            if spec.dynamics.is_some() {
+                for scheme in &spec.schemes {
+                    headers.push(format!("{scheme} rec (s)"));
+                }
+            }
             let mut table = Table::new(headers);
             for &n in &spec.sensor_counts {
                 for variant in 0..spec.variant_count() {
@@ -977,6 +1080,17 @@ impl BatchResult {
                     if spec.movement_summary {
                         for &scheme in &spec.schemes {
                             row.push(find(scheme).map_or("-".into(), |s| fmt_move(&s.move_dist)));
+                        }
+                    }
+                    if spec.dynamics.is_some() {
+                        for &scheme in &spec.schemes {
+                            row.push(find(scheme).map_or("-".into(), |s| {
+                                if s.recovery_time.is_empty() {
+                                    "unrec".into()
+                                } else {
+                                    fmt_move(&s.recovery_time)
+                                }
+                            }));
                         }
                     }
                     table.row(row);

@@ -18,6 +18,7 @@ use msn_field::{
     Field, RandomObstacleParams,
 };
 use msn_geom::{Point, Rect};
+use msn_sim::{DynEvent, EventAction, EventSchedule, FailCount, FailMode};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -230,6 +231,13 @@ pub struct ScenarioSpec {
     /// by default so pre-existing specs' outputs stay byte-identical;
     /// the TOML key `movement_summary = true` opts a spec in.
     pub movement_summary: bool,
+    /// Scheduled mid-run world events (sensor failures,
+    /// reinforcements, obstacle changes, base relocation) plus the
+    /// recovery threshold — the TOML `[dynamics]` section. `None`
+    /// (the default) runs every cell statically; `Some` switches the
+    /// runner to the restart-on-event engine and adds the recovery
+    /// metrics to batch outputs.
+    pub dynamics: Option<EventSchedule>,
 }
 
 impl ScenarioSpec {
@@ -252,6 +260,7 @@ impl ScenarioSpec {
             params: SchemeOverrides::default(),
             variants: Vec::new(),
             movement_summary: false,
+            dynamics: None,
         }
     }
 
@@ -357,6 +366,14 @@ impl ScenarioSpec {
         self
     }
 
+    /// Sets the mid-run event schedule (the `[dynamics]` section),
+    /// switching every run of the spec to the restart-on-event engine.
+    #[must_use]
+    pub fn with_dynamics(mut self, schedule: EventSchedule) -> Self {
+        self.dynamics = Some(schedule);
+        self
+    }
+
     /// Number of variant slots in the matrix (at least 1: a spec
     /// without explicit variants has one unlabeled default).
     pub fn variant_count(&self) -> usize {
@@ -410,6 +427,9 @@ impl ScenarioSpec {
                     "clustered scatter rect must be finite with x0 < x1 and y0 < y1".into(),
                 );
             }
+        }
+        if let Some(d) = &self.dynamics {
+            d.validate(self.duration)?;
         }
         self.params.validate().map_err(|e| format!("params: {e}"))?;
         for (i, v) in self.variants.iter().enumerate() {
@@ -535,6 +555,11 @@ impl ScenarioSpec {
         if self.movement_summary {
             root.insert("movement_summary".into(), TomlValue::Bool(true));
         }
+        // Same gating: a spec without dynamics serializes exactly as
+        // it did before the section existed.
+        if let Some(d) = &self.dynamics {
+            root.insert("dynamics".into(), dynamics_to_toml(d));
+        }
         root.insert("field".into(), field_to_toml(&self.field));
         root.insert("scatter".into(), scatter_to_toml(&self.scatter));
         if let Some(params) = overrides_to_toml(&self.params) {
@@ -632,6 +657,9 @@ impl ScenarioSpec {
                 .as_bool()
                 .ok_or_else(|| TomlError("'movement_summary' must be a boolean".into()))?;
         }
+        if let Some(v) = root.get("dynamics") {
+            spec.dynamics = Some(dynamics_from_toml(v)?);
+        }
         if let Some(v) = root.get("field") {
             spec.field = field_from_toml(v)?;
         }
@@ -709,6 +737,16 @@ impl RunCell {
     /// The seed for the in-run RNG (message backoff, random walks).
     pub fn sim_seed(&self) -> u64 {
         stream_seed(self.env_seed, 3)
+    }
+
+    /// The seed for the dynamics event streams (victim selection,
+    /// reinforcement positions, restarted segment seeds). A fourth
+    /// independent stream of [`RunCell::env_seed`], so adding a
+    /// `[dynamics]` section never shifts the field, scatter or sim
+    /// draws — and a dynamic run's event-free prefix reproduces the
+    /// static trajectory exactly.
+    pub fn event_seed(&self) -> u64 {
+        stream_seed(self.env_seed, 4)
     }
 }
 
@@ -1233,6 +1271,199 @@ fn scatter_from_toml(v: &TomlValue) -> Result<ScatterSpec, TomlError> {
     }
 }
 
+fn rect_to_toml(r: &Rect) -> TomlValue {
+    TomlValue::Array(vec![
+        TomlValue::Float(r.min.x),
+        TomlValue::Float(r.min.y),
+        TomlValue::Float(r.max.x),
+        TomlValue::Float(r.max.y),
+    ])
+}
+
+fn rect_from_toml(t: &TomlValue, key: &str) -> Result<Rect, TomlError> {
+    let arr = t
+        .get(key)
+        .and_then(TomlValue::as_array)
+        .filter(|a| a.len() == 4)
+        .ok_or_else(|| TomlError(format!("'{key}' must be an [x0, y0, x1, y1] array")))?;
+    let mut v = [0.0; 4];
+    for (slot, item) in v.iter_mut().zip(arr) {
+        *slot = item
+            .as_f64()
+            .ok_or_else(|| TomlError(format!("'{key}' entries must be numeric")))?;
+    }
+    if !(v[0] < v[2] && v[1] < v[3]) {
+        return Err(TomlError(format!(
+            "'{key}' must satisfy x0 < x1 and y0 < y1"
+        )));
+    }
+    Ok(Rect::new(v[0], v[1], v[2], v[3]))
+}
+
+fn dynamics_to_toml(d: &EventSchedule) -> TomlValue {
+    let mut root = BTreeMap::new();
+    root.insert("recovery_frac".into(), TomlValue::Float(d.recovery_frac));
+    if !d.events.is_empty() {
+        let events = d
+            .events
+            .iter()
+            .map(|e| {
+                let mut t = BTreeMap::new();
+                t.insert("time".into(), TomlValue::Float(e.time));
+                t.insert("kind".into(), TomlValue::Str(e.action.kind().into()));
+                match &e.action {
+                    EventAction::Fail { count, mode } => {
+                        match count {
+                            FailCount::Count(k) => {
+                                t.insert("count".into(), TomlValue::Int(*k as i64));
+                            }
+                            FailCount::Frac(f) => {
+                                t.insert("frac".into(), TomlValue::Float(*f));
+                            }
+                        }
+                        match mode {
+                            FailMode::Random => {}
+                            FailMode::Drained => {
+                                t.insert("mode".into(), TomlValue::Str("drained".into()));
+                            }
+                            FailMode::Region(r) => {
+                                t.insert("mode".into(), TomlValue::Str("region".into()));
+                                t.insert("region".into(), rect_to_toml(r));
+                            }
+                        }
+                    }
+                    EventAction::Reinforce { count, rect } => {
+                        t.insert("count".into(), TomlValue::Int(*count as i64));
+                        t.insert("rect".into(), rect_to_toml(rect));
+                    }
+                    EventAction::ObstacleAdd { rect } => {
+                        t.insert("rect".into(), rect_to_toml(rect));
+                    }
+                    EventAction::ObstacleRemove { index } => {
+                        t.insert("index".into(), TomlValue::Int(*index as i64));
+                    }
+                    EventAction::RelocateBase { to } => {
+                        t.insert(
+                            "to".into(),
+                            TomlValue::Array(vec![TomlValue::Float(to.x), TomlValue::Float(to.y)]),
+                        );
+                    }
+                }
+                TomlValue::Table(t)
+            })
+            .collect();
+        root.insert("events".into(), TomlValue::Array(events));
+    }
+    TomlValue::Table(root)
+}
+
+fn dyn_event_from_toml(v: &TomlValue) -> Result<DynEvent, TomlError> {
+    let kind = require_str(v, "kind")?;
+    let time = v
+        .get("time")
+        .and_then(TomlValue::as_f64)
+        .ok_or_else(|| TomlError("each [[dynamics.events]] entry needs a numeric 'time'".into()))?;
+    let action = match kind.as_str() {
+        "fail" => {
+            check_keys(
+                v,
+                "dynamics.events",
+                &["kind", "time", "count", "frac", "mode", "region"],
+            )?;
+            let count = match (opt_usize(v, "count")?, opt_f64(v, "frac")?) {
+                (Some(k), None) => FailCount::Count(k),
+                (None, Some(f)) => FailCount::Frac(f),
+                (None, None) => {
+                    return Err(TomlError("a fail event needs 'count' or 'frac'".into()))
+                }
+                (Some(_), Some(_)) => {
+                    return Err(TomlError(
+                        "a fail event takes 'count' or 'frac', not both".into(),
+                    ))
+                }
+            };
+            let mode = match v.get("mode").map(|m| {
+                m.as_str()
+                    .ok_or_else(|| TomlError("'mode' must be a string".into()))
+            }) {
+                None => FailMode::Random,
+                Some(m) => match m? {
+                    "random" => FailMode::Random,
+                    "drained" => FailMode::Drained,
+                    "region" => FailMode::Region(rect_from_toml(v, "region")?),
+                    other => {
+                        return Err(TomlError(format!(
+                            "unknown fail mode '{other}' (expected random, drained or region)"
+                        )))
+                    }
+                },
+            };
+            EventAction::Fail { count, mode }
+        }
+        "reinforce" => {
+            check_keys(v, "dynamics.events", &["kind", "time", "count", "rect"])?;
+            EventAction::Reinforce {
+                count: opt_usize(v, "count")?
+                    .ok_or_else(|| TomlError("a reinforce event needs a 'count'".into()))?,
+                rect: rect_from_toml(v, "rect")?,
+            }
+        }
+        "obstacle-add" => {
+            check_keys(v, "dynamics.events", &["kind", "time", "rect"])?;
+            EventAction::ObstacleAdd {
+                rect: rect_from_toml(v, "rect")?,
+            }
+        }
+        "obstacle-remove" => {
+            check_keys(v, "dynamics.events", &["kind", "time", "index"])?;
+            EventAction::ObstacleRemove {
+                index: opt_usize(v, "index")?
+                    .ok_or_else(|| TomlError("an obstacle-remove event needs an 'index'".into()))?,
+            }
+        }
+        "relocate-base" => {
+            check_keys(v, "dynamics.events", &["kind", "time", "to"])?;
+            let arr = v
+                .get("to")
+                .and_then(TomlValue::as_array)
+                .filter(|a| a.len() == 2)
+                .ok_or_else(|| TomlError("'to' must be an [x, y] pair".into()))?;
+            let x = arr[0]
+                .as_f64()
+                .ok_or_else(|| TomlError("'to' entries must be numeric".into()))?;
+            let y = arr[1]
+                .as_f64()
+                .ok_or_else(|| TomlError("'to' entries must be numeric".into()))?;
+            EventAction::RelocateBase {
+                to: Point::new(x, y),
+            }
+        }
+        other => {
+            return Err(TomlError(format!(
+                "unknown dynamics event kind '{other}' (expected fail, reinforce, \
+                 obstacle-add, obstacle-remove or relocate-base)"
+            )))
+        }
+    };
+    Ok(DynEvent { time, action })
+}
+
+fn dynamics_from_toml(v: &TomlValue) -> Result<EventSchedule, TomlError> {
+    check_keys(v, "dynamics", &["recovery_frac", "events"])?;
+    let mut schedule = EventSchedule::new(Vec::new());
+    schedule.recovery_frac = get_f64(v, "recovery_frac", EventSchedule::DEFAULT_RECOVERY_FRAC)?;
+    if let Some(items) = v.get("events") {
+        let items = items
+            .as_array()
+            .ok_or_else(|| TomlError("'dynamics.events' must be an array of tables".into()))?;
+        schedule.events = items
+            .iter()
+            .map(dyn_event_from_toml)
+            .collect::<Result<_, _>>()?;
+    }
+    Ok(schedule)
+}
+
 fn require_str(table: &TomlValue, key: &str) -> Result<String, TomlError> {
     table
         .get(key)
@@ -1527,5 +1758,134 @@ mod tests {
         assert!(e.0.contains("NOPE"));
         let e = ScenarioSpec::from_toml_str("name = \"x\"\n[field]\nkind = \"moon\"").unwrap_err();
         assert!(e.0.contains("moon"));
+    }
+
+    fn every_kind_schedule() -> EventSchedule {
+        let mut s = EventSchedule::new(vec![
+            DynEvent {
+                time: 100.0,
+                action: EventAction::Fail {
+                    count: FailCount::Count(5),
+                    mode: FailMode::Random,
+                },
+            },
+            DynEvent {
+                time: 200.0,
+                action: EventAction::Fail {
+                    count: FailCount::Frac(0.25),
+                    mode: FailMode::Drained,
+                },
+            },
+            DynEvent {
+                time: 250.0,
+                action: EventAction::Fail {
+                    count: FailCount::Count(3),
+                    mode: FailMode::Region(Rect::new(10.0, 10.0, 90.0, 90.0)),
+                },
+            },
+            DynEvent {
+                time: 300.0,
+                action: EventAction::Reinforce {
+                    count: 4,
+                    rect: Rect::new(0.0, 0.0, 50.0, 50.0),
+                },
+            },
+            DynEvent {
+                time: 400.0,
+                action: EventAction::ObstacleAdd {
+                    rect: Rect::new(20.0, 20.0, 60.0, 60.0),
+                },
+            },
+            DynEvent {
+                time: 500.0,
+                action: EventAction::ObstacleRemove { index: 0 },
+            },
+            DynEvent {
+                time: 600.0,
+                action: EventAction::RelocateBase {
+                    to: Point::new(7.0, 8.0),
+                },
+            },
+        ]);
+        s.recovery_frac = 0.9;
+        s
+    }
+
+    #[test]
+    fn dynamics_roundtrip_every_event_kind() {
+        let spec = ScenarioSpec::new("dyn").with_dynamics(every_kind_schedule());
+        let text = spec.to_toml_string();
+        assert!(text.contains("[dynamics]"), "{text}");
+        assert!(text.contains("[[dynamics.events]]"), "{text}");
+        assert_eq!(ScenarioSpec::from_toml_str(&text).unwrap(), spec);
+    }
+
+    #[test]
+    fn dynamics_absent_leaves_serialization_untouched() {
+        let spec = ScenarioSpec::new("plain");
+        let text = spec.to_toml_string();
+        assert!(!text.contains("dynamics"), "{text}");
+        // adding a schedule changes the resume digest, so resume never
+        // merges static records into a dynamic batch
+        let base = spec.resume_digest();
+        assert_ne!(
+            spec.clone()
+                .with_dynamics(every_kind_schedule())
+                .resume_digest(),
+            base
+        );
+    }
+
+    #[test]
+    fn dynamics_validation_runs_against_the_spec_duration() {
+        // 800.0 exceeds the default 750 s duration
+        let mut late = every_kind_schedule();
+        late.events[0].time = 800.0;
+        late.events.truncate(1);
+        let spec = ScenarioSpec::new("late").with_dynamics(late);
+        let err = spec.validate().unwrap_err();
+        assert!(err.contains("750"), "{err}");
+        let text = spec.to_toml_string();
+        assert!(ScenarioSpec::from_toml_str(&text).is_err());
+    }
+
+    #[test]
+    fn dynamics_parse_errors_name_the_problem() {
+        let base = "name = \"x\"\n[dynamics]\n";
+        for (body, needle) in [
+            ("[[dynamics.events]]\nkind = \"melt\"\ntime = 5.0", "melt"),
+            ("[[dynamics.events]]\nkind = \"fail\"\ntime = 5.0", "'count' or 'frac'"),
+            (
+                "[[dynamics.events]]\nkind = \"fail\"\ntime = 5.0\ncount = 2\nfrac = 0.5",
+                "not both",
+            ),
+            (
+                "[[dynamics.events]]\nkind = \"fail\"\ntime = 5.0\ncount = 2\nmode = \"sideways\"",
+                "sideways",
+            ),
+            (
+                "[[dynamics.events]]\nkind = \"reinforce\"\ntime = 5.0\ncount = 2\nrect = [0.0, 0.0]",
+                "rect",
+            ),
+            ("[[dynamics.events]]\nkind = \"fail\"\ncount = 2", "time"),
+            ("recovery_frac = 2.0", "recovery_frac"),
+            ("typo = 1", "typo"),
+        ] {
+            let e = ScenarioSpec::from_toml_str(&format!("{base}{body}")).unwrap_err();
+            assert!(e.0.contains(needle), "body {body:?} gave {e}");
+        }
+    }
+
+    #[test]
+    fn event_seed_is_a_distinct_stream() {
+        let spec = ScenarioSpec::new("s");
+        let cell = spec.matrix()[0];
+        let others = [
+            cell.sim_seed(),
+            stream_seed(cell.env_seed, 1),
+            stream_seed(cell.env_seed, 2),
+        ];
+        assert!(!others.contains(&cell.event_seed()));
+        assert_eq!(cell.event_seed(), spec.matrix()[0].event_seed());
     }
 }

@@ -331,6 +331,49 @@ fn sigkill_mid_batch_resumes_on_restart_and_stays_byte_identical() {
 }
 
 #[test]
+fn served_dynamics_spec_streams_recovery_metrics_end_to_end() {
+    let scratch = Scratch::new("dynamics");
+    let daemon = Daemon::start(&scratch, &[]);
+    let spec_path = repo_file("scenarios/failure-recovery.toml");
+    let text = std::fs::read_to_string(&spec_path).expect("read failure-recovery spec");
+    let spec = ScenarioSpec::from_toml_str(&text).expect("parse failure-recovery spec");
+    assert!(spec.dynamics.is_some(), "the bundled spec schedules events");
+
+    // the CLI `submit --wait` path: blocks until the job reaches a
+    // terminal state, so the artifact is ready when it returns
+    let status = Command::new(env!("CARGO_BIN_EXE_scenario"))
+        .arg("submit")
+        .arg(&spec_path)
+        .arg("--socket")
+        .arg(scratch.path("scenario.sock"))
+        .arg("--wait")
+        .stdout(std::process::Stdio::null())
+        .status()
+        .expect("run scenario submit --wait");
+    assert!(status.success(), "submit --wait must exit zero");
+    let digest = spec.job_digest();
+    daemon.await_done(&digest);
+
+    let served = daemon.artifact(&digest, "batch.json");
+    let local = RunConfig::new()
+        .runner()
+        .run_resuming(&spec, None)
+        .expect("local run");
+    assert_eq!(
+        served,
+        local.to_json(),
+        "served dynamic batch must match an in-process run byte for byte"
+    );
+    assert!(
+        served.contains("\"recovery\"") && served.contains("\"coverage_dip\""),
+        "recovery metrics must ride the served artifact"
+    );
+    let golden = std::fs::read_to_string(repo_file("tests/fixtures/failure-recovery-batch.json"))
+        .expect("fixture");
+    assert_eq!(served, golden, "served artifact must match the fixture");
+}
+
+#[test]
 fn subscribe_streams_events_and_closes_on_terminal_state() {
     let scratch = Scratch::new("subscribe");
     let daemon = Daemon::start(&scratch, &[]);

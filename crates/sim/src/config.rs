@@ -82,6 +82,15 @@ impl SimConfig {
         self
     }
 
+    /// Returns the config with a different base-station point `O`.
+    /// Dynamic runs use this after a relocate-base event so restarted
+    /// segments anchor connectivity at the moved station.
+    #[must_use]
+    pub fn with_base(mut self, base: Point) -> Self {
+        self.base = base;
+        self
+    }
+
     /// Maximum distance a sensor can cover in one period (`V·T`).
     #[inline]
     pub fn max_step(&self) -> f64 {
@@ -136,10 +145,12 @@ mod tests {
         let cfg = SimConfig::paper(30.0, 40.0)
             .with_seed(9)
             .with_duration(10.0)
-            .with_coverage_cell(5.0);
+            .with_coverage_cell(5.0)
+            .with_base(Point::new(3.0, 4.0));
         assert_eq!(cfg.seed, 9);
         assert_eq!(cfg.duration, 10.0);
         assert_eq!(cfg.coverage_cell, 5.0);
+        assert_eq!(cfg.base, Point::new(3.0, 4.0));
         assert_eq!(cfg.total_ticks(), 50);
     }
 

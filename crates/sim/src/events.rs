@@ -1,0 +1,362 @@
+//! Seeded, deterministic mid-run world events.
+//!
+//! A dynamic run is a static run interrupted at scheduled instants:
+//! sensors fail (battery death, damage), reinforcements arrive,
+//! obstacles appear or collapse, the base station relocates. The
+//! schedule lives in the scenario spec; execution draws every random
+//! choice (which sensors fail, where reinforcements land, restarted
+//! segment seeds) from [`event_stream_seed`] over a dedicated per-run
+//! event seed, so batches stay byte-identical at any thread count and
+//! across `--resume`.
+
+use msn_geom::{Point, Rect};
+
+/// How many sensors an event touches: an absolute count or a fraction
+/// of the currently alive fleet (rounded down, at least one when the
+/// fraction is positive and anything is alive).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FailCount {
+    /// Exactly this many sensors (clamped to the alive count).
+    Count(usize),
+    /// This fraction of the alive fleet, in `(0, 1]`.
+    Frac(f64),
+}
+
+impl FailCount {
+    /// Resolves the count against the number of alive sensors.
+    pub fn resolve(&self, alive: usize) -> usize {
+        match *self {
+            FailCount::Count(k) => k.min(alive),
+            FailCount::Frac(f) => {
+                let k = (f * alive as f64).floor() as usize;
+                if k == 0 && f > 0.0 && alive > 0 {
+                    1
+                } else {
+                    k.min(alive)
+                }
+            }
+        }
+    }
+}
+
+/// Which sensors a failure event selects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FailMode {
+    /// A uniformly random subset of the alive fleet (seeded
+    /// Fisher–Yates over the alive list in index order).
+    Random,
+    /// The sensors with the highest cumulative travelled distance —
+    /// the battery-death model; ties break toward the lower index.
+    Drained,
+    /// Every alive sensor inside the rectangle (localized damage).
+    Region(Rect),
+}
+
+/// One scheduled world mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventAction {
+    /// Kill sensors: they stop covering, relaying and moving.
+    Fail {
+        /// How many sensors die.
+        count: FailCount,
+        /// How the victims are selected.
+        mode: FailMode,
+    },
+    /// Insert fresh sensors scattered uniformly inside a rectangle
+    /// (positions drawn from the event seed stream).
+    Reinforce {
+        /// How many sensors arrive.
+        count: usize,
+        /// The drop zone.
+        rect: Rect,
+    },
+    /// A new rectangular obstacle appears.
+    ObstacleAdd {
+        /// The obstacle footprint.
+        rect: Rect,
+    },
+    /// The obstacle at this index (field order: seed obstacles first,
+    /// then event-added ones in schedule order) is removed.
+    ObstacleRemove {
+        /// Index into the field's obstacle list at event time.
+        index: usize,
+    },
+    /// The base station moves; connectivity re-anchors there and the
+    /// schemes of later segments aim at the new origin.
+    RelocateBase {
+        /// The new base position.
+        to: Point,
+    },
+}
+
+impl EventAction {
+    /// Short machine-readable kind tag (the TOML `kind` value).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EventAction::Fail { .. } => "fail",
+            EventAction::Reinforce { .. } => "reinforce",
+            EventAction::ObstacleAdd { .. } => "obstacle-add",
+            EventAction::ObstacleRemove { .. } => "obstacle-remove",
+            EventAction::RelocateBase { .. } => "relocate-base",
+        }
+    }
+}
+
+/// An [`EventAction`] bound to a simulation instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynEvent {
+    /// Simulation time (s) at which the action fires; strictly inside
+    /// `(0, duration)`.
+    pub time: f64,
+    /// The world mutation.
+    pub action: EventAction,
+}
+
+/// A complete event schedule plus the recovery threshold used by the
+/// recovery metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventSchedule {
+    /// Events in non-decreasing time order.
+    pub events: Vec<DynEvent>,
+    /// A dip counts as recovered once coverage returns to this
+    /// fraction of its pre-event value (default 0.95).
+    pub recovery_frac: f64,
+}
+
+impl EventSchedule {
+    /// The default recovery threshold: 95 % of pre-event coverage.
+    pub const DEFAULT_RECOVERY_FRAC: f64 = 0.95;
+
+    /// A schedule over the given events with the default threshold.
+    pub fn new(events: Vec<DynEvent>) -> Self {
+        EventSchedule {
+            events,
+            recovery_frac: Self::DEFAULT_RECOVERY_FRAC,
+        }
+    }
+
+    /// Total sensors added by reinforcement events — the reserve the
+    /// world must pre-allocate so trackers never grow mid-run.
+    pub fn reinforce_total(&self) -> usize {
+        self.events
+            .iter()
+            .map(|e| match e.action {
+                EventAction::Reinforce { count, .. } => count,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Validates times (finite, strictly increasing¹ within
+    /// `(0, duration)`) and the recovery fraction. ¹Non-decreasing:
+    /// several events may share an instant and fire in schedule order.
+    pub fn validate(&self, duration: f64) -> Result<(), String> {
+        if !(self.recovery_frac > 0.0 && self.recovery_frac <= 1.0) {
+            return Err(format!(
+                "dynamics.recovery_frac must be in (0, 1], got {}",
+                self.recovery_frac
+            ));
+        }
+        let mut prev = 0.0;
+        for (i, e) in self.events.iter().enumerate() {
+            if !e.time.is_finite() || e.time <= 0.0 || e.time >= duration {
+                return Err(format!(
+                    "dynamics event {i} time {} must lie strictly inside (0, {duration})",
+                    e.time
+                ));
+            }
+            if e.time < prev {
+                return Err(format!(
+                    "dynamics event {i} time {} is earlier than its predecessor {prev}",
+                    e.time
+                ));
+            }
+            prev = e.time;
+            match &e.action {
+                EventAction::Fail {
+                    count: FailCount::Frac(f),
+                    ..
+                } if !(*f > 0.0 && *f <= 1.0) => {
+                    return Err(format!("dynamics event {i} frac {f} must be in (0, 1]"));
+                }
+                EventAction::Reinforce { count: 0, .. } => {
+                    return Err(format!("dynamics event {i} reinforces zero sensors"));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A cursor over a schedule, in time order.
+#[derive(Debug, Clone)]
+pub struct EventQueue<'a> {
+    events: &'a [DynEvent],
+    next: usize,
+}
+
+impl<'a> EventQueue<'a> {
+    /// A queue over a validated (time-sorted) schedule.
+    pub fn new(schedule: &'a EventSchedule) -> Self {
+        EventQueue {
+            events: &schedule.events,
+            next: 0,
+        }
+    }
+
+    /// The instant of the next pending event, if any.
+    pub fn next_time(&self) -> Option<f64> {
+        self.events.get(self.next).map(|e| e.time)
+    }
+
+    /// Pops every event due at exactly the next pending instant
+    /// (several events may share it; they apply in schedule order).
+    pub fn pop_batch(&mut self) -> &'a [DynEvent] {
+        let Some(t) = self.next_time() else {
+            return &[];
+        };
+        let start = self.next;
+        while self.next < self.events.len() && self.events[self.next].time == t {
+            self.next += 1;
+        }
+        &self.events[start..self.next]
+    }
+
+    /// True once every event has been popped.
+    pub fn is_empty(&self) -> bool {
+        self.next >= self.events.len()
+    }
+}
+
+/// SplitMix64 step — the same generator the scenario layer uses for
+/// matrix-coordinate seed derivation.
+fn split_mix_64(state: &mut u64) {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    *state = z ^ (z >> 31);
+}
+
+/// Derives the `k`-th independent stream from a per-run event seed.
+/// Stream 0 seeds the failure/reinforcement RNG of event index 0,
+/// stream 1 event index 1, and so on; stream `1_000_000 + k` seeds
+/// the restarted scheme segment that begins after event index `k`. The
+/// derivation is pure, so any thread (or a resumed process) computing
+/// the same `(event_seed, k)` gets the same stream.
+pub fn event_stream_seed(event_seed: u64, k: u64) -> u64 {
+    let mut s = event_seed ^ 0xd1b5_4a32_d192_ed03;
+    split_mix_64(&mut s);
+    let mut s = s ^ k.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    split_mix_64(&mut s);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fail_at(t: f64) -> DynEvent {
+        DynEvent {
+            time: t,
+            action: EventAction::Fail {
+                count: FailCount::Count(2),
+                mode: FailMode::Random,
+            },
+        }
+    }
+
+    #[test]
+    fn fail_count_resolution() {
+        assert_eq!(FailCount::Count(3).resolve(10), 3);
+        assert_eq!(FailCount::Count(30).resolve(10), 10);
+        assert_eq!(FailCount::Frac(0.25).resolve(10), 2);
+        assert_eq!(
+            FailCount::Frac(0.01).resolve(10),
+            1,
+            "positive frac kills at least one"
+        );
+        assert_eq!(FailCount::Frac(0.5).resolve(0), 0);
+    }
+
+    #[test]
+    fn queue_batches_simultaneous_events() {
+        let schedule = EventSchedule::new(vec![fail_at(10.0), fail_at(10.0), fail_at(20.0)]);
+        let mut q = EventQueue::new(&schedule);
+        assert_eq!(q.next_time(), Some(10.0));
+        assert_eq!(q.pop_batch().len(), 2);
+        assert_eq!(q.next_time(), Some(20.0));
+        assert_eq!(q.pop_batch().len(), 1);
+        assert!(q.is_empty());
+        assert!(q.pop_batch().is_empty());
+    }
+
+    #[test]
+    fn validation_rejects_bad_schedules() {
+        let dur = 100.0;
+        assert!(EventSchedule::new(vec![fail_at(10.0)])
+            .validate(dur)
+            .is_ok());
+        assert!(EventSchedule::new(vec![fail_at(0.0)])
+            .validate(dur)
+            .is_err());
+        assert!(EventSchedule::new(vec![fail_at(100.0)])
+            .validate(dur)
+            .is_err());
+        assert!(EventSchedule::new(vec![fail_at(20.0), fail_at(10.0)])
+            .validate(dur)
+            .is_err());
+        let mut s = EventSchedule::new(vec![fail_at(10.0)]);
+        s.recovery_frac = 0.0;
+        assert!(s.validate(dur).is_err());
+        let bad_frac = EventSchedule::new(vec![DynEvent {
+            time: 5.0,
+            action: EventAction::Fail {
+                count: FailCount::Frac(1.5),
+                mode: FailMode::Random,
+            },
+        }]);
+        assert!(bad_frac.validate(dur).is_err());
+        let zero_reinforce = EventSchedule::new(vec![DynEvent {
+            time: 5.0,
+            action: EventAction::Reinforce {
+                count: 0,
+                rect: Rect::new(0.0, 0.0, 1.0, 1.0),
+            },
+        }]);
+        assert!(zero_reinforce.validate(dur).is_err());
+    }
+
+    #[test]
+    fn stream_seeds_are_distinct_and_stable() {
+        let a = event_stream_seed(42, 0);
+        let b = event_stream_seed(42, 1);
+        let c = event_stream_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, event_stream_seed(42, 0), "pure function of (seed, k)");
+    }
+
+    #[test]
+    fn reinforce_total_sums_reserve() {
+        let s = EventSchedule::new(vec![
+            fail_at(5.0),
+            DynEvent {
+                time: 8.0,
+                action: EventAction::Reinforce {
+                    count: 3,
+                    rect: Rect::new(0.0, 0.0, 10.0, 10.0),
+                },
+            },
+            DynEvent {
+                time: 9.0,
+                action: EventAction::Reinforce {
+                    count: 2,
+                    rect: Rect::new(0.0, 0.0, 10.0, 10.0),
+                },
+            },
+        ]);
+        assert_eq!(s.reinforce_total(), 5);
+    }
+}

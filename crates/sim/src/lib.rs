@@ -19,9 +19,13 @@
 #![warn(missing_docs)]
 
 mod config;
+mod events;
 mod result;
 mod world;
 
 pub use config::SimConfig;
+pub use events::{
+    event_stream_seed, DynEvent, EventAction, EventQueue, EventSchedule, FailCount, FailMode,
+};
 pub use result::{convergence_time, RunResult};
 pub use world::{PositionsView, World};

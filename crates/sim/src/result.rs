@@ -39,6 +39,12 @@ pub struct RunResult {
     /// bookkeeping penalties charged via detour accounting, so it is
     /// the movement-energy headline metric of the scale tier.
     pub move_dist: f64,
+    /// Per-sensor travelled distance (m), in slot order — the raw
+    /// vector behind [`RunResult::avg_move`]/[`RunResult::max_move`].
+    /// The dynamic-run engine stitches restarted segments together by
+    /// adding each segment's per-sensor distances onto its persistent
+    /// ledger, which needs the vector, not just the aggregates.
+    pub per_move: Vec<f64>,
 }
 
 impl RunResult {
@@ -74,6 +80,7 @@ impl RunResult {
             flags: Vec::new(),
             moves: 0,
             move_dist: 0.0,
+            per_move: moved.to_vec(),
         }
     }
 

@@ -102,6 +102,10 @@ pub struct World {
     xs: Vec<f64>,
     /// Sensor y coordinates (SoA half; see [`PositionsView`]).
     ys: Vec<f64>,
+    /// Liveness mask for dynamic runs: dead sensors stay in the
+    /// arrays (parked far off-field) so tracker slot counts never
+    /// change, but they neither cover, relay, nor move.
+    alive: Vec<bool>,
     moved: Vec<f64>,
     /// Number of charged movements (`set_pos` family, not teleports) —
     /// maintained natively so movement-cost summaries work without
@@ -138,6 +142,7 @@ impl World {
             cfg,
             xs,
             ys,
+            alive: vec![true; n],
             moved: vec![0.0; n],
             move_count: 0,
             move_charged: 0.0,
@@ -152,10 +157,115 @@ impl World {
         }
     }
 
-    /// Number of sensors.
+    /// Creates a world with live sensors at `positions` plus `reserve`
+    /// pre-allocated dead slots appended after them. Trackers size
+    /// themselves at installation and never grow, so dynamic runs
+    /// allocate every reinforcement slot up front and revive slots via
+    /// [`World::insert_sensor`] when the schedule fires. Reserve slots
+    /// start parked (see [`World::park_position`]) and dead.
+    pub fn with_reserve(
+        field: Field,
+        cfg: SimConfig,
+        positions: Vec<Point>,
+        reserve: usize,
+    ) -> Self {
+        let n = positions.len();
+        let mut world = World::new(field, cfg, positions);
+        for k in 0..reserve {
+            let i = n + k;
+            let p = world.park_position(i);
+            world.xs.push(p.x);
+            world.ys.push(p.y);
+            world.alive.push(false);
+            world.moved.push(0.0);
+        }
+        world
+    }
+
+    /// Number of sensors (slots), dead ones included.
     #[inline]
     pub fn n(&self) -> usize {
         self.xs.len()
+    }
+
+    /// The deterministic off-field parking spot for slot `i`. Parked
+    /// sensors cover no cell (the disk clips entirely off-field), link
+    /// to nothing (pairwise spacing exceeds `rc`, and the lot sits
+    /// ~1e7 m from the field and base), and never move — so a dead
+    /// sensor is invisible to every tracker without changing any
+    /// tracker's slot count.
+    pub fn park_position(&self, i: usize) -> Point {
+        let pitch = 4.0 * self.cfg.rc.max(1.0);
+        Point::new(-1.0e7 - i as f64 * pitch, -1.0e7)
+    }
+
+    /// Whether slot `i` holds a live sensor. Worlds built by
+    /// [`World::new`] are fully alive; only dynamic-run churn
+    /// ([`World::remove_sensor`] / [`World::insert_sensor`]) and
+    /// reserve slots change this.
+    #[inline]
+    pub fn alive(&self, i: usize) -> bool {
+        self.alive[i]
+    }
+
+    /// Number of live sensors.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Indices of live sensors, in slot order.
+    pub fn alive_indices(&self) -> Vec<usize> {
+        (0..self.n()).filter(|&i| self.alive[i]).collect()
+    }
+
+    /// Kills sensor `i`: parks it off-field through the change-record
+    /// funnel (every installed tracker sees the departure as an
+    /// ordinary move) and marks the slot dead. Charges no movement —
+    /// a dead sensor does not drive away.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is already dead.
+    pub fn remove_sensor(&mut self, i: usize) {
+        assert!(self.alive[i], "sensor {i} is already dead");
+        self.alive[i] = false;
+        let park = self.park_position(i);
+        self.apply_change(PosChange {
+            i,
+            p: park,
+            charged: 0.0,
+            counted: false,
+        });
+    }
+
+    /// Revives slot `i` at position `p` (a reinforcement arriving, or
+    /// a repaired sensor returning). The arrival teleports in through
+    /// the change-record funnel; deployment cost before arrival is out
+    /// of scope, matching the paper's free initial placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is already alive.
+    pub fn insert_sensor(&mut self, i: usize, p: Point) {
+        assert!(!self.alive[i], "sensor {i} is already alive");
+        self.alive[i] = true;
+        self.apply_change(PosChange {
+            i,
+            p,
+            charged: 0.0,
+            counted: false,
+        });
+    }
+
+    /// Moves the base station. The connectivity tracker (if installed)
+    /// is re-anchored at the new origin by reinstallation from current
+    /// positions — base moves are rare schedule events, not tick-path
+    /// work, so the rebuild cost is irrelevant.
+    pub fn set_base(&mut self, base: Point) {
+        self.cfg.base = base;
+        if self.conn.is_some() {
+            self.track_connectivity();
+        }
     }
 
     /// The sensing field.
@@ -791,6 +901,80 @@ mod tests {
         assert_eq!(w.move_count(), 2);
         assert_eq!(w.move_dist(), 12.0);
         assert_eq!(w.total_moved(), 13.5, "total_moved still sees add_distance");
+    }
+
+    #[test]
+    fn churn_feeds_every_tracker_oracle_identically() {
+        // remove/insert ride the same change funnel as moves, so all
+        // four trackers must agree with their batch oracles after
+        // every liveness flip — parked sensors included.
+        let mut w = world_with(4);
+        let grid = w.coverage_grid();
+        w.track_coverage(grid.clone());
+        w.track_connectivity();
+        w.track_points();
+        w.track_adjacency();
+        let rc = w.cfg().rc;
+        let check = |w: &mut World| {
+            assert_eq!(w.coverage_tracked(), w.coverage(&grid));
+            assert_eq!(w.connected_mask_tracked(), w.connected_mask());
+            let pts = w.positions().to_vec();
+            let g = DiskGraph::build(&pts, rc);
+            let spatial = msn_net::SpatialGrid::build(&pts, rc.max(1.0));
+            for q in 0..w.n() {
+                assert_eq!(w.adjacency().neighbors(q), g.neighbors(q), "adj {q}");
+                assert_eq!(w.neighbors_tracked(q, rc), spatial.neighbors(&pts, q, rc));
+            }
+        };
+        w.remove_sensor(1);
+        assert!(!w.alive(1));
+        assert_eq!(w.alive_count(), 3);
+        check(&mut w);
+        w.remove_sensor(3);
+        assert_eq!(w.alive_indices(), vec![0, 2]);
+        check(&mut w);
+        // a dead sensor covers nothing and links to nothing
+        assert!(!w.connected_mask()[1]);
+        w.insert_sensor(1, Point::new(40.0, 40.0));
+        assert!(w.alive(1));
+        check(&mut w);
+        // churn charges no movement
+        assert_eq!(w.move_count(), 0);
+        assert_eq!(w.total_moved(), 0.0);
+    }
+
+    #[test]
+    fn reserve_slots_start_dead_and_parked() {
+        let field = Field::open(100.0, 100.0);
+        let cfg = SimConfig::paper(20.0, 15.0).with_duration(10.0);
+        let positions = vec![Point::new(5.0, 5.0), Point::new(10.0, 5.0)];
+        let mut w = World::with_reserve(field, cfg, positions, 2);
+        assert_eq!(w.n(), 4);
+        assert_eq!(w.alive_count(), 2);
+        assert_eq!(w.pos(2), w.park_position(2));
+        assert_eq!(w.pos(3), w.park_position(3));
+        // parked slots are pairwise out of radio range
+        assert!(w.park_position(2).dist(w.park_position(3)) > w.cfg().rc);
+        // a revived reserve slot behaves like any sensor
+        let grid = w.coverage_grid();
+        w.track_coverage(grid.clone());
+        let before = w.coverage_tracked();
+        w.insert_sensor(2, Point::new(50.0, 50.0));
+        assert!(w.coverage_tracked() > before);
+        assert_eq!(w.coverage_tracked(), w.coverage(&grid));
+    }
+
+    #[test]
+    fn set_base_reanchors_connectivity() {
+        let mut w = world_with(3); // x = 5, 10, 15; base at origin
+        w.track_connectivity();
+        assert!(w.all_connected_tracked());
+        w.set_base(Point::new(90.0, 90.0));
+        assert_eq!(w.cfg().base, Point::new(90.0, 90.0));
+        assert_eq!(w.connected_mask_tracked(), w.connected_mask());
+        assert!(!w.all_connected_tracked(), "fleet is far from the new base");
+        w.set_pos(2, Point::new(80.0, 80.0));
+        assert_eq!(w.connected_mask_tracked(), w.connected_mask());
     }
 
     #[test]

@@ -1,20 +1,22 @@
-//! Failure recovery (the paper's §7 future work): after a FLOOR
-//! deployment converges, a fraction of the deployed sensors dies.
-//! Because FLOOR's machinery is restartable — classification and
-//! expansion only need the surviving positions — running the scheme
-//! again over the survivors heals the holes with the remaining
-//! redundancy.
+//! Failure recovery (the paper's §7 future work), now first-class:
+//! the dynamics engine schedules a 25 % die-off mid-run, restarts
+//! FLOOR over the survivors — classification and expansion only need
+//! the surviving positions, so the remaining redundancy heals the
+//! holes — and the recovery metrics quantify the dip. The same
+//! workload ships as `scenarios/failure-recovery.toml` with a
+//! committed golden fixture; this example is the single-run,
+//! narrated form.
 //!
 //! ```text
 //! cargo run --release --example failure_recovery
 //! ```
 
-use msn_deploy::floor::{run, FloorParams};
-use msn_field::{scatter_clustered, CoverageGrid, Field};
+use msn_deploy::{run_scheme_dynamic, SchemeKind, SchemeOverrides};
+use msn_field::{scatter_clustered, Field};
 use msn_geom::Rect;
-use msn_sim::SimConfig;
+use msn_metrics::{recovery_stats, EventMark};
+use msn_sim::{DynEvent, EventAction, EventSchedule, FailCount, FailMode, SimConfig};
 use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 fn main() {
@@ -22,38 +24,77 @@ fn main() {
     let mut rng = SmallRng::seed_from_u64(21);
     let initial = scatter_clustered(&field, Rect::new(0.0, 0.0, 200.0, 200.0), 100, &mut rng);
     let cfg = SimConfig::paper(50.0, 35.0)
-        .with_duration(400.0)
+        .with_duration(700.0)
         .with_coverage_cell(4.0);
-    let grid = CoverageGrid::new(&field, 4.0);
 
-    // Initial deployment.
-    let deployed = run(&field, &initial, &FloorParams::default(), &cfg);
-    println!(
-        "deployed: coverage {:.1}%, connected: {}",
-        deployed.coverage * 100.0,
-        deployed.connected
+    // 25% of the fleet dies at t=400, after the deployment converges;
+    // the engine parks the victims and restarts FLOOR over the
+    // survivors from a seeded event stream.
+    let schedule = EventSchedule::new(vec![DynEvent {
+        time: 400.0,
+        action: EventAction::Fail {
+            count: FailCount::Frac(0.25),
+            mode: FailMode::Random,
+        },
+    }]);
+    let outcome = run_scheme_dynamic(
+        SchemeKind::Floor,
+        &field,
+        &initial,
+        &cfg,
+        &SchemeOverrides::default(),
+        None,
+        &schedule,
+        21,
     );
 
-    // 25% of the sensors fail at random.
-    let mut survivors = deployed.positions.clone();
-    survivors.shuffle(&mut rng);
-    survivors.truncate(75);
-    let after_failure = grid.coverage(&survivors, cfg.rs);
-    println!("after 25% failures: coverage {:.1}%", after_failure * 100.0);
-
-    // Recovery: rerun FLOOR from the surviving layout. Phase 1 is a
-    // no-op for already-connected sensors; classification frees the
-    // redundant ones and expansion re-fills the holes.
-    let recovery_cfg = cfg.clone().with_duration(300.0);
-    let healed = run(&field, &survivors, &FloorParams::default(), &recovery_cfg);
+    let event = &outcome.events[0];
     println!(
-        "after recovery: coverage {:.1}%, connected: {} (moved {:.0} m per survivor)",
-        healed.coverage * 100.0,
-        healed.connected,
-        healed.avg_move
+        "deployed: coverage {:.1}% before the event",
+        event.pre_coverage * 100.0
+    );
+    println!(
+        "after 25% failures: coverage {:.1}%",
+        event.post_coverage * 100.0
+    );
+
+    let marks: Vec<EventMark> = outcome
+        .events
+        .iter()
+        .map(|e| EventMark {
+            time: e.time,
+            kind: e.kind.clone(),
+            pre_coverage: e.pre_coverage,
+            post_coverage: e.post_coverage,
+            post_move_dist: e.post_move_dist,
+        })
+        .collect();
+    let stats = recovery_stats(
+        &outcome.result.coverage_timeline,
+        &marks,
+        schedule.recovery_frac,
+    );
+    let stat = &stats[0];
+    match stat.recovery_time {
+        Some(t) => println!(
+            "recovered to {:.0}% of pre-event coverage in {:.0} s (dip floor {:.1}%)",
+            schedule.recovery_frac * 100.0,
+            t,
+            stat.min_coverage * 100.0
+        ),
+        None => println!(
+            "not recovered by the horizon (dip floor {:.1}%)",
+            stat.min_coverage * 100.0
+        ),
+    }
+    println!(
+        "after recovery: coverage {:.1}%, connected: {} ({:.0} m moved after the event)",
+        outcome.result.coverage * 100.0,
+        outcome.result.connected,
+        stat.post_move_dist
     );
     assert!(
-        healed.coverage >= after_failure - 0.02,
+        outcome.result.coverage >= event.post_coverage - 0.02,
         "recovery must not lose coverage"
     );
 }

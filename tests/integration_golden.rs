@@ -52,6 +52,36 @@ fn diff_accepts_the_fixture_against_a_fresh_run() {
     assert_eq!(report.compared, 8);
 }
 
+/// The dynamics golden: the bundled `failure-recovery` spec (the
+/// examples/failure_recovery.rs workflow made first-class) must
+/// reproduce its committed fixture byte-for-byte — the event engine,
+/// the per-event seed streams and the recovery metrics are all under
+/// this pin.
+#[test]
+fn failure_recovery_spec_reproduces_the_committed_fixture() {
+    let text = std::fs::read_to_string(repo_path("scenarios/failure-recovery.toml")).unwrap();
+    let spec = ScenarioSpec::from_toml_str(&text).unwrap();
+    let golden =
+        std::fs::read_to_string(repo_path("tests/fixtures/failure-recovery-batch.json")).unwrap();
+    let result = BatchRunner::new().run(&spec).unwrap();
+    assert_eq!(
+        result.to_json(),
+        golden,
+        "batch.json drifted from tests/fixtures/failure-recovery-batch.json; if the \
+         change is intentional, regenerate the fixture (see the comment in \
+         scenarios/failure-recovery.toml)"
+    );
+    // the pinned run recovered: every event carries a recovery time
+    for record in &result.records {
+        assert_eq!(record.recovery.len(), 1);
+        assert!(
+            record.recovery[0].recovery_time.is_some(),
+            "the bundled schedule leaves FLOOR enough time to heal"
+        );
+        assert!(record.recovery[0].min_coverage <= record.recovery[0].pre_coverage);
+    }
+}
+
 #[test]
 fn interrupted_then_resumed_run_matches_the_fixture() {
     let spec = smoke_spec();
